@@ -1,0 +1,170 @@
+// Command chipletfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	chipletfig [-scale quick|full] [-out DIR] EXPERIMENT...
+//
+// Experiments: table1, fig11, fig12, fig13, fig14, fig15, fig16,
+// ablation, all. Each figure prints its latency curves (annotated with the
+// estimated saturation point) to stdout and, with -out, writes the raw
+// points to DIR/<experiment>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"chipletnet/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "quick | full")
+	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	replot := flag.String("replot", "", "regenerate SVG charts from the CSVs in this directory and exit")
+	flag.Parse()
+
+	if *replot != "" {
+		entries, err := os.ReadDir(*replot)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".csv" {
+				continue
+			}
+			path := filepath.Join(*replot, e.Name())
+			fh, err := os.Open(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			pts, err := experiments.ReadCSV(fh)
+			fh.Close()
+			if err != nil {
+				fatalf("%s: %v", path, err)
+			}
+			written, err := experiments.WriteSVGs(*replot, pts)
+			if err != nil {
+				fatalf("%s: %v", path, err)
+			}
+			for _, w := range written {
+				fmt.Println("wrote", w)
+			}
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fatalf("unknown -scale %q", *scaleName)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fatalf("no experiments given; want table1|fig11|fig12|fig13|fig14|fig15|fig16|ablation|all")
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, e := range []string{"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "faults", "collective"} {
+				want[e] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	run := func(name string, f func() ([]experiments.Point, error)) {
+		if !want[name] {
+			return
+		}
+		delete(want, name)
+		start := time.Now()
+		fmt.Printf("=== %s (scale %s) ===\n", name, scale.Name)
+		pts, err := f()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		experiments.FormatCurves(os.Stdout, pts)
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Second))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, name+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := experiments.WriteCSV(fh, pts); err != nil {
+				fatalf("%v", err)
+			}
+			if err := fh.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			if _, err := experiments.WriteSVGs(*outDir, pts); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+
+	if want["table1"] {
+		delete(want, "table1")
+		fmt.Println("=== table1 (network diameter) ===")
+		rows, err := experiments.Table1()
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+		experiments.FormatTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	run("fig11", func() ([]experiments.Point, error) {
+		var all []experiments.Point
+		for _, pat := range experiments.Fig11Patterns() {
+			pts, err := experiments.Fig11(scale, pat)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, pts...)
+		}
+		return all, nil
+	})
+	run("fig12", func() ([]experiments.Point, error) { return experiments.Fig12(scale) })
+	run("fig13", func() ([]experiments.Point, error) { return experiments.Fig13(scale) })
+	run("fig14", func() ([]experiments.Point, error) {
+		var all []experiments.Point
+		for _, bw := range experiments.Fig14Bandwidths() {
+			pts, err := experiments.Fig14(scale, bw)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, pts...)
+		}
+		return all, nil
+	})
+	run("fig15", func() ([]experiments.Point, error) { return experiments.Fig15(scale) })
+	run("fig16", func() ([]experiments.Point, error) { return experiments.Fig16(scale) })
+	run("ablation", func() ([]experiments.Point, error) { return experiments.AblationRouting(scale) })
+	run("faults", func() ([]experiments.Point, error) { return experiments.FaultTolerance(scale) })
+	run("collective", func() ([]experiments.Point, error) { return experiments.CollectiveStudy(scale) })
+
+	for leftover := range want {
+		fatalf("unknown experiment %q", leftover)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chipletfig: "+format+"\n", args...)
+	os.Exit(1)
+}

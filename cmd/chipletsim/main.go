@@ -1,0 +1,184 @@
+// Command chipletsim runs a single simulation of a multi-chiplet
+// interconnection network and prints the measured statistics.
+//
+// Examples:
+//
+//	chipletsim -topology hypercube -dims 6 -rate 0.3
+//	chipletsim -topology ndmesh -dims 4,4,4 -pattern bit-reverse -rate 0.2
+//	chipletsim -topology mesh -dims 8,8 -rate 0.5 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chipletnet"
+)
+
+func main() {
+	cfg := chipletnet.DefaultConfig()
+
+	topoKind := flag.String("topology", "hypercube", "mesh | ndmesh | ndtorus | hypercube | dragonfly | tree | custom")
+	dims := flag.String("dims", "6", "topology dimensions, comma separated (custom: n,a0,b0,a1,b1,... edge list; see chipletnet.Topology)")
+	noc := flag.String("noc", "4x4", "on-chiplet NoC size WxH")
+	pattern := flag.String("pattern", cfg.Pattern, "uniform | hotspot | bit-complement | bit-reverse | bit-shuffle | bit-transpose")
+	rate := flag.Float64("rate", cfg.InjectionRate, "injection rate in flits/node/cycle")
+	interleave := flag.String("interleave", cfg.Interleave, "none | message | packet")
+	routing := flag.String("routing", string(cfg.Routing), "duato | safe-unsafe")
+	offBW := flag.Int("offchip-bw", cfg.OffChipBW, "chiplet-to-chiplet bandwidth in flits/cycle")
+	offLat := flag.Int("offchip-latency", cfg.OffChipLatency, "chiplet-to-chiplet link latency in cycles")
+	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per port")
+	warmup := flag.Int64("warmup", cfg.WarmupCycles, "warm-up cycles")
+	measure := flag.Int64("measure", cfg.MeasureCycles, "measured cycles")
+	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	configPath := flag.String("config", "", "load a JSON config file (flags still override)")
+	dumpConfig := flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	fromFile := false
+	if *configPath != "" {
+		fh, err := os.Open(*configPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		loaded, err := chipletnet.LoadConfig(fh)
+		fh.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg = loaded
+		fromFile = true
+	}
+
+	// Flags the user actually set override the file; without a file,
+	// every flag applies (falling back to its default).
+	use := func(name string) bool { return !fromFile || set[name] }
+	if use("topology") || use("dims") {
+		dimInts, err := parseInts(*dims)
+		if err != nil {
+			fatalf("bad -dims: %v", err)
+		}
+		cfg.Topology = chipletnet.Topology{Kind: *topoKind, Dims: dimInts}
+	}
+	if use("noc") {
+		var err error
+		if cfg.ChipletW, cfg.ChipletH, err = parseNoC(*noc); err != nil {
+			fatalf("bad -noc: %v", err)
+		}
+	}
+	if use("pattern") {
+		cfg.Pattern = *pattern
+	}
+	if use("rate") {
+		cfg.InjectionRate = *rate
+	}
+	if use("interleave") {
+		cfg.Interleave = *interleave
+	}
+	if use("routing") {
+		cfg.Routing = chipletnet.RoutingMode(*routing)
+	}
+	if use("offchip-bw") {
+		cfg.OffChipBW = *offBW
+	}
+	if use("offchip-latency") {
+		cfg.OffChipLatency = *offLat
+	}
+	if use("vcs") {
+		cfg.VCs = *vcs
+	}
+	if use("warmup") {
+		cfg.WarmupCycles = *warmup
+	}
+	if use("measure") {
+		cfg.MeasureCycles = *measure
+	}
+	if use("seed") {
+		cfg.Seed = *seed
+	}
+
+	if *dumpConfig {
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	res, err := chipletnet.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	fmt.Printf("system:        %v of %dx%d chiplets (%d endpoints)\n",
+		cfg.Topology, cfg.ChipletW, cfg.ChipletH, res.Endpoints)
+	fmt.Printf("workload:      %s @ %.3f flits/node/cycle, interleave=%s, routing=%s\n",
+		cfg.Pattern, cfg.InjectionRate, cfg.Interleave, cfg.Routing)
+	if res.Deadlocked {
+		fmt.Println("RESULT:        DEADLOCK detected by the progress watchdog")
+		os.Exit(2)
+	}
+	fmt.Printf("latency:       avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %d cycles\n",
+		res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
+	fmt.Printf("throughput:    %.4f flits/node/cycle accepted (offered %.4f)%s\n",
+		res.AcceptedFlitsPerNodeCycle, res.OfferedRate, satMark(res))
+	fmt.Printf("hops:          %.2f routers, %.2f on-chip links, %.2f off-chip links\n",
+		res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
+	fmt.Printf("energy:        %.2f pJ/bit transport estimate\n", res.EnergyPJPerBit)
+	fmt.Printf("packets:       %d measured, %d total delivered\n",
+		res.MeasuredPackets, res.DeliveredPackets)
+}
+
+func satMark(r chipletnet.Result) string {
+	if r.Saturated() {
+		return "  [SATURATED]"
+	}
+	return ""
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseNoC(s string) (w, h int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want WxH, got %q", s)
+	}
+	if w, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, err
+	}
+	if h, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, err
+	}
+	return w, h, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chipletsim: "+format+"\n", args...)
+	os.Exit(1)
+}

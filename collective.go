@@ -1,0 +1,76 @@
+package chipletnet
+
+import (
+	"fmt"
+
+	"chipletnet/internal/collective"
+	"chipletnet/internal/interleave"
+)
+
+// Collective describes a collective-communication operation to run on a
+// built system (participants are all core nodes).
+type Collective struct {
+	// Kind is one of "allreduce-ring", "allreduce-recursive-doubling",
+	// "allgather-ring", "alltoall".
+	Kind string
+	// DataFlits is the per-node payload: the vector size for all-reduce,
+	// the per-node block for all-gather, the per-destination block for
+	// all-to-all.
+	DataFlits int
+}
+
+// CollectiveResult reports the timing of one collective execution.
+type CollectiveResult struct {
+	Algorithm string
+	// CompletionCycles is the cycle of the final delivery.
+	CompletionCycles int64
+	// Messages / TotalFlits describe the schedule volume.
+	Messages   int
+	TotalFlits int64
+	// BusBandwidth is total flits moved per cycle per participant.
+	BusBandwidth float64
+}
+
+// RunCollective builds cfg's system and executes the collective on it,
+// returning its completion time. Traffic-related configuration fields
+// (Pattern, InjectionRate, cycles) are ignored; packets use cfg.PacketFlits
+// and cfg.Interleave.
+func RunCollective(cfg Config, coll Collective) (CollectiveResult, error) {
+	var alg collective.Algorithm
+	switch coll.Kind {
+	case "allreduce-ring":
+		alg = collective.RingAllReduce{VectorFlits: coll.DataFlits}
+	case "allreduce-recursive-doubling":
+		alg = collective.RecursiveDoublingAllReduce{VectorFlits: coll.DataFlits}
+	case "allgather-ring":
+		alg = collective.AllGatherRing{BlockFlits: coll.DataFlits}
+	case "alltoall":
+		alg = collective.AllToAll{BlockFlits: coll.DataFlits}
+	default:
+		return CollectiveResult{}, fmt.Errorf("chipletnet: unknown collective %q", coll.Kind)
+	}
+	sys, err := Build(cfg)
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	gran, err := interleave.ParseGranularity(cfg.Interleave)
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	res, err := collective.Run(sys.Topo, alg, cfg.PacketFlits, interleave.Policy{G: gran})
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	return CollectiveResult{
+		Algorithm:        res.Algorithm,
+		CompletionCycles: res.CompletionCycles,
+		Messages:         res.Messages,
+		TotalFlits:       res.TotalFlits,
+		BusBandwidth:     res.BusBandwidth,
+	}, nil
+}
+
+// CollectiveKinds lists the supported collective operations.
+func CollectiveKinds() []string {
+	return []string{"allreduce-ring", "allreduce-recursive-doubling", "allgather-ring", "alltoall"}
+}

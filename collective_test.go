@@ -1,0 +1,42 @@
+package chipletnet
+
+import "testing"
+
+func TestRunCollectiveKinds(t *testing.T) {
+	for _, kind := range CollectiveKinds() {
+		cfg := DefaultConfig()
+		cfg.Topology = HypercubeTopology(3)
+		res, err := RunCollective(cfg, Collective{Kind: kind, DataFlits: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.CompletionCycles <= 0 || res.Messages == 0 {
+			t.Errorf("%s: %+v", kind, res)
+		}
+	}
+	if _, err := RunCollective(DefaultConfig(), Collective{Kind: "reduce-scatter-magic"}); err == nil {
+		t.Error("unknown collective accepted")
+	}
+}
+
+// TestRecursiveDoublingFavorsHypercube: the XOR-partner rounds of
+// recursive doubling map onto hypercube dimensions, so the hypercube must
+// finish the operation faster than the flat mesh of equal chiplet count.
+func TestRecursiveDoublingFavorsHypercube(t *testing.T) {
+	run := func(topo Topology) int64 {
+		cfg := DefaultConfig()
+		cfg.Topology = topo
+		res, err := RunCollective(cfg, Collective{
+			Kind: "allreduce-recursive-doubling", DataFlits: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CompletionCycles
+	}
+	mesh := run(MeshTopology(4, 4))
+	cube := run(HypercubeTopology(4))
+	if cube >= mesh {
+		t.Errorf("hypercube all-reduce %d cycles not below flat mesh %d", cube, mesh)
+	}
+}

@@ -1,0 +1,109 @@
+package chipletnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDefaultConfigMatchesTableII pins the defaults to the paper's Table II.
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	c := DefaultConfig()
+	if c.FlitBits != 32 {
+		t.Errorf("flit width %d, want 32 bits", c.FlitBits)
+	}
+	if c.PacketFlits != 32 {
+		t.Errorf("packet length %d, want 32 flits", c.PacketFlits)
+	}
+	if c.InternalBufFlits*c.FlitBits != 1024 {
+		t.Errorf("internal buffer %d bits, want 1024", c.InternalBufFlits*c.FlitBits)
+	}
+	if c.InterfaceBufFlits*c.FlitBits != 2048 {
+		t.Errorf("interface buffer %d bits, want 2048", c.InterfaceBufFlits*c.FlitBits)
+	}
+	if c.VCs != 2 {
+		t.Errorf("VCs %d, want 2 channels/port", c.VCs)
+	}
+	if c.OnChipBW*c.FlitBits != 128 {
+		t.Errorf("on-chip bandwidth %d bits/cycle, want 128", c.OnChipBW*c.FlitBits)
+	}
+	if c.OffChipBW*c.FlitBits != 64 {
+		t.Errorf("off-chip bandwidth %d bits/cycle, want 64", c.OffChipBW*c.FlitBits)
+	}
+	if c.OffChipLatency != 5 {
+		t.Errorf("chiplet-to-chiplet link delay %d, want 5 cycles", c.OffChipLatency)
+	}
+	if c.WarmupCycles+c.MeasureCycles != 6000 || c.WarmupCycles != 1000 {
+		t.Errorf("simulation time %d (%d warm-up), want 6000 (1000)", c.WarmupCycles+c.MeasureCycles, c.WarmupCycles)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestTopologyNumChiplets(t *testing.T) {
+	cases := []struct {
+		topo Topology
+		want int
+	}{
+		{MeshTopology(8, 8), 64},
+		{NDMeshTopology(4, 4, 4), 64},
+		{HypercubeTopology(6), 64},
+		{DragonflyTopology(8), 8},
+		{TreeTopology(15, 2), 15},
+	}
+	for _, c := range cases {
+		got, err := c.topo.NumChiplets()
+		if err != nil || got != c.want {
+			t.Errorf("%v: NumChiplets = %d, %v (want %d)", c.topo, got, err, c.want)
+		}
+	}
+	bad := []Topology{
+		{Kind: "mesh", Dims: []int{3}},
+		{Kind: "hypercube", Dims: nil},
+		{Kind: "warp", Dims: []int{1}},
+		{Kind: "ndmesh", Dims: nil},
+		{Kind: "tree", Dims: []int{4}},
+	}
+	for _, topo := range bad {
+		if _, err := topo.NumChiplets(); err == nil {
+			t.Errorf("%+v accepted", topo)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if s := HypercubeTopology(6).String(); !strings.Contains(s, "hypercube") {
+		t.Errorf("String = %q", s)
+	}
+	if s := NDMeshTopology(4, 4).String(); !strings.Contains(s, "2D-mesh") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"tiny chiplet":       func(c *Config) { c.ChipletW = 2 },
+		"buffer under pkt":   func(c *Config) { c.InternalBufFlits = 8 },
+		"negative rate":      func(c *Config) { c.InjectionRate = -0.1 },
+		"zero measure":       func(c *Config) { c.MeasureCycles = 0 },
+		"bad routing":        func(c *Config) { c.Routing = "magic" },
+		"bad interleave":     func(c *Config) { c.Interleave = "shredded" },
+		"bad topology":       func(c *Config) { c.Topology = Topology{Kind: "warp"} },
+		"zero packet length": func(c *Config) { c.PacketFlits = 0 },
+	}
+	for name, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	c := DefaultConfig()
+	c.ChipletW = 1
+	if _, err := Build(c); err == nil {
+		t.Error("Build accepted an invalid config")
+	}
+}

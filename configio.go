@@ -1,0 +1,31 @@
+package chipletnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadConfig reads a JSON-encoded Config, applying DefaultConfig values
+// for absent fields, and validates the result. This is the file format
+// cmd/chipletsim accepts via -config.
+func LoadConfig(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("chipletnet: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// WriteJSON emits the configuration as indented JSON (the same format
+// LoadConfig reads).
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

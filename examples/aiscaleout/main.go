@@ -1,0 +1,58 @@
+// AI accelerator scale-out: the paper's Fig. 2 motivation is reusing one
+// chiplet across system scales — edge module, workstation, datacenter node.
+// This example takes a single 4x4-NoC AI chiplet design and builds three
+// systems from it, comparing the flat-mesh interconnect (how Simba/Dojo
+// style systems scale today) against the paper's hypercube methodology at
+// each scale, under the all-to-all-heavy traffic a DNN's all-reduce
+// produces (uniform) and the transpose pattern of tensor reshuffles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chipletnet"
+)
+
+type scale struct {
+	name string
+	flat chipletnet.Topology
+	cube chipletnet.Topology
+}
+
+func main() {
+	scales := []scale{
+		{"edge (4 chiplets)", chipletnet.MeshTopology(2, 2), chipletnet.HypercubeTopology(2)},
+		{"workstation (16 chiplets)", chipletnet.MeshTopology(4, 4), chipletnet.HypercubeTopology(4)},
+		{"datacenter node (64 chiplets)", chipletnet.MeshTopology(8, 8), chipletnet.HypercubeTopology(6)},
+	}
+
+	for _, pattern := range []string{"uniform", "bit-transpose"} {
+		fmt.Printf("=== traffic: %s @ 0.25 flits/node/cycle ===\n", pattern)
+		for _, sc := range scales {
+			flat := run(sc.flat, pattern)
+			cube := run(sc.cube, pattern)
+			delta := (cube.AvgLatency/flat.AvgLatency - 1) * 100
+			fmt.Printf("%-30s  flat-mesh %6.1f cyc / %5.2f pJ/bit   hypercube %6.1f cyc / %5.2f pJ/bit   latency %+5.1f%%\n",
+				sc.name, flat.AvgLatency, flat.EnergyPJPerBit, cube.AvgLatency, cube.EnergyPJPerBit, delta)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The same physical chiplet serves every scale; only the software-defined")
+	fmt.Println("interface grouping changes. The latency gap widens with chiplet count —")
+	fmt.Println("the paper's core scaling argument.")
+}
+
+func run(topo chipletnet.Topology, pattern string) chipletnet.Result {
+	cfg := chipletnet.DefaultConfig()
+	cfg.Topology = topo
+	cfg.Pattern = pattern
+	cfg.InjectionRate = 0.25
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 2500
+	res, err := chipletnet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

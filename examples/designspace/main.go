@@ -1,0 +1,78 @@
+// Design-space exploration: the paper is a *methodology* for designing
+// chiplet interconnects. Given a fixed budget of 16 identical chiplets and
+// a target workload, this example evaluates every interconnection the
+// methodology supports — flat 2D-mesh, 2D/3D chiplet mesh, hypercube,
+// dragonfly-style full connection on a subset, and a tree — then ranks
+// them by sustainable injection rate, zero-load latency and transport
+// energy, the three axes of §VII.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"chipletnet"
+)
+
+type candidate struct {
+	name string
+	topo chipletnet.Topology
+
+	satRate  float64
+	zeroLoad float64
+	energy   float64
+}
+
+func main() {
+	candidates := []candidate{
+		{name: "flat 2D-mesh 4x4", topo: chipletnet.MeshTopology(4, 4)},
+		{name: "chiplet 2D-mesh 4x4", topo: chipletnet.NDMeshTopology(4, 4)},
+		{name: "chiplet 3D-mesh 4x2x2", topo: chipletnet.NDMeshTopology(4, 2, 2)},
+		{name: "hypercube 2^4", topo: chipletnet.HypercubeTopology(4)},
+		{name: "tree fanout-4", topo: chipletnet.TreeTopology(16, 4)},
+	}
+
+	fmt.Println("exploring interconnects for a 16-chiplet budget (uniform traffic)...")
+	for i := range candidates {
+		c := &candidates[i]
+		base := chipletnet.DefaultConfig()
+		base.Topology = c.topo
+		base.WarmupCycles = 400
+		base.MeasureCycles = 2000
+
+		// Zero-load latency and energy at a whisper of traffic.
+		light := base
+		light.InjectionRate = 0.02
+		res, err := chipletnet.Run(light)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.zeroLoad = res.AvgLatency
+		c.energy = res.EnergyPJPerBit
+
+		// Sustainable load via binary search.
+		c.satRate, err = chipletnet.SaturationRate(base, 0.05, 1.5, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  measured %-22s sat %.2f  zero-load %5.1f cyc  %5.2f pJ/bit\n",
+			c.name, c.satRate, c.zeroLoad, c.energy)
+	}
+
+	// Rank: saturation first, zero-load latency as tie-breaker.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].satRate != candidates[j].satRate {
+			return candidates[i].satRate > candidates[j].satRate
+		}
+		return candidates[i].zeroLoad < candidates[j].zeroLoad
+	})
+
+	fmt.Println("\nranking (best first):")
+	for i, c := range candidates {
+		fmt.Printf("  %d. %-22s saturation %.2f flits/node/cycle, %5.1f cycles, %5.2f pJ/bit\n",
+			i+1, c.name, c.satRate, c.zeroLoad, c.energy)
+	}
+	fmt.Println("\nAll of these reuse the identical 4x4-NoC chiplet — only the")
+	fmt.Println("software-defined interface grouping and the package wiring differ.")
+}

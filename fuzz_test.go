@@ -1,0 +1,111 @@
+package chipletnet
+
+import (
+	"testing"
+
+	"chipletnet/internal/rng"
+)
+
+// TestRandomConfigurationsAreRobust drives the whole stack through a
+// deterministic pseudo-random walk of the configuration space: any
+// configuration that Build accepts must simulate without panic, without
+// deadlock, and deliver traffic. Rejections are fine; crashes are not.
+func TestRandomConfigurationsAreRobust(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 20
+	}
+	r := rng.New(20260706)
+	accepted := 0
+	for i := 0; i < iterations; i++ {
+		cfg := randomConfig(r)
+		sys, err := Build(cfg)
+		if err != nil {
+			continue // invalid combinations may be rejected, not crash
+		}
+		accepted++
+		res, err := sys.Simulate()
+		if err != nil {
+			t.Fatalf("config %d (%+v): %v", i, cfg.Topology, err)
+		}
+		if res.Deadlocked {
+			t.Errorf("config %d deadlocked: topo=%v W=%d H=%d vcs=%d mode=%s pattern=%s il=%s",
+				i, cfg.Topology, cfg.ChipletW, cfg.ChipletH, cfg.VCs, cfg.Routing, cfg.Pattern, cfg.Interleave)
+		}
+		if res.MeasuredPackets == 0 && cfg.InjectionRate > 0.05 {
+			t.Errorf("config %d delivered nothing: topo=%v rate=%.2f", i, cfg.Topology, cfg.InjectionRate)
+		}
+	}
+	if accepted < iterations/3 {
+		t.Errorf("only %d of %d random configs accepted; generator too wild", accepted, iterations)
+	}
+}
+
+func randomConfig(r *rng.Rand) Config {
+	cfg := DefaultConfig()
+	cfg.ChipletW = 3 + r.Intn(4)
+	cfg.ChipletH = 3 + r.Intn(4)
+	switch r.Intn(7) {
+	case 0:
+		cfg.Topology = MeshTopology(1+r.Intn(3), 1+r.Intn(3))
+	case 1:
+		cfg.Topology = HypercubeTopology(1 + r.Intn(4))
+	case 2:
+		dims := make([]int, 1+r.Intn(3))
+		for i := range dims {
+			dims[i] = 2 + r.Intn(3)
+		}
+		cfg.Topology = NDMeshTopology(dims...)
+	case 3:
+		dims := make([]int, 1+r.Intn(2))
+		for i := range dims {
+			dims[i] = 3 + r.Intn(2)
+		}
+		cfg.Topology = NDTorusTopology(dims...)
+	case 4:
+		cfg.Topology = DragonflyTopology(2 * (2 + r.Intn(3)))
+	case 5:
+		cfg.Topology = TreeTopology(3+r.Intn(10), 1+r.Intn(3))
+	case 6:
+		n := 4 + r.Intn(4)
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{r.Intn(i), i}) // random connected tree
+		}
+		// A few extra edges for cycles.
+		for k := 0; k < r.Intn(3); k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		cfg.Topology = CustomTopology(n, edges)
+		cfg.Routing = RoutingSafeUnsafe
+	}
+	if r.Intn(3) == 0 {
+		cfg.Routing = RoutingSafeUnsafe
+	}
+	cfg.VCs = 2 + r.Intn(2)
+	cfg.PacketFlits = []int{8, 16, 32}[r.Intn(3)]
+	cfg.MsgPackets = 1 + r.Intn(4)
+	cfg.InternalBufFlits = cfg.PacketFlits * (1 + r.Intn(2))
+	cfg.InterfaceBufFlits = cfg.PacketFlits * (1 + r.Intn(3))
+	cfg.OnChipBW = 1 + r.Intn(4)
+	cfg.OffChipBW = 1 + r.Intn(4)
+	cfg.OffChipLatency = 1 + r.Intn(10)
+	cfg.EjectBW = 1 + r.Intn(4)
+	cfg.Pattern = append(patternChoices(), "neighbor")[r.Intn(7)]
+	cfg.InjectionRate = 0.05 + r.Float64()*0.8
+	cfg.Interleave = []string{"none", "message", "packet"}[r.Intn(3)]
+	if r.Intn(4) == 0 && cfg.Topology.Kind != "mesh" {
+		cfg.CrossLinkFaultFraction = 0.1
+	}
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	cfg.Seed = r.Uint64()
+	return cfg
+}
+
+func patternChoices() []string {
+	return []string{"uniform", "hotspot", "bit-complement", "bit-reverse", "bit-shuffle", "bit-transpose"}
+}

@@ -1,0 +1,3 @@
+module chipletnet
+
+go 1.22

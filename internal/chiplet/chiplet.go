@@ -1,0 +1,204 @@
+// Package chiplet models the geometry of a single 2D-mesh-NoC-based chiplet:
+// the classification of routers into core (internal) and interface (edge)
+// nodes, the negative label ring along the edge, and the software-defined
+// grouping of edge nodes into abstract interfaces (paper §III-A, §III-B).
+//
+// The package is pure geometry — it knows nothing about routers or links —
+// so its invariants are easy to property-test.
+package chiplet
+
+import "fmt"
+
+// XY is a node position within the chiplet mesh.
+type XY struct{ X, Y int }
+
+// Geometry describes a W×H 2D-mesh chiplet.
+//
+// Node classification (Definition 2): nodes on the mesh boundary are
+// interface (IF) nodes; strictly interior nodes are cores.
+//
+// Labeling (§III-A, Fig. 3b): cores carry the traditional 2D-mesh label
+// x + y*W, so X-/Y- mesh channels are minus channels. Interface nodes form
+// a negative label ring: walking the boundary from (0,0) along the bottom
+// row, up the right column, back along the top row and down the left
+// column, ring position i carries label -(i+1). Along that walk the label
+// decreases, so boundary channels in the walk direction are minus channels
+// and the wrap from -(P) back to -1 is the single plus channel of the ring
+// (turn ⑤ in Fig. 7).
+type Geometry struct {
+	W, H int
+}
+
+// New returns the geometry of a W×H chiplet. Both dimensions must be at
+// least 3 so that the chiplet has at least one core node.
+func New(w, h int) (Geometry, error) {
+	if w < 3 || h < 3 {
+		return Geometry{}, fmt.Errorf("chiplet: %dx%d mesh has no interior core nodes (need >= 3x3)", w, h)
+	}
+	return Geometry{W: w, H: h}, nil
+}
+
+// MustNew is New for statically-known-good sizes; it panics on error.
+func MustNew(w, h int) Geometry {
+	g, err := New(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Nodes returns the node count W*H.
+func (g Geometry) Nodes() int { return g.W * g.H }
+
+// Index returns the local node index of (x, y).
+func (g Geometry) Index(x, y int) int { return y*g.W + x }
+
+// Coord returns the (x, y) of a local node index.
+func (g Geometry) Coord(i int) (x, y int) { return i % g.W, i / g.W }
+
+// IsEdge reports whether (x, y) is an interface (edge) node.
+func (g Geometry) IsEdge(x, y int) bool {
+	return x == 0 || y == 0 || x == g.W-1 || y == g.H-1
+}
+
+// RingLen returns the number of interface nodes, 2(W+H)-4.
+func (g Geometry) RingLen() int { return 2*(g.W+g.H) - 4 }
+
+// CoreCount returns the number of core nodes, (W-2)(H-2).
+func (g Geometry) CoreCount() int { return (g.W - 2) * (g.H - 2) }
+
+// Ring returns the interface nodes in ring order: position 0 is (0,0), then
+// along the bottom row, up the right column, back along the top row, and
+// down the left column ending at (0,1).
+func (g Geometry) Ring() []XY {
+	ring := make([]XY, 0, g.RingLen())
+	for x := 0; x < g.W; x++ { // bottom row, left to right
+		ring = append(ring, XY{x, 0})
+	}
+	for y := 1; y < g.H; y++ { // right column, bottom to top
+		ring = append(ring, XY{g.W - 1, y})
+	}
+	for x := g.W - 2; x >= 0; x-- { // top row, right to left
+		ring = append(ring, XY{x, g.H - 1})
+	}
+	for y := g.H - 2; y >= 1; y-- { // left column, top to bottom
+		ring = append(ring, XY{0, y})
+	}
+	return ring
+}
+
+// RingPos returns the ring position of (x, y), or -1 for core nodes.
+func (g Geometry) RingPos(x, y int) int {
+	switch {
+	case !g.IsEdge(x, y):
+		return -1
+	case y == 0:
+		return x
+	case x == g.W-1:
+		return g.W - 1 + y
+	case y == g.H-1:
+		return g.W - 1 + g.H - 1 + (g.W - 1 - x)
+	default: // x == 0, 1 <= y <= H-2
+		return 2*(g.W-1) + g.H - 1 + (g.H - 1 - y)
+	}
+}
+
+// Label returns the routing label of (x, y): x + y*W for cores,
+// -(ringPos+1) for interface nodes.
+func (g Geometry) Label(x, y int) int {
+	if p := g.RingPos(x, y); p >= 0 {
+		return -(p + 1)
+	}
+	return x + y*g.W
+}
+
+// Cores returns the positions of all core nodes in row-major order.
+func (g Geometry) Cores() []XY {
+	cores := make([]XY, 0, g.CoreCount())
+	for y := 1; y < g.H-1; y++ {
+		for x := 1; x < g.W-1; x++ {
+			cores = append(cores, XY{x, y})
+		}
+	}
+	return cores
+}
+
+// Grouping is a software-defined clustering of the interface ring into
+// contiguous groups (abstract interfaces, §III-B). Group g covers ring
+// positions [Start[g], Start[g]+Size[g]). Ring positions beyond the last
+// group (when the ring does not divide evenly) stay ungrouped and carry no
+// chiplet-to-chiplet interface.
+type Grouping struct {
+	Start []int
+	Size  []int
+}
+
+// Groups returns len(Start).
+func (gr Grouping) Groups() int { return len(gr.Start) }
+
+// GroupOf returns the group index of ring position pos, or -1 if ungrouped.
+func (gr Grouping) GroupOf(pos int) int {
+	for g := range gr.Start {
+		if pos >= gr.Start[g] && pos < gr.Start[g]+gr.Size[g] {
+			return g
+		}
+	}
+	return -1
+}
+
+// Group clusters a ring of ringLen interface nodes into n contiguous groups
+// of near-equal size (earlier groups get the remainder). If pairEqual is
+// true, groups 2k and 2k+1 are forced to equal sizes — required by nD-mesh
+// interconnection where group 2k (d_k-) and group 2k+1 (d_k+) must carry
+// the same number of physical links; any odd leftover node stays ungrouped.
+func Group(ringLen, n int, pairEqual bool) (Grouping, error) {
+	if n < 1 || n > ringLen {
+		return Grouping{}, fmt.Errorf("chiplet: cannot form %d groups from %d interface nodes", n, ringLen)
+	}
+	sizes := make([]int, n)
+	if pairEqual {
+		if n%2 != 0 {
+			return Grouping{}, fmt.Errorf("chiplet: pair-equal grouping needs an even group count, got %d", n)
+		}
+		pairs := n / 2
+		per := ringLen / n
+		extraPairs := (ringLen - per*n) / 2
+		for p := 0; p < pairs; p++ {
+			s := per
+			if p < extraPairs {
+				s++
+			}
+			sizes[2*p], sizes[2*p+1] = s, s
+		}
+	} else {
+		per := ringLen / n
+		extra := ringLen - per*n
+		for g := 0; g < n; g++ {
+			sizes[g] = per
+			if g < extra {
+				sizes[g]++
+			}
+		}
+	}
+	gr := Grouping{Start: make([]int, n), Size: sizes}
+	pos := 0
+	for g := 0; g < n; g++ {
+		if sizes[g] == 0 {
+			return Grouping{}, fmt.Errorf("chiplet: grouping %d nodes into %d groups leaves group %d empty", ringLen, n, g)
+		}
+		gr.Start[g] = pos
+		pos += sizes[g]
+	}
+	// A single-node group at ring position 0 cannot be exited by a
+	// minus-only path from any core (cores reach the ring at positions
+	// >= 1 first); reject such degenerate groupings early.
+	if gr.Size[0] == 1 && n > 1 && ringLen > n {
+		// Only possible when remainders skipped group 0 — cannot happen
+		// with the assignment above, but keep the invariant explicit.
+		return Grouping{}, fmt.Errorf("chiplet: grouping places a single-interface group at ring position 0")
+	}
+	if ringLen == n && n > 1 {
+		return Grouping{}, fmt.Errorf("chiplet: one group per interface node leaves group 0 unreachable by minus-only paths; use fewer groups")
+	}
+	return gr, nil
+}

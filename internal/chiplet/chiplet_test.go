@@ -1,0 +1,241 @@
+package chiplet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsTooSmall(t *testing.T) {
+	for _, wh := range [][2]int{{2, 4}, {4, 2}, {1, 1}, {0, 5}} {
+		if _, err := New(wh[0], wh[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted a coreless chiplet", wh[0], wh[1])
+		}
+	}
+	if _, err := New(3, 3); err != nil {
+		t.Errorf("New(3,3): %v", err)
+	}
+}
+
+func TestCountsPaperExamples(t *testing.T) {
+	// Fig. 3: a 6x6 chiplet has 20 edge nodes and 16 cores.
+	g := MustNew(6, 6)
+	if g.RingLen() != 20 {
+		t.Errorf("6x6 ring length = %d, want 20", g.RingLen())
+	}
+	if g.CoreCount() != 16 {
+		t.Errorf("6x6 cores = %d, want 16", g.CoreCount())
+	}
+	// The evaluation's 4x4 chiplet: 12 interfaces, 4 cores.
+	g4 := MustNew(4, 4)
+	if g4.RingLen() != 12 || g4.CoreCount() != 4 {
+		t.Errorf("4x4 = (%d IF, %d core), want (12, 4)", g4.RingLen(), g4.CoreCount())
+	}
+}
+
+func TestRingIsBoundaryWalk(t *testing.T) {
+	g := MustNew(5, 4)
+	ring := g.Ring()
+	if len(ring) != g.RingLen() {
+		t.Fatalf("ring length %d != %d", len(ring), g.RingLen())
+	}
+	if ring[0] != (XY{0, 0}) {
+		t.Errorf("ring starts at %v, want (0,0)", ring[0])
+	}
+	seen := map[XY]bool{}
+	for i, p := range ring {
+		if !g.IsEdge(p.X, p.Y) {
+			t.Errorf("ring[%d] = %v is not an edge node", i, p)
+		}
+		if seen[p] {
+			t.Errorf("ring visits %v twice", p)
+		}
+		seen[p] = true
+		// Consecutive ring nodes are mesh neighbors.
+		q := ring[(i+1)%len(ring)]
+		if dx, dy := abs(p.X-q.X), abs(p.Y-q.Y); dx+dy != 1 {
+			t.Errorf("ring[%d]=%v and ring[%d]=%v are not adjacent", i, p, (i+1)%len(ring), q)
+		}
+	}
+}
+
+func TestRingPosInvertsRing(t *testing.T) {
+	f := func(wRaw, hRaw uint8) bool {
+		w, h := int(wRaw%8)+3, int(hRaw%8)+3
+		g := MustNew(w, h)
+		for i, p := range g.Ring() {
+			if g.RingPos(p.X, p.Y) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := MustNew(6, 6)
+	// Core labels are the traditional 2D-mesh labels.
+	if got := g.Label(2, 3); got != 2+3*6 {
+		t.Errorf("core label (2,3) = %d, want %d", got, 2+3*6)
+	}
+	// Edge labels form the negative ring: (0,0) is -1 and (0,1) is -P.
+	if got := g.Label(0, 0); got != -1 {
+		t.Errorf("label (0,0) = %d, want -1", got)
+	}
+	if got := g.Label(0, 1); got != -g.RingLen() {
+		t.Errorf("label (0,1) = %d, want %d", got, -g.RingLen())
+	}
+}
+
+func TestLabelSignClassifies(t *testing.T) {
+	f := func(wRaw, hRaw uint8) bool {
+		w, h := int(wRaw%6)+3, int(hRaw%6)+3
+		g := MustNew(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if (g.Label(x, y) < 0) != g.IsEdge(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingLabelsDecreaseAlongWalk(t *testing.T) {
+	g := MustNew(7, 5)
+	ring := g.Ring()
+	for i := 0; i < len(ring)-1; i++ {
+		a := g.Label(ring[i].X, ring[i].Y)
+		b := g.Label(ring[i+1].X, ring[i+1].Y)
+		if b != a-1 {
+			t.Fatalf("label step %d -> %d at ring pos %d (want -1 decrement)", a, b, i)
+		}
+	}
+}
+
+func TestCores(t *testing.T) {
+	g := MustNew(4, 5)
+	cores := g.Cores()
+	if len(cores) != g.CoreCount() {
+		t.Fatalf("cores %d != %d", len(cores), g.CoreCount())
+	}
+	for _, c := range cores {
+		if g.IsEdge(c.X, c.Y) {
+			t.Errorf("core %v is an edge node", c)
+		}
+	}
+}
+
+func TestGroupPaperExamples(t *testing.T) {
+	// Fig. 3c: a 6x6 ring (20 nodes) groups into radix-4 (5 each) and
+	// radix-10 (2 each).
+	gr, err := Group(20, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		if gr.Size[g] != 5 {
+			t.Errorf("radix-4 group %d size %d, want 5", g, gr.Size[g])
+		}
+	}
+	gr, err = Group(20, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 10; g++ {
+		if gr.Size[g] != 2 {
+			t.Errorf("radix-10 group %d size %d, want 2", g, gr.Size[g])
+		}
+	}
+}
+
+func TestGroupPairEqual(t *testing.T) {
+	// The 256-chiplet 4D-mesh case: 12 interfaces into 8 groups.
+	gr, err := Group(12, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < 4; p++ {
+		if gr.Size[2*p] != gr.Size[2*p+1] {
+			t.Errorf("pair %d sizes %d != %d", p, gr.Size[2*p], gr.Size[2*p+1])
+		}
+		total += gr.Size[2*p] + gr.Size[2*p+1]
+	}
+	if total != 12 {
+		t.Errorf("grouped %d of 12 nodes", total)
+	}
+	if gr.Size[0] < 2 {
+		t.Errorf("group 0 size %d; must keep a member above ring position 0", gr.Size[0])
+	}
+}
+
+func TestGroupProperties(t *testing.T) {
+	f := func(ringRaw, nRaw uint8, pair bool) bool {
+		ring := int(ringRaw%40) + 8
+		n := int(nRaw%10) + 1
+		if pair {
+			n *= 2
+		}
+		gr, err := Group(ring, n, pair)
+		if err != nil {
+			return true // rejections are allowed; acceptance must be sound
+		}
+		pos := 0
+		for g := 0; g < gr.Groups(); g++ {
+			if gr.Start[g] != pos || gr.Size[g] < 1 {
+				return false
+			}
+			pos += gr.Size[g]
+		}
+		if pos > ring {
+			return false
+		}
+		// GroupOf must invert the ranges.
+		for p := 0; p < ring; p++ {
+			g := gr.GroupOf(p)
+			if p < pos {
+				if g < 0 || p < gr.Start[g] || p >= gr.Start[g]+gr.Size[g] {
+					return false
+				}
+			} else if g != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupRejectsDegenerate(t *testing.T) {
+	if _, err := Group(12, 12, false); err == nil {
+		t.Error("one group per node accepted; group 0 would be core-unreachable")
+	}
+	if _, err := Group(13, 12, true); err == nil {
+		t.Error("pair-equal grouping that strands group 0 at position 0 accepted")
+	}
+	if _, err := Group(10, 3, true); err == nil {
+		t.Error("odd group count accepted with pairEqual")
+	}
+	if _, err := Group(10, 0, false); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := Group(4, 8, false); err == nil {
+		t.Error("more groups than ring nodes accepted")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,150 @@
+package collective
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RecursiveDoublingAllReduce is the log2(n)-round all-reduce: in round r,
+// node i exchanges its full vector with node i XOR 2^r and combines.
+// On a hypercube of chiplets each round maps exactly onto one hypercube
+// dimension, which is why this pairing favors the paper's topology.
+type RecursiveDoublingAllReduce struct {
+	// VectorFlits is the reduced vector size per node, in flits.
+	VectorFlits int
+}
+
+func (a RecursiveDoublingAllReduce) Name() string { return "allreduce-recursive-doubling" }
+
+func (a RecursiveDoublingAllReduce) Schedule(n int) ([]Send, error) {
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("recursive doubling needs a power-of-two participant count, got %d", n)
+	}
+	if a.VectorFlits < 1 {
+		return nil, fmt.Errorf("vector must be at least one flit")
+	}
+	k := bits.Len(uint(n)) - 1
+	var sends []Send
+	for r := 0; r < k; r++ {
+		for i := 0; i < n; i++ {
+			s := Send{
+				ID:    r*n + i,
+				Src:   i,
+				Dst:   i ^ (1 << uint(r)),
+				Flits: a.VectorFlits,
+			}
+			if r > 0 {
+				// i proceeds once it has the partner's previous-round
+				// contribution.
+				prevPartner := i ^ (1 << uint(r-1))
+				s.Deps = []int{(r-1)*n + prevPartner}
+			}
+			sends = append(sends, s)
+		}
+	}
+	return sends, nil
+}
+
+// RingAllReduce is the bandwidth-optimal 2(n-1)-step ring all-reduce:
+// the vector is cut into n chunks; each step every node forwards one chunk
+// to its ring successor (n-1 reduce-scatter steps, then n-1 all-gather
+// steps).
+type RingAllReduce struct {
+	VectorFlits int
+}
+
+func (a RingAllReduce) Name() string { return "allreduce-ring" }
+
+func (a RingAllReduce) Schedule(n int) ([]Send, error) {
+	if a.VectorFlits < 1 {
+		return nil, fmt.Errorf("vector must be at least one flit")
+	}
+	chunk := a.VectorFlits / n
+	if chunk < 1 {
+		chunk = 1
+	}
+	steps := 2 * (n - 1)
+	var sends []Send
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			snd := Send{
+				ID:    s*n + i,
+				Src:   i,
+				Dst:   (i + 1) % n,
+				Flits: chunk,
+			}
+			if s > 0 {
+				// i forwards the chunk it received from its predecessor
+				// in the previous step.
+				pred := (i - 1 + n) % n
+				snd.Deps = []int{(s-1)*n + pred}
+			}
+			sends = append(sends, snd)
+		}
+	}
+	return sends, nil
+}
+
+// AllGatherRing is the (n-1)-step ring all-gather: every node circulates
+// its block around the ring.
+type AllGatherRing struct {
+	// BlockFlits is each node's contribution size.
+	BlockFlits int
+}
+
+func (a AllGatherRing) Name() string { return "allgather-ring" }
+
+func (a AllGatherRing) Schedule(n int) ([]Send, error) {
+	if a.BlockFlits < 1 {
+		return nil, fmt.Errorf("block must be at least one flit")
+	}
+	var sends []Send
+	for s := 0; s < n-1; s++ {
+		for i := 0; i < n; i++ {
+			snd := Send{
+				ID:    s*n + i,
+				Src:   i,
+				Dst:   (i + 1) % n,
+				Flits: a.BlockFlits,
+			}
+			if s > 0 {
+				pred := (i - 1 + n) % n
+				snd.Deps = []int{(s-1)*n + pred}
+			}
+			sends = append(sends, snd)
+		}
+	}
+	return sends, nil
+}
+
+// AllToAll is the personalized exchange: every node sends a distinct block
+// to every other node. Sends carry no dependencies; the network's path
+// diversity and interleaving determine how well the burst overlaps.
+type AllToAll struct {
+	// BlockFlits is the per-destination block size.
+	BlockFlits int
+}
+
+func (a AllToAll) Name() string { return "alltoall" }
+
+func (a AllToAll) Schedule(n int) ([]Send, error) {
+	if a.BlockFlits < 1 {
+		return nil, fmt.Errorf("block must be at least one flit")
+	}
+	var sends []Send
+	id := 0
+	// Balanced rounds: in round s, node i targets (i+s) mod n, so no
+	// destination is hit twice in one round.
+	for s := 1; s < n; s++ {
+		for i := 0; i < n; i++ {
+			sends = append(sends, Send{
+				ID:    id,
+				Src:   i,
+				Dst:   (i + s) % n,
+				Flits: a.BlockFlits,
+			})
+			id++
+		}
+	}
+	return sends, nil
+}

@@ -1,0 +1,36 @@
+// Package energy estimates message delivery energy following the paper's
+// §VII-A model (130 nm coefficients): 0.98 pJ/bit per router traversed and
+// 0.63 pJ/bit per on-chip link (2 mm wires, after Wolkotte et al.), plus
+// 2.4 pJ/bit per off-chip (chiplet-to-chiplet) link.
+package energy
+
+// Model holds the per-component energy coefficients in pJ/bit.
+type Model struct {
+	RouterPJPerBit      float64
+	OnChipLinkPJPerBit  float64
+	OffChipLinkPJPerBit float64
+}
+
+// Default returns the paper's 130 nm coefficients.
+func Default() Model {
+	return Model{
+		RouterPJPerBit:      0.98,
+		OnChipLinkPJPerBit:  0.63,
+		OffChipLinkPJPerBit: 2.40,
+	}
+}
+
+// PerBit returns the average transport energy in pJ/bit for a message that
+// traverses the given average numbers of routers, on-chip links and
+// off-chip links.
+func (m Model) PerBit(routers, onChipLinks, offChipLinks float64) float64 {
+	return routers*m.RouterPJPerBit +
+		onChipLinks*m.OnChipLinkPJPerBit +
+		offChipLinks*m.OffChipLinkPJPerBit
+}
+
+// PacketEnergy returns the total energy in pJ to deliver a packet of the
+// given size along a concrete path.
+func (m Model) PacketEnergy(bits int, routers, onChipLinks, offChipLinks int) float64 {
+	return float64(bits) * m.PerBit(float64(routers), float64(onChipLinks), float64(offChipLinks))
+}

@@ -1,0 +1,46 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCoefficients(t *testing.T) {
+	m := Default()
+	if m.RouterPJPerBit != 0.98 || m.OnChipLinkPJPerBit != 0.63 || m.OffChipLinkPJPerBit != 2.40 {
+		t.Errorf("coefficients %v do not match the paper's §VII-A values", m)
+	}
+}
+
+func TestPerBit(t *testing.T) {
+	m := Default()
+	// A message crossing 3 routers, 1 on-chip link, 1 off-chip link.
+	got := m.PerBit(3, 1, 1)
+	want := 3*0.98 + 0.63 + 2.40
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PerBit = %g, want %g", got, want)
+	}
+}
+
+func TestPacketEnergyScalesWithBits(t *testing.T) {
+	m := Default()
+	e1 := m.PacketEnergy(1024, 5, 3, 1)
+	e2 := m.PacketEnergy(2048, 5, 3, 1)
+	if math.Abs(e2-2*e1) > 1e-9 {
+		t.Errorf("energy not linear in bits: %g vs %g", e1, e2)
+	}
+}
+
+func TestOffChipDominates(t *testing.T) {
+	m := Default()
+	// One off-chip link costs more than an on-chip link plus router —
+	// the premise behind the paper's energy savings at scale.
+	if m.OffChipLinkPJPerBit <= m.OnChipLinkPJPerBit+m.RouterPJPerBit {
+		t.Skip("model premise changed")
+	}
+	fewHops := m.PerBit(7, 4, 2)    // hypercube-like
+	manyHops := m.PerBit(23, 16, 6) // 2D-mesh-like
+	if fewHops >= manyHops {
+		t.Errorf("short high-radix path (%g) should beat long flat path (%g)", fewHops, manyHops)
+	}
+}

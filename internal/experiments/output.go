@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"chipletnet/internal/plot"
+)
+
+// WriteCSV writes points as CSV with a header row.
+func WriteCSV(w io.Writer, pts []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"experiment", "series", "x", "xname",
+		"avg_latency", "p99_latency", "accepted", "energy_pj_per_bit",
+		"offchip_hops", "routers", "saturated", "deadlock",
+	}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			p.Experiment, p.Series,
+			strconv.FormatFloat(p.X, 'g', -1, 64), p.XName,
+			fmt.Sprintf("%.2f", p.AvgLatency),
+			fmt.Sprintf("%.2f", p.P99Latency),
+			fmt.Sprintf("%.4f", p.Accepted),
+			fmt.Sprintf("%.2f", p.EnergyPJ),
+			fmt.Sprintf("%.2f", p.OffChip),
+			fmt.Sprintf("%.2f", p.Routers),
+			strconv.FormatBool(p.Saturated),
+			strconv.FormatBool(p.Deadlock),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatCurves renders a point set as per-series latency curves, one
+// series per block, in the shape of the paper's latency/injection-rate
+// figures.
+func FormatCurves(w io.Writer, pts []Point) {
+	byExp := map[string][]Point{}
+	var exps []string
+	for _, p := range pts {
+		if _, ok := byExp[p.Experiment]; !ok {
+			exps = append(exps, p.Experiment)
+		}
+		byExp[p.Experiment] = append(byExp[p.Experiment], p)
+	}
+	sort.Strings(exps)
+	for _, exp := range exps {
+		sub := byExp[exp]
+		fmt.Fprintf(w, "## %s\n", exp)
+		for _, series := range Series(sub) {
+			fmt.Fprintf(w, "  %-30s", series)
+			var xs []Point
+			for _, p := range sub {
+				if p.Series == series {
+					xs = append(xs, p)
+				}
+			}
+			sort.Slice(xs, func(i, j int) bool { return xs[i].X < xs[j].X })
+			for _, p := range xs {
+				mark := ""
+				if p.Deadlock {
+					mark = "!DL"
+				} else if p.Saturated {
+					mark = "*"
+				}
+				fmt.Fprintf(w, "  %s=%g:%.0f%s", p.XName[:1], p.X, p.AvgLatency, mark)
+			}
+			fmt.Fprintf(w, "  (saturation ~%.2f)\n", SaturationPoint(sub, series))
+		}
+	}
+}
+
+// ReadCSV parses points previously written by WriteCSV (only the fields
+// the plots need are recovered: experiment, series, x, xname, latency,
+// accepted, saturated).
+func ReadCSV(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 1 {
+		return nil, fmt.Errorf("experiments: empty CSV")
+	}
+	col := map[string]int{}
+	for i, name := range recs[0] {
+		col[name] = i
+	}
+	for _, want := range []string{"experiment", "series", "x", "xname", "avg_latency"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("experiments: CSV missing column %q", want)
+		}
+	}
+	var pts []Point
+	for _, rec := range recs[1:] {
+		p := Point{
+			Experiment: rec[col["experiment"]],
+			Series:     rec[col["series"]],
+			XName:      rec[col["xname"]],
+		}
+		if p.X, err = strconv.ParseFloat(rec[col["x"]], 64); err != nil {
+			return nil, fmt.Errorf("experiments: bad x %q: %w", rec[col["x"]], err)
+		}
+		if p.AvgLatency, err = strconv.ParseFloat(rec[col["avg_latency"]], 64); err != nil {
+			return nil, fmt.Errorf("experiments: bad latency: %w", err)
+		}
+		if i, ok := col["accepted"]; ok {
+			p.Accepted, _ = strconv.ParseFloat(rec[i], 64)
+		}
+		if i, ok := col["saturated"]; ok {
+			p.Saturated, _ = strconv.ParseBool(rec[i])
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// WriteSVGs renders one latency-vs-X line chart per experiment into dir
+// (files named <experiment>.svg) and returns the written paths. The
+// vertical axis is clipped at 5x the cheapest series' base latency so the
+// pre-saturation region stays readable, matching how the paper's figures
+// are framed.
+func WriteSVGs(dir string, pts []Point) ([]string, error) {
+	byExp := map[string][]Point{}
+	for _, p := range pts {
+		byExp[p.Experiment] = append(byExp[p.Experiment], p)
+	}
+	var written []string
+	var exps []string
+	for e := range byExp {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	for _, exp := range exps {
+		sub := byExp[exp]
+		chart := &plot.Chart{
+			Title:  exp,
+			XLabel: sub[0].XName,
+			YLabel: "avg packet latency (cycles)",
+		}
+		minBase := 0.0
+		for _, name := range Series(sub) {
+			var s plot.Series
+			s.Name = name
+			base := 0.0
+			for _, p := range sub {
+				if p.Series != name {
+					continue
+				}
+				s.X = append(s.X, p.X)
+				s.Y = append(s.Y, p.AvgLatency)
+				if base == 0 || p.AvgLatency < base {
+					base = p.AvgLatency
+				}
+			}
+			if minBase == 0 || base < minBase {
+				minBase = base
+			}
+			chart.Series = append(chart.Series, s)
+		}
+		chart.YMax = 5 * minBase
+		path := filepath.Join(dir, exp+".svg")
+		fh, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		if err := chart.SVG(fh); err != nil {
+			fh.Close()
+			return written, err
+		}
+		if err := fh.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}
+
+// FormatTable1 renders the Table I reproduction.
+func FormatTable1(w io.Writer, rows []DiameterRow) {
+	fmt.Fprintf(w, "%-11s %9s %18s %19s %14s\n",
+		"topology", "chiplets", "formula-diameter", "measured-diameter", "node-diameter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s %9d %18d %19d %14d\n",
+			r.Topology, r.Chiplets, r.Formula, r.Measured, r.NodeDiameter)
+	}
+}

@@ -1,0 +1,78 @@
+// Package interleave implements network interleaving (paper §V): spreading
+// a source's inter-chiplet traffic across the physical interfaces of an
+// abstract interface group, the way interleaved memory spreads accesses
+// across channels.
+//
+// A policy only assigns an integer tag to each packet at injection time;
+// the routing layer reduces the tag modulo the group size when selecting
+// the physical exit interface, so one tag works for every group on the
+// path. Tag assignment corresponds to the paper's modified packet header.
+package interleave
+
+import "fmt"
+
+// Granularity selects the interleaving style.
+type Granularity int
+
+const (
+	// None disables interleaving: all packets use the first physical
+	// interface of each group (the pre-§V behaviour the paper improves
+	// on).
+	None Granularity = iota
+	// Message is coarse-grained interleaving: all packets of one message
+	// share a tag, so consecutive messages use different interfaces.
+	Message
+	// Packet is fine-grained interleaving: consecutive packets of one
+	// message get consecutive tags and fan out across the whole group.
+	Packet
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case None:
+		return "none"
+	case Message:
+		return "message"
+	case Packet:
+		return "packet"
+	}
+	return fmt.Sprintf("Granularity(%d)", int(g))
+}
+
+// ParseGranularity parses "none", "message" or "packet".
+func ParseGranularity(s string) (Granularity, error) {
+	switch s {
+	case "none", "":
+		return None, nil
+	case "message", "coarse":
+		return Message, nil
+	case "packet", "fine":
+		return Packet, nil
+	}
+	return None, fmt.Errorf("interleave: unknown granularity %q", s)
+}
+
+// Policy assigns interleave tags.
+type Policy struct {
+	G Granularity
+}
+
+// Tag returns the interleave tag for packet seq of message msgID.
+// Message ids are hashed so that consecutive messages from one source
+// spread evenly even when the group size divides the message cadence.
+func (p Policy) Tag(msgID uint64, seq int) int {
+	switch p.G {
+	case Message:
+		return int(mix(msgID) % (1 << 30))
+	case Packet:
+		return int(mix(msgID)%(1<<30)) + seq
+	default:
+		return 0
+	}
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

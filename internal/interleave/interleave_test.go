@@ -1,0 +1,90 @@
+package interleave
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseGranularity(t *testing.T) {
+	cases := map[string]Granularity{
+		"none": None, "": None,
+		"message": Message, "coarse": Message,
+		"packet": Packet, "fine": Packet,
+	}
+	for s, want := range cases {
+		got, err := ParseGranularity(s)
+		if err != nil || got != want {
+			t.Errorf("ParseGranularity(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseGranularity("bogus"); err == nil {
+		t.Error("bogus granularity accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if None.String() != "none" || Message.String() != "message" || Packet.String() != "packet" {
+		t.Error("Granularity.String mismatch")
+	}
+}
+
+func TestNoneIsConstant(t *testing.T) {
+	p := Policy{G: None}
+	for msg := uint64(0); msg < 20; msg++ {
+		for seq := 0; seq < 4; seq++ {
+			if p.Tag(msg, seq) != 0 {
+				t.Fatal("None policy produced a non-zero tag")
+			}
+		}
+	}
+}
+
+func TestMessagePolicyConstantWithinMessage(t *testing.T) {
+	p := Policy{G: Message}
+	for msg := uint64(0); msg < 50; msg++ {
+		t0 := p.Tag(msg, 0)
+		for seq := 1; seq < 8; seq++ {
+			if p.Tag(msg, seq) != t0 {
+				t.Fatalf("message %d: tag varies within the message", msg)
+			}
+		}
+	}
+}
+
+func TestMessagePolicySpreadsAcrossMessages(t *testing.T) {
+	p := Policy{G: Message}
+	// Over many messages, tags mod any small group size must hit every
+	// residue (otherwise some interfaces would never be used).
+	for _, k := range []int{2, 3, 5} {
+		seen := map[int]bool{}
+		for msg := uint64(0); msg < 200; msg++ {
+			seen[p.Tag(msg, 0)%k] = true
+		}
+		if len(seen) != k {
+			t.Errorf("message tags cover %d of %d residues", len(seen), k)
+		}
+	}
+}
+
+func TestPacketPolicySpreadsWithinMessage(t *testing.T) {
+	p := Policy{G: Packet}
+	// Consecutive packets of one message map to consecutive interfaces.
+	for msg := uint64(0); msg < 50; msg++ {
+		base := p.Tag(msg, 0)
+		for seq := 1; seq < 4; seq++ {
+			if p.Tag(msg, seq) != base+seq {
+				t.Fatalf("message %d: packet tags not consecutive", msg)
+			}
+		}
+	}
+}
+
+func TestTagsNonNegative(t *testing.T) {
+	f := func(msg uint64, seqRaw uint8, g uint8) bool {
+		p := Policy{G: Granularity(g % 3)}
+		return p.Tag(msg, int(seqRaw%32)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+package packet
+
+import "testing"
+
+func TestLatencyAccessors(t *testing.T) {
+	p := &Packet{CreatedAt: 100, InjectedAt: 130, DeliveredAt: 250}
+	if p.Latency() != 150 {
+		t.Errorf("Latency = %d", p.Latency())
+	}
+	if p.NetworkLatency() != 120 {
+		t.Errorf("NetworkLatency = %d", p.NetworkLatency())
+	}
+}
+
+func TestRoutersIncludesSource(t *testing.T) {
+	p := &Packet{RouterHops: 5}
+	if p.Routers() != 6 {
+		t.Errorf("Routers = %d, want 6", p.Routers())
+	}
+	zero := &Packet{}
+	if zero.Routers() != 1 {
+		t.Errorf("a self-delivered packet still visits its source router")
+	}
+}

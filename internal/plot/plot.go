@@ -1,0 +1,175 @@
+// Package plot renders simple SVG line charts — enough to draw the
+// paper's latency/injection-rate figures from harness output without any
+// external dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMax clips the vertical axis (0 = auto). Latency curves explode at
+	// saturation, so clipping keeps the pre-saturation region readable.
+	YMax float64
+}
+
+// palette holds distinguishable line colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+const (
+	width   = 640.0
+	height  = 420.0
+	marginL = 70.0
+	marginR = 170.0
+	marginT = 40.0
+	marginB = 55.0
+)
+
+// SVG writes the chart as a standalone SVG document.
+func (c *Chart) SVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := 0.0, math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if c.YMax > 0 && yMax > c.YMax {
+		yMax = c.YMax
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	px := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 {
+		if y > yMax {
+			y = yMax
+		}
+		return marginT + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	var b errWriter
+	b.w = w
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n", width, height, width, height)
+	b.printf(`<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, marginT-14, esc(c.Title))
+
+	// Axes.
+	b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/4
+		fy := yMin + (yMax-yMin)*float64(i)/4
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px(fx), marginT+plotH, px(fx), marginT+plotH+5)
+		b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(fx), marginT+plotH+18, trimNum(fx))
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL-5, py(fy), marginL, py(fy))
+		b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, py(fy)+4, trimNum(fy))
+	}
+	// Axis labels.
+	b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, esc(c.XLabel))
+	b.printf(`<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Lines + legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		pts := sortedPoints(s)
+		b.printf(`<polyline fill="none" stroke="%s" stroke-width="1.8" points="`, color)
+		for _, p := range pts {
+			b.printf("%g,%g ", px(p[0]), py(p[1]))
+		}
+		b.printf(`"/>` + "\n")
+		for _, p := range pts {
+			b.printf(`<circle cx="%g" cy="%g" r="2.6" fill="%s"/>`+"\n", px(p[0]), py(p[1]), color)
+		}
+		ly := marginT + 14 + float64(si)*16
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+10, ly-4, width-marginR+34, ly-4, color)
+		b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR+40, ly, esc(s.Name))
+	}
+	b.printf("</svg>\n")
+	return b.err
+}
+
+func sortedPoints(s Series) [][2]float64 {
+	pts := make([][2]float64, len(s.X))
+	for i := range s.X {
+		pts[i] = [2]float64{s.X[i], s.Y[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	return pts
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	if v >= 100 {
+		s = fmt.Sprintf("%.0f", v)
+	}
+	return s
+}
+
+func esc(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "latency vs injection rate",
+		XLabel: "injection rate (flits/node/cycle)",
+		YLabel: "avg latency (cycles)",
+		Series: []Series{
+			{Name: "2D-mesh", X: []float64{0.1, 0.3, 0.6}, Y: []float64{150, 180, 900}},
+			{Name: "hypercube", X: []float64{0.1, 0.3, 0.6}, Y: []float64{110, 120, 160}},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, buf.String())
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "2D-mesh", "hypercube", "avg latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := sampleChart()
+	c.Title = "a < b & c"
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a &lt; b &amp; c") {
+		t.Error("labels not escaped")
+	}
+}
+
+func TestSVGClipsAtYMax(t *testing.T) {
+	c := sampleChart()
+	c.YMax = 200
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The 900-cycle point must be clipped to the top of the plot area
+	// (y = marginT), never above it (smaller y).
+	if strings.Contains(buf.String(), `cy="-`) {
+		t.Error("points drawn above the plot area")
+	}
+}
+
+func TestSVGRejectsEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if err := c.SVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c = &Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: nil}}}
+	if err := c.SVG(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestSVGSortsPointsByX(t *testing.T) {
+	c := &Chart{
+		Title: "t",
+		Series: []Series{
+			{Name: "s", X: []float64{0.6, 0.1, 0.3}, Y: []float64{3, 1, 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The polyline x coordinates must be non-decreasing.
+	out := buf.String()
+	i := strings.Index(out, "points=\"")
+	j := strings.Index(out[i+8:], "\"")
+	fields := strings.Fields(out[i+8 : i+8+j])
+	last := -1.0
+	for _, f := range fields {
+		parts := strings.Split(f, ",")
+		if len(parts) != 2 {
+			t.Fatalf("bad point %q", f)
+		}
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x < last {
+			t.Fatalf("polyline x not sorted: %v", fields)
+		}
+		last = x
+	}
+}

@@ -1,0 +1,80 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the simulator.
+//
+// The simulator must be reproducible: two runs with the same configuration
+// and seed must produce bit-identical results, regardless of Go version or
+// platform. math/rand's generator is stable in practice but its convenience
+// API encourages shared global state; this package gives each component
+// (traffic source, arbiter, ...) its own cheaply-seedable stream based on
+// SplitMix64, which passes BigCrush and needs only 8 bytes of state.
+package rng
+
+// Rand is a deterministic SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives an independent stream from r using the given stream
+// identifier. It does not advance r. Streams with distinct ids are
+// statistically independent for simulation purposes.
+func (r *Rand) Split(id uint64) *Rand {
+	// Mix the id through the SplitMix64 finalizer so that nearby ids
+	// (0, 1, 2, ...) produce distant states.
+	return New(mix64(r.state ^ mix64(id^0x9e3779b97f4a7c15)))
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits -> [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

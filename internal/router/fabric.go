@@ -1,0 +1,170 @@
+package router
+
+import (
+	"fmt"
+
+	"chipletnet/internal/packet"
+)
+
+// ejectCredits is the effectively-infinite credit count of ejection ports.
+const ejectCredits = 1 << 30
+
+// Fabric is a complete interconnection network: the routers, the links
+// between them, the routing algorithm, and the cycle engine that advances
+// them in lockstep. One Fabric runs one simulation; it is not safe for
+// concurrent use (run independent Fabrics on separate goroutines instead).
+type Fabric struct {
+	Routers []*Router
+	Links   []*Link
+
+	// Routing is the routing algorithm consulted at the RC/VA stages.
+	Routing Routing
+	// SafeUnsafe enables the safe/unsafe flow-control policy
+	// (Algorithm 5) at VC allocation.
+	SafeUnsafe bool
+	// OffChipVAExtra is the extra VC-allocation latency (cycles) for
+	// candidates whose output link leaves the chiplet (§VI-A: "the
+	// cross-chiplet VC allocation ... consume[s] more clock cycles").
+	OffChipVAExtra int
+
+	// Sink receives every delivered packet (tail flit consumed at the
+	// destination). Set by the runner to the statistics collector.
+	Sink func(p *packet.Packet, now int64)
+
+	// Tracer, when non-nil, observes packet lifecycle events (injection,
+	// per-link movement, delivery). Tracing is off the hot path only via
+	// the nil check, so leave it nil for measurement runs.
+	Tracer Tracer
+
+	// Now is the current cycle, starting at 1 on the first Step.
+	Now int64
+
+	// DeadlockThreshold is the number of consecutive cycles without any
+	// flit movement (while packets are in flight) after which the fabric
+	// declares a deadlock. Zero disables detection.
+	DeadlockThreshold int64
+	// Deadlocked is set when the watchdog fires.
+	Deadlocked bool
+
+	inFlight     int
+	lastProgress int64
+}
+
+// NewFabric returns an empty fabric with deadlock detection enabled.
+func NewFabric() *Fabric {
+	return &Fabric{DeadlockThreshold: 2000}
+}
+
+// NewRouter appends a router implementing global node id and returns it.
+func (f *Fabric) NewRouter(node int) *Router {
+	r := &Router{Node: node, Fabric: f, vaOffset: node}
+	f.Routers = append(f.Routers, r)
+	return r
+}
+
+// ConnectPorts creates a unidirectional link from src output port srcPort to
+// dst input port dstPort. The destination input port must already exist (its
+// VC capacities size the sender's credit counters). The source output port
+// must exist and be unused.
+func (f *Fabric) ConnectPorts(src *Router, srcPort int, dst *Router, dstPort, bandwidth, latency int, offChip bool) *Link {
+	if latency < 1 {
+		panic("router: link latency must be >= 1")
+	}
+	if bandwidth < 1 {
+		panic("router: link bandwidth must be >= 1")
+	}
+	op := src.Out[srcPort]
+	if op.Link != nil {
+		panic(fmt.Sprintf("router %d: output port %d already connected", src.Node, srcPort))
+	}
+	ip := dst.In[dstPort]
+	if ip.Link != nil {
+		panic(fmt.Sprintf("router %d: input port %d already connected", dst.Node, dstPort))
+	}
+	l := &Link{
+		ID:  len(f.Links),
+		Src: src, SrcPort: srcPort,
+		Dst: dst, DstPort: dstPort,
+		Bandwidth: bandwidth,
+		Latency:   latency,
+		OffChip:   offChip,
+	}
+	op.Link = l
+	op.Credits = make([]int, len(ip.VCs))
+	op.Owner = make([]*VC, len(ip.VCs))
+	for i, vc := range ip.VCs {
+		op.Credits[i] = vc.Cap
+	}
+	ip.Link = l
+	f.Links = append(f.Links, l)
+	return l
+}
+
+// MakeEjection configures output port port of r as the local ejection sink
+// with the given consumption bandwidth (flits/cycle). vcSlots bounds how
+// many packets can eject concurrently (sharing the bandwidth).
+func (f *Fabric) MakeEjection(r *Router, port, vcSlots, bandwidth int) {
+	op := r.Out[port]
+	op.EjectBandwidth = bandwidth
+	op.Credits = make([]int, vcSlots)
+	op.Owner = make([]*VC, vcSlots)
+	for i := range op.Credits {
+		op.Credits[i] = ejectCredits
+	}
+}
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (f *Fabric) InFlight() int { return f.inFlight }
+
+func (f *Fabric) deliver(p *packet.Packet, now int64) {
+	f.inFlight--
+	if f.Sink != nil {
+		f.Sink(p, now)
+	}
+}
+
+// Step advances the fabric by one cycle:
+//
+//  1. links deliver due flits and credits,
+//  2. every router runs VC allocation for waiting head packets,
+//  3. every router runs switch allocation + transmission,
+//  4. the deadlock watchdog checks for progress.
+//
+// Injection (traffic generation) is the caller's responsibility and should
+// happen before Step for the same cycle via Router.Inject.
+func (f *Fabric) Step() {
+	f.Now++
+	now := f.Now
+
+	moved := false
+	for _, l := range f.Links {
+		if l.deliver(now) {
+			moved = true
+		}
+	}
+	for _, r := range f.Routers {
+		r.vcAllocate(now)
+	}
+	for _, r := range f.Routers {
+		if r.switchAllocate(now) {
+			moved = true
+		}
+	}
+
+	if moved {
+		f.lastProgress = now
+	} else if f.DeadlockThreshold > 0 && f.inFlight > 0 &&
+		now-f.lastProgress > f.DeadlockThreshold {
+		f.Deadlocked = true
+	}
+}
+
+// BufferedFlits returns the total flits buffered in all routers (excluding
+// flits in flight on links); useful for invariant tests.
+func (f *Fabric) BufferedFlits() int {
+	n := 0
+	for _, r := range f.Routers {
+		n += r.BufferedFlits()
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFifoOrder(t *testing.T) {
+	var f fifo[int]
+	for i := 0; i < 100; i++ {
+		f.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		if f.Len() != 100-i {
+			t.Fatalf("Len = %d, want %d", f.Len(), 100-i)
+		}
+		if got := f.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if f.Len() != 0 {
+		t.Errorf("Len = %d after drain", f.Len())
+	}
+}
+
+func TestFifoFrontAndAt(t *testing.T) {
+	var f fifo[string]
+	f.Push("a")
+	f.Push("b")
+	f.Push("c")
+	f.Pop()
+	if *f.Front() != "b" || *f.At(1) != "c" {
+		t.Errorf("Front=%q At(1)=%q", *f.Front(), *f.At(1))
+	}
+	*f.Front() = "B" // Front returns a mutable pointer
+	if f.Pop() != "B" {
+		t.Error("mutation through Front not visible")
+	}
+}
+
+func TestFifoCompaction(t *testing.T) {
+	var f fifo[int]
+	// Interleave pushes and pops so the head index grows and compaction
+	// triggers; order must survive.
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 10; i++ {
+			f.Push(next)
+			next++
+		}
+		for i := 0; i < 9; i++ {
+			if got := f.Pop(); got != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+		if len(f.items) > f.Len()*3+64 {
+			t.Fatalf("fifo failed to compact: %d backing slots for %d items", len(f.items), f.Len())
+		}
+	}
+}
+
+func TestFifoQuick(t *testing.T) {
+	// Model-based: fifo must behave like a slice queue for any op string.
+	f := func(ops []bool, vals []int) bool {
+		var q fifo[int]
+		var model []int
+		vi := 0
+		for _, push := range ops {
+			if push || len(model) == 0 {
+				v := 0
+				if vi < len(vals) {
+					v = vals[vi]
+					vi++
+				}
+				q.Push(v)
+				model = append(model, v)
+			} else {
+				if q.Pop() != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package router
+
+import "chipletnet/internal/packet"
+
+// Link is a unidirectional channel between an output port of one router and
+// an input port of another. It models a fixed per-cycle bandwidth (enforced
+// by the sender's switch allocator), a fixed latency, and the credit return
+// path in the reverse direction (credits take the same latency).
+//
+// Flits are carried as bundles — (packet, count) pairs — rather than as
+// individual flit objects; the receiving input VC reassembles packets by
+// identity. This keeps simulation cost proportional to packets while staying
+// cycle-accurate for buffer occupancy and bandwidth.
+type Link struct {
+	ID      int
+	Src     *Router
+	SrcPort int // output port index on Src
+	Dst     *Router
+	DstPort int // input port index on Dst
+
+	// Bandwidth is the number of flits the link accepts per cycle.
+	Bandwidth int
+	// Latency is the flit traversal time in cycles (>= 1). Off-chip
+	// (chiplet-to-chiplet) links typically use a larger latency.
+	Latency int
+	// OffChip marks chiplet-to-chiplet links; they are counted separately
+	// by the energy model and may incur a VC-allocation penalty.
+	OffChip bool
+
+	// Carried counts flits pushed onto the link over the whole run;
+	// utilization follows as Carried / (Bandwidth * cycles).
+	Carried int64
+
+	flits   fifo[flitBundle]
+	credits fifo[creditBundle]
+}
+
+// Utilization returns the fraction of the link's capacity used over the
+// given number of cycles.
+func (l *Link) Utilization(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(l.Carried) / (float64(l.Bandwidth) * float64(cycles))
+}
+
+type flitBundle struct {
+	p        *packet.Packet
+	n        int // flit count
+	vc       int // destination VC index at Dst's input port
+	arriveAt int64
+}
+
+type creditBundle struct {
+	vc       int // VC index at Dst's input port whose buffer freed up
+	n        int
+	arriveAt int64
+}
+
+// push enqueues n flits of p destined for downstream VC vc. The caller (the
+// switch allocator) is responsible for respecting Bandwidth.
+func (l *Link) push(p *packet.Packet, n, vc int, now int64) {
+	l.Carried += int64(n)
+	l.flits.Push(flitBundle{p: p, n: n, vc: vc, arriveAt: now + int64(l.Latency)})
+}
+
+// returnCredit sends n credits for VC vc back to the link source.
+func (l *Link) returnCredit(vc, n int, now int64) {
+	l.credits.Push(creditBundle{vc: vc, n: n, arriveAt: now + int64(l.Latency)})
+}
+
+// deliver moves all due flit bundles into Dst's input buffers and all due
+// credits back to Src's output port. It reports whether anything moved
+// (for the deadlock watchdog).
+func (l *Link) deliver(now int64) bool {
+	moved := false
+	for l.flits.Len() > 0 && l.flits.Front().arriveAt <= now {
+		b := l.flits.Pop()
+		l.Dst.receive(l.DstPort, b.vc, b.p, b.n, now)
+		moved = true
+	}
+	for l.credits.Len() > 0 && l.credits.Front().arriveAt <= now {
+		c := l.credits.Pop()
+		l.Src.Out[l.SrcPort].Credits[c.vc] += c.n
+		moved = true
+	}
+	return moved
+}
+
+// InFlight returns the number of flits currently traversing the link.
+func (l *Link) InFlight() int {
+	n := 0
+	for i := 0; i < l.flits.Len(); i++ {
+		n += l.flits.At(i).n
+	}
+	return n
+}

@@ -1,0 +1,330 @@
+package router
+
+import (
+	"testing"
+
+	"chipletnet/internal/packet"
+)
+
+// lineRouting routes every packet toward higher node ids along port 1
+// (ejecting at the destination); a fixed topology for machinery tests:
+// routers 0 -> 1 -> ... -> n-1, port 0 local, port 1 forward.
+type lineRouting struct {
+	safe func(node int, p *packet.Packet) bool
+}
+
+func (l lineRouting) Candidates(r *Router, inPort int, p *packet.Packet, buf []Candidate) []Candidate {
+	if r.Node == p.Dst {
+		return append(buf, Candidate{Port: 0, VCMask: VCMaskAll(len(r.Out[0].Credits))})
+	}
+	return append(buf, Candidate{Port: 1, VCMask: VCMaskAll(len(r.Out[1].Link.Dst.In[r.Out[1].Link.DstPort].VCs)), Escape: true})
+}
+
+func (l lineRouting) SafeAt(r *Router, inPort int, p *packet.Packet) bool {
+	if l.safe == nil {
+		return true
+	}
+	return l.safe(r.Node, p)
+}
+
+// buildLine wires n routers in a unidirectional line with the given VC
+// count, buffer capacity, bandwidth and latency.
+func buildLine(n, vcs, capFlits, bw, lat int) *Fabric {
+	f := NewFabric()
+	for i := 0; i < n; i++ {
+		r := f.NewRouter(i)
+		r.AddInPort(1, 1<<30) // injection
+		r.AddOutPort()
+		f.MakeEjection(r, 0, vcs, bw)
+		r.AddInPort(vcs, capFlits) // from the left
+		r.AddOutPort()             // to the right
+	}
+	for i := 0; i+1 < n; i++ {
+		f.ConnectPorts(f.Routers[i], 1, f.Routers[i+1], 1, bw, lat, false)
+	}
+	f.Routing = lineRouting{}
+	return f
+}
+
+func runCycles(f *Fabric, n int) {
+	for i := 0; i < n; i++ {
+		f.Step()
+	}
+}
+
+func mkPacket(id uint64, src, dst, flits int, now int64) *packet.Packet {
+	return &packet.Packet{ID: id, Src: src, Dst: dst, Len: flits, CreatedAt: now, Measured: true}
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	f := buildLine(3, 2, 32, 4, 1)
+	var got *packet.Packet
+	var at int64
+	f.Sink = func(p *packet.Packet, now int64) { got, at = p, now }
+
+	p := mkPacket(1, 0, 2, 32, 1)
+	f.Routers[0].Inject(p, 0)
+	runCycles(f, 100)
+
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if f.InFlight() != 0 {
+		t.Errorf("inFlight = %d after delivery", f.InFlight())
+	}
+	if got.RouterHops != 2 || got.OnChipHops != 2 || got.OffChipHops != 0 {
+		t.Errorf("hops = %d/%d/%d, want 2/2/0", got.RouterHops, got.OnChipHops, got.OffChipHops)
+	}
+	if at != got.DeliveredAt {
+		t.Errorf("sink time %d != DeliveredAt %d", at, got.DeliveredAt)
+	}
+	// Zero-load latency: per router ~3 cycles of pipeline + transfer of
+	// 32 flits at 4/cycle; just sanity-bound it.
+	if lat := got.DeliveredAt - got.CreatedAt; lat < 10 || lat > 40 {
+		t.Errorf("unexpected zero-load latency %d", lat)
+	}
+}
+
+func TestPipelineTakesMultipleCycles(t *testing.T) {
+	f := buildLine(2, 2, 32, 32, 1)
+	delivered := false
+	f.Sink = func(p *packet.Packet, now int64) { delivered = true }
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 1, 0), 0)
+	// RC+VA+SA stages mean nothing can possibly eject before cycle 4.
+	runCycles(f, 4)
+	if delivered {
+		t.Error("single-flit packet traversed a router+link in under 5 cycles")
+	}
+	runCycles(f, 20)
+	if !delivered {
+		t.Error("packet never delivered")
+	}
+}
+
+func TestBandwidthBoundsThroughput(t *testing.T) {
+	// 10 packets x 32 flits over a 2-flit/cycle link need >= 160 cycles.
+	f := buildLine(2, 2, 64, 2, 1)
+	n := 0
+	f.Sink = func(p *packet.Packet, now int64) { n++ }
+	for i := 0; i < 10; i++ {
+		f.Routers[0].Inject(mkPacket(uint64(i), 0, 1, 32, 0), 0)
+	}
+	runCycles(f, 100)
+	if n >= 6 {
+		t.Errorf("delivered %d packets in 100 cycles over a 2 flit/cycle link", n)
+	}
+	runCycles(f, 200)
+	if n != 10 {
+		t.Errorf("delivered %d of 10 packets", n)
+	}
+}
+
+func TestLinkLatencyDelaysDelivery(t *testing.T) {
+	lat1 := deliveryTime(t, 1)
+	lat9 := deliveryTime(t, 9)
+	if lat9-lat1 != 8 {
+		t.Errorf("latency delta = %d, want 8 (link latency 1 vs 9)", lat9-lat1)
+	}
+}
+
+func deliveryTime(t *testing.T, linkLat int) int64 {
+	t.Helper()
+	f := buildLine(2, 2, 32, 4, linkLat)
+	var at int64
+	f.Sink = func(p *packet.Packet, now int64) { at = now }
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 4, 0), 0)
+	runCycles(f, 100)
+	if at == 0 {
+		t.Fatal("not delivered")
+	}
+	return at
+}
+
+func TestVCTNeedsWholePacketCredit(t *testing.T) {
+	// Buffer of exactly one packet: a second packet cannot be granted the
+	// same downstream VC until the first fully drains out of it.
+	f := buildLine(3, 1, 32, 4, 1)
+	var orders []uint64
+	f.Sink = func(p *packet.Packet, now int64) { orders = append(orders, p.ID) }
+	f.Routers[0].Inject(mkPacket(1, 0, 2, 32, 0), 0)
+	f.Routers[0].Inject(mkPacket(2, 0, 2, 32, 0), 0)
+	runCycles(f, 300)
+	if len(orders) != 2 || orders[0] != 1 || orders[1] != 2 {
+		t.Errorf("deliveries = %v, want [1 2]", orders)
+	}
+}
+
+func TestBufferNeverOverflows(t *testing.T) {
+	// receive panics on overflow, so heavy load + small buffers passing
+	// without panic is the assertion.
+	f := buildLine(4, 2, 32, 4, 3)
+	n := 0
+	f.Sink = func(p *packet.Packet, now int64) { n++ }
+	id := uint64(0)
+	for cy := 0; cy < 400; cy++ {
+		if cy%8 == 0 {
+			id++
+			f.Routers[0].Inject(mkPacket(id, 0, 3, 32, int64(cy)), int64(cy))
+		}
+		f.Step()
+	}
+	runCycles(f, 400)
+	if n != int(id) {
+		t.Errorf("delivered %d of %d", n, id)
+	}
+}
+
+func TestCreditsReturnToFull(t *testing.T) {
+	f := buildLine(3, 2, 32, 4, 1)
+	f.Sink = func(p *packet.Packet, now int64) {}
+	f.Routers[0].Inject(mkPacket(1, 0, 2, 32, 0), 0)
+	runCycles(f, 200)
+	for _, r := range f.Routers {
+		for _, o := range r.Out {
+			if o.Link == nil {
+				continue
+			}
+			for vc, c := range o.Credits {
+				want := o.Link.Dst.In[o.Link.DstPort].VCs[vc].Cap
+				if c != want {
+					t.Errorf("router %d out %d vc %d credits %d, want %d", r.Node, o.Index, vc, c, want)
+				}
+			}
+		}
+	}
+	if f.BufferedFlits() != 0 {
+		t.Errorf("%d flits still buffered after drain", f.BufferedFlits())
+	}
+}
+
+func TestFCFSOrderPreserved(t *testing.T) {
+	// Packets injected in order on one VC must eject in order.
+	f := buildLine(2, 2, 64, 4, 1)
+	var got []uint64
+	f.Sink = func(p *packet.Packet, now int64) { got = append(got, p.ID) }
+	for i := uint64(1); i <= 5; i++ {
+		f.Routers[0].Inject(mkPacket(i, 0, 1, 16, 0), 0)
+	}
+	runCycles(f, 300)
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("out-of-order deliveries: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d of 5", len(got))
+	}
+}
+
+func TestDeadlockWatchdog(t *testing.T) {
+	// Two routers pointing at each other with routing that never ejects:
+	// forced circular wait -> the watchdog must fire.
+	f := NewFabric()
+	f.DeadlockThreshold = 50
+	for i := 0; i < 2; i++ {
+		r := f.NewRouter(i)
+		r.AddInPort(1, 1<<30)
+		r.AddOutPort()
+		f.MakeEjection(r, 0, 1, 4)
+		r.AddInPort(1, 32)
+		r.AddOutPort()
+	}
+	f.ConnectPorts(f.Routers[0], 1, f.Routers[1], 1, 4, 1, false)
+	f.ConnectPorts(f.Routers[1], 1, f.Routers[0], 1, 4, 1, false)
+	// Route everything forward forever (dst unreachable).
+	f.Routing = neverEject{}
+	f.Routers[0].Inject(mkPacket(1, 0, 99, 32, 0), 0)
+	f.Routers[1].Inject(mkPacket(2, 1, 99, 32, 0), 0)
+	runCycles(f, 500)
+	if !f.Deadlocked {
+		t.Error("watchdog did not fire on a livelocked configuration")
+	}
+}
+
+type neverEject struct{}
+
+func (neverEject) Candidates(r *Router, inPort int, p *packet.Packet, buf []Candidate) []Candidate {
+	return append(buf, Candidate{Port: 1, VCMask: 1})
+}
+func (neverEject) SafeAt(r *Router, inPort int, p *packet.Packet) bool { return false }
+
+func TestVCMaskHelpers(t *testing.T) {
+	if VCMaskAll(3) != 0b111 {
+		t.Errorf("VCMaskAll(3) = %b", VCMaskAll(3))
+	}
+	if VCMaskOf(0, 2) != 0b101 {
+		t.Errorf("VCMaskOf(0,2) = %b", VCMaskOf(0, 2))
+	}
+}
+
+func TestInjectionQueueCounts(t *testing.T) {
+	f := buildLine(2, 2, 32, 4, 1)
+	f.Sink = func(p *packet.Packet, now int64) {}
+	for i := 0; i < 3; i++ {
+		f.Routers[0].Inject(mkPacket(uint64(i), 0, 1, 32, 0), 0)
+	}
+	if f.InFlight() != 3 {
+		t.Errorf("inFlight = %d, want 3", f.InFlight())
+	}
+	runCycles(f, 300)
+	if f.InFlight() != 0 {
+		t.Errorf("inFlight = %d after drain", f.InFlight())
+	}
+}
+
+func TestConnectPortsValidation(t *testing.T) {
+	f := NewFabric()
+	a := f.NewRouter(0)
+	a.AddInPort(1, 8)
+	a.AddOutPort()
+	b := f.NewRouter(1)
+	b.AddInPort(1, 8)
+	b.AddOutPort()
+	f.ConnectPorts(a, 0, b, 0, 1, 1, false)
+	for name, fn := range map[string]func(){
+		"double-connect-out": func() { f.ConnectPorts(a, 0, b, 0, 1, 1, false) },
+		"zero-latency":       func() { f.ConnectPorts(b, 0, a, 0, 1, 0, false) },
+		"zero-bandwidth":     func() { f.ConnectPorts(b, 0, a, 0, 0, 1, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOffChipVAExtraDelays(t *testing.T) {
+	base := offChipDelivery(t, 0)
+	slow := offChipDelivery(t, 7)
+	if slow-base != 7 {
+		t.Errorf("VA penalty delta = %d, want 7", slow-base)
+	}
+}
+
+func offChipDelivery(t *testing.T, extra int) int64 {
+	t.Helper()
+	f := NewFabric()
+	f.OffChipVAExtra = extra
+	for i := 0; i < 2; i++ {
+		r := f.NewRouter(i)
+		r.AddInPort(1, 1<<30)
+		r.AddOutPort()
+		f.MakeEjection(r, 0, 1, 4)
+		r.AddInPort(1, 32)
+		r.AddOutPort()
+	}
+	f.ConnectPorts(f.Routers[0], 1, f.Routers[1], 1, 4, 1, true) // off-chip
+	f.Routing = lineRouting{}
+	var at int64
+	f.Sink = func(p *packet.Packet, now int64) { at = now }
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 4, 0), 0)
+	runCycles(f, 100)
+	if at == 0 {
+		t.Fatal("not delivered")
+	}
+	return at
+}

@@ -1,0 +1,57 @@
+package router
+
+import "chipletnet/internal/packet"
+
+// Candidate is one admissible output choice for a packet, produced by a
+// routing algorithm: an output port plus the set of downstream virtual
+// channels the packet may be allocated on that port.
+//
+// Candidates are tried in the order the routing algorithm returns them.
+// By convention adaptive candidates come first and the escape candidate
+// last, implementing Duato's protocol: the escape channel is used only
+// when no adaptive channel is available this cycle.
+type Candidate struct {
+	// Port is the output port index at the current router.
+	Port int
+	// VCMask is a bitmask of admissible downstream VC indices
+	// (bit i set means VC i may be used).
+	VCMask uint32
+	// Escape marks the deadlock-free escape candidate.
+	Escape bool
+}
+
+// VCMaskAll returns a mask admitting VCs [0, n).
+func VCMaskAll(n int) uint32 { return (uint32(1) << uint(n)) - 1 }
+
+// VCMaskOf returns a mask admitting exactly the given VCs.
+func VCMaskOf(vcs ...int) uint32 {
+	var m uint32
+	for _, v := range vcs {
+		m |= 1 << uint(v)
+	}
+	return m
+}
+
+// Routing computes admissible outputs for packets. Implementations live in
+// internal/routing and encode the paper's algorithms (baseline Duato/NFR on
+// the flat mesh; MFR within and among chiplets for the high-radix
+// topologies).
+//
+// Implementations must be stateless with respect to packets: Candidates may
+// be called repeatedly for the same head packet on successive cycles (the
+// adaptive choice can depend on the evolving credit state), and must be
+// computable from (router, input port, packet) alone.
+type Routing interface {
+	// Candidates appends the admissible outputs for the packet whose head
+	// flit is at router r, input port inPort, to buf and returns it.
+	// Returning an empty slice means the packet cannot be routed — the
+	// fabric treats that as a fatal configuration error.
+	Candidates(r *Router, inPort int, p *packet.Packet, buf []Candidate) []Candidate
+
+	// SafeAt reports whether p, residing in the input buffer of port
+	// inPort at router r, has a legal escape path (a minus-first path in
+	// MFR terms) from that channel to its destination. It implements
+	// Definition 4 of the paper and drives the safe/unsafe flow control
+	// (Algorithm 5) and the safe-packet marking of input buffers.
+	SafeAt(r *Router, inPort int, p *packet.Packet) bool
+}

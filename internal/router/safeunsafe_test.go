@@ -1,0 +1,131 @@
+package router
+
+import (
+	"testing"
+
+	"chipletnet/internal/packet"
+)
+
+// buildPairSU wires router 0 -> router 1 with the given VC count and a
+// routing whose SafeAt is controlled per node, for exercising Algorithm 5.
+func buildPairSU(vcs int, safe func(node int, p *packet.Packet) bool) *Fabric {
+	f := NewFabric()
+	f.SafeUnsafe = true
+	for i := 0; i < 2; i++ {
+		r := f.NewRouter(i)
+		r.AddInPort(1, 1<<30)
+		r.AddOutPort()
+		f.MakeEjection(r, 0, vcs, 4)
+		r.AddInPort(vcs, 32)
+		r.AddOutPort()
+	}
+	f.ConnectPorts(f.Routers[0], 1, f.Routers[1], 1, 4, 1, false)
+	f.Routing = lineRouting{safe: safe}
+	return f
+}
+
+// Algorithm 5 case a >= 2: two free VCs downstream allow any packet.
+func TestSafeUnsafeAllowsWithTwoFreeVCs(t *testing.T) {
+	f := buildPairSU(2, func(int, *packet.Packet) bool { return false })
+	n := 0
+	f.Sink = func(p *packet.Packet, now int64) { n++ }
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 32, 0), 0)
+	runCycles(f, 100)
+	if n != 1 {
+		t.Errorf("unsafe packet blocked despite 2 free VCs (delivered %d)", n)
+	}
+}
+
+// Algorithm 5 case a == 1 && s == 0 && unsafe at next: must be blocked.
+// We park one packet downstream (stop-routed) to occupy a VC, then check
+// that an everywhere-unsafe packet cannot take the last VC.
+func TestSafeUnsafeBlocksLastVCForUnsafe(t *testing.T) {
+	// sink node 1 refuses to route (packets to node 99 loop at port 1 of
+	// router 1 which has no link -> they just sit). Simpler: make router 1
+	// the destination of a parked packet but give its ejection 0 slots...
+	// Instead: use 2 VCs, park one packet in VC0 by routing it to an
+	// unreachable destination via a candidates function that returns the
+	// local port only when dst matches.
+	f := NewFabric()
+	f.SafeUnsafe = true
+	f.DeadlockThreshold = 0
+	for i := 0; i < 2; i++ {
+		r := f.NewRouter(i)
+		r.AddInPort(1, 1<<30)
+		r.AddOutPort()
+		f.MakeEjection(r, 0, 2, 4)
+		r.AddInPort(2, 32)
+		r.AddOutPort()
+	}
+	f.ConnectPorts(f.Routers[0], 1, f.Routers[1], 1, 4, 1, false)
+	f.ConnectPorts(f.Routers[1], 1, f.Routers[0], 1, 4, 1, false)
+	f.Routing = parkRouting{}
+	f.Sink = func(p *packet.Packet, now int64) {}
+
+	// Parked packet: dst 99 never ejects; it grabs router 1 input VC and
+	// stays (its forward candidates at router 1 are withheld).
+	f.Routers[0].Inject(&packet.Packet{ID: 1, Src: 0, Dst: 99, Len: 32}, 0)
+	runCycles(f, 60)
+	// Now one VC at router 1 port 1 is held by the parked packet.
+	// An unsafe packet (SafeAt=false everywhere under parkRouting) heading
+	// for node 1 may not claim the last free VC.
+	f.Routers[0].Inject(&packet.Packet{ID: 2, Src: 0, Dst: 1, Len: 32}, 60)
+	runCycles(f, 200)
+	occupied := 0
+	for _, vc := range f.Routers[1].In[1].VCs {
+		if vc.Packets() > 0 {
+			occupied++
+		}
+	}
+	if occupied != 1 {
+		t.Errorf("unsafe packet took the last VC (occupied=%d)", occupied)
+	}
+}
+
+// parkRouting: packets to node 99 are routed forward from router 0 but get
+// no candidates at router 1 (they park in the input buffer — emulating a
+// congested continuation). All packets are unsafe.
+type parkRouting struct{}
+
+func (parkRouting) Candidates(r *Router, inPort int, p *packet.Packet, buf []Candidate) []Candidate {
+	if r.Node == p.Dst {
+		return append(buf, Candidate{Port: 0, VCMask: VCMaskAll(len(r.Out[0].Credits))})
+	}
+	if p.Dst == 99 && r.Node == 1 {
+		// Withhold candidates by pointing at a full ejection? The fabric
+		// panics on empty candidate sets, so return an unreachable one:
+		// route back and forth between 0 and 1 forever on VC0 only.
+		return append(buf, Candidate{Port: 1, VCMask: 0b01})
+	}
+	return append(buf, Candidate{Port: 1, VCMask: 0b01})
+}
+
+func (parkRouting) SafeAt(r *Router, inPort int, p *packet.Packet) bool { return false }
+
+// With a safe packet resident downstream, an unsafe packet may take the
+// last free VC (case a == 1 && s >= 1).
+func TestSafeUnsafeSafeResidencyUnblocks(t *testing.T) {
+	f := buildPairSU(2, func(node int, p *packet.Packet) bool { return p.ID == 1 })
+	n := 0
+	f.Sink = func(p *packet.Packet, now int64) { n++ }
+	// Safe packet 1 and unsafe packet 2 back to back: both must deliver.
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 32, 0), 0)
+	f.Routers[0].Inject(mkPacket(2, 0, 1, 32, 0), 0)
+	runCycles(f, 300)
+	if n != 2 {
+		t.Errorf("delivered %d of 2", n)
+	}
+}
+
+// A packet that is safe at the next router may take the last VC
+// (case a == 1 && s == 0 && safe-at-next).
+func TestSafeUnsafeSafeAtNextUnblocks(t *testing.T) {
+	f := buildPairSU(1, func(node int, p *packet.Packet) bool { return true })
+	n := 0
+	f.Sink = func(p *packet.Packet, now int64) { n++ }
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 32, 0), 0)
+	runCycles(f, 100)
+	if n != 1 {
+		t.Errorf("safe packet blocked from the last VC (delivered %d)", n)
+	}
+}

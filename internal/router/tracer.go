@@ -1,0 +1,18 @@
+package router
+
+import "chipletnet/internal/packet"
+
+// Tracer observes packet lifecycle events. Implementations must be fast;
+// they run inline with the cycle engine.
+type Tracer interface {
+	// PacketInjected fires when a packet enters a source queue.
+	PacketInjected(p *packet.Packet, node int, now int64)
+	// FlitsMoved fires when flits of p leave router `from` toward router
+	// `to` (to < 0 means ejection at the local port); head reports
+	// whether the head flit is among them and the VC is the downstream
+	// virtual channel index.
+	FlitsMoved(p *packet.Packet, from, to, vc, n int, head bool, now int64)
+	// PacketDelivered fires when the tail flit is consumed at the
+	// destination.
+	PacketDelivered(p *packet.Packet, now int64)
+}

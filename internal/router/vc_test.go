@@ -1,0 +1,126 @@
+package router
+
+import (
+	"testing"
+
+	"chipletnet/internal/packet"
+)
+
+// vcSplitRouting sends odd packet IDs on VC1 and even on VC0, forcing two
+// flows to share one physical link on different virtual channels.
+type vcSplitRouting struct{}
+
+func (vcSplitRouting) Candidates(r *Router, inPort int, p *packet.Packet, buf []Candidate) []Candidate {
+	if r.Node == p.Dst {
+		return append(buf, Candidate{Port: 0, VCMask: VCMaskAll(len(r.Out[0].Credits))})
+	}
+	mask := uint32(0b01)
+	if p.ID%2 == 1 {
+		mask = 0b10
+	}
+	return append(buf, Candidate{Port: 1, VCMask: mask, Escape: true})
+}
+
+func (vcSplitRouting) SafeAt(*Router, int, *packet.Packet) bool { return true }
+
+// TestVCMultiplexingSharesLink: with one flow's VC blocked by a slow
+// consumer, the other VC must keep the link flowing.
+func TestVCMultiplexingInterleavesFlows(t *testing.T) {
+	f := buildLine(2, 2, 64, 2, 1)
+	f.Routing = vcSplitRouting{}
+	var got []uint64
+	f.Sink = func(p *packet.Packet, now int64) { got = append(got, p.ID) }
+	// Two packets per VC class.
+	for i := uint64(1); i <= 4; i++ {
+		f.Routers[0].Inject(mkPacket(i, 0, 1, 32, 0), 0)
+	}
+	runCycles(f, 400)
+	if len(got) != 4 {
+		t.Fatalf("delivered %d of 4", len(got))
+	}
+	// Both VC classes must have been used on the link.
+	ip := f.Routers[1].In[1]
+	if len(ip.VCs) != 2 {
+		t.Fatal("expected 2 VCs")
+	}
+}
+
+// TestVCClassIsolation: a packet restricted to VC1 must never occupy VC0.
+func TestVCClassIsolation(t *testing.T) {
+	f := buildLine(2, 2, 64, 4, 1)
+	f.Routing = vcSplitRouting{}
+	occupiedVC0 := false
+	f.Sink = func(p *packet.Packet, now int64) {}
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 32, 0), 0) // odd id -> VC1 only
+	for i := 0; i < 200; i++ {
+		f.Step()
+		vc0 := f.Routers[1].In[1].VCs[0]
+		if vc0.Occupied() > 0 {
+			occupiedVC0 = true
+		}
+	}
+	if occupiedVC0 {
+		t.Error("VC1-restricted packet appeared in VC0")
+	}
+}
+
+// TestSafeMarkingAtArrival: packets are marked with the routing's SafeAt
+// verdict when they enter a buffer.
+func TestSafeMarkingAtArrival(t *testing.T) {
+	f := buildLine(3, 2, 64, 4, 1)
+	f.Routing = lineRouting{safe: func(node int, p *packet.Packet) bool { return node == 1 }}
+	f.Sink = func(p *packet.Packet, now int64) {}
+	f.Routers[0].Inject(mkPacket(1, 0, 2, 32, 0), 0)
+	sawSafeAt1 := false
+	for i := 0; i < 200; i++ {
+		f.Step()
+		if f.Routers[1].In[1].SafePackets() > 0 {
+			sawSafeAt1 = true
+		}
+		if f.Routers[2].In[1].SafePackets() > 0 {
+			t.Fatal("packet marked safe at node 2 where SafeAt is false")
+		}
+	}
+	if !sawSafeAt1 {
+		t.Error("packet never marked safe at node 1")
+	}
+}
+
+// TestLinkUtilizationCounter: utilization reflects carried flits.
+func TestLinkUtilizationCounter(t *testing.T) {
+	f := buildLine(2, 2, 64, 4, 1)
+	f.Sink = func(p *packet.Packet, now int64) {}
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 32, 0), 0)
+	runCycles(f, 100)
+	l := f.Links[0]
+	if l.Carried != 32 {
+		t.Errorf("carried %d flits, want 32", l.Carried)
+	}
+	want := 32.0 / (4.0 * float64(f.Now))
+	if got := l.Utilization(f.Now); got != want {
+		t.Errorf("utilization %g, want %g", got, want)
+	}
+	if l.Utilization(0) != 0 {
+		t.Error("zero-cycle utilization should be 0")
+	}
+}
+
+// TestInFlightLinkAccounting: flits on the wire are visible via InFlight.
+func TestInFlightLinkAccounting(t *testing.T) {
+	f := buildLine(2, 2, 64, 4, 20) // 20-cycle link
+	f.Sink = func(p *packet.Packet, now int64) {}
+	f.Routers[0].Inject(mkPacket(1, 0, 1, 8, 0), 0)
+	seen := 0
+	for i := 0; i < 60; i++ {
+		f.Step()
+		if n := f.Links[0].InFlight(); n > seen {
+			seen = n
+		}
+	}
+	if seen == 0 {
+		t.Error("no flits ever observed in flight on a 20-cycle link")
+	}
+	if f.Links[0].InFlight() != 0 {
+		t.Error("flits stuck on the link after delivery")
+	}
+}

@@ -1,0 +1,118 @@
+package routing
+
+import (
+	"sort"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/router"
+	"chipletnet/internal/topology"
+)
+
+// flatMesh is the baseline routing the paper compares against (§VI-A):
+// Duato's-protocol adaptive negative-first routing on the stitched global
+// 2D mesh. VC0 carries the NFR escape sub-network (all negative hops before
+// any positive hop — the turn-model-safe subset); the remaining VCs route
+// fully adaptively over minimal directions.
+type flatMesh struct {
+	sys          *topology.System
+	mode         Mode
+	vcs          int
+	adaptiveMask uint32
+}
+
+var _ router.Routing = (*flatMesh)(nil)
+
+func newFlatMesh(sys *topology.System, opt Options) *flatMesh {
+	return &flatMesh{
+		sys:          sys,
+		mode:         opt.Mode,
+		vcs:          sys.LP.VCs,
+		adaptiveMask: router.VCMaskAll(sys.LP.VCs) &^ 1,
+	}
+}
+
+// minimalDirs appends the global-mesh directions that reduce distance to
+// the destination.
+func (f *flatMesh) minimalDirs(v, dst int, dirs []topology.Dir) []topology.Dir {
+	gx, gy := f.sys.GlobalXY(v)
+	dx, dy := f.sys.GlobalXY(dst)
+	if dx < gx {
+		dirs = append(dirs, topology.DirXMinus)
+	}
+	if dx > gx {
+		dirs = append(dirs, topology.DirXPlus)
+	}
+	if dy < gy {
+		dirs = append(dirs, topology.DirYMinus)
+	}
+	if dy > gy {
+		dirs = append(dirs, topology.DirYPlus)
+	}
+	return dirs
+}
+
+// escapeDir returns the negative-first escape direction.
+func (f *flatMesh) escapeDir(v, dst int) topology.Dir {
+	gx, gy := f.sys.GlobalXY(v)
+	dx, dy := f.sys.GlobalXY(dst)
+	switch {
+	case dx < gx:
+		return topology.DirXMinus
+	case dy < gy:
+		return topology.DirYMinus
+	case dx > gx:
+		return topology.DirXPlus
+	default:
+		return topology.DirYPlus
+	}
+}
+
+func (f *flatMesh) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
+	v := r.Node
+	if v == p.Dst {
+		return append(buf, router.Candidate{Port: 0, VCMask: router.VCMaskAll(len(r.Out[0].Credits))})
+	}
+	var dirBuf [4]topology.Dir
+	dirs := f.minimalDirs(v, p.Dst, dirBuf[:0])
+
+	if f.mode == SafeUnsafe {
+		for _, d := range dirs {
+			buf = append(buf, router.Candidate{Port: f.sys.MeshPort(v, d), VCMask: router.VCMaskAll(f.vcs)})
+		}
+		// The NFR escape direction is always among the candidates (it is
+		// minimal on a mesh), so safe packets can follow it; nothing to
+		// append.
+		return buf
+	}
+
+	if f.adaptiveMask != 0 {
+		for _, d := range dirs {
+			buf = append(buf, router.Candidate{Port: f.sys.MeshPort(v, d), VCMask: f.adaptiveMask})
+		}
+		if len(buf) > 1 {
+			sort.SliceStable(buf, func(i, j int) bool {
+				return creditScore(r, buf[i]) > creditScore(r, buf[j])
+			})
+		}
+	}
+	esc := f.escapeDir(v, p.Dst)
+	return append(buf, router.Candidate{Port: f.sys.MeshPort(v, esc), VCMask: 1, Escape: true})
+}
+
+// SafeAt implements Definition 4 per channel: a packet that reached this
+// input over a positive hop has a negative-first path from the current
+// channel only if its remainder is positive-only. Packets that arrived
+// over negative hops (or sit in the injection queue) can always start a
+// fresh negative-then-positive path. Phase-blind safety (everything safe)
+// lets Algorithm 5 fill every buffer of a congestion cycle and deadlock.
+func (f *flatMesh) SafeAt(r *router.Router, inPort int, p *packet.Packet) bool {
+	dir := f.sys.Nodes[r.Node].Ports[inPort].Dir
+	// The input port faces the neighbor the packet came FROM: arriving on
+	// the X-/Y- port means the packet moved in the positive direction.
+	if dir != topology.DirXMinus && dir != topology.DirYMinus {
+		return true
+	}
+	gx, gy := f.sys.GlobalXY(r.Node)
+	dx, dy := f.sys.GlobalXY(p.Dst)
+	return dx >= gx && dy >= gy
+}

@@ -1,0 +1,134 @@
+package routing
+
+import (
+	"testing"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/topology"
+)
+
+func buildFlat(t *testing.T, cx, cy int) (*topology.System, *flatMesh) {
+	t.Helper()
+	sys, err := topology.BuildFlatMesh(geo(4, 4), cx, cy, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, ok := rt.(*flatMesh)
+	if !ok {
+		t.Fatalf("expected *flatMesh, got %T", rt)
+	}
+	return sys, fm
+}
+
+// walkNFR follows the escape direction from src to dst.
+func walkNFR(t *testing.T, sys *topology.System, fm *flatMesh, src, dst int) []int {
+	t.Helper()
+	path := []int{src}
+	v := src
+	for v != dst {
+		d := fm.escapeDir(v, dst)
+		port := sys.MeshPort(v, d)
+		if port < 0 {
+			t.Fatalf("node %d lacks a %v port on the way to %d", v, d, dst)
+		}
+		v = sys.Nodes[v].Ports[port].To
+		path = append(path, v)
+		if len(path) > len(sys.Nodes) {
+			t.Fatalf("NFR path %d -> %d did not terminate", src, dst)
+		}
+	}
+	return path
+}
+
+// TestBaselineNFRTurnRule: escape paths must be negative-first — once a
+// positive hop is taken, no negative hop may follow (the turn restriction
+// that makes NFR deadlock-free).
+func TestBaselineNFRTurnRule(t *testing.T) {
+	sys, fm := buildFlat(t, 3, 3)
+	for _, src := range sys.Cores {
+		for si, dst := range sys.Cores {
+			if src == dst || si%2 != 0 {
+				continue
+			}
+			path := walkNFR(t, sys, fm, src, dst)
+			positive := false
+			for i := 0; i+1 < len(path); i++ {
+				ax, ay := sys.GlobalXY(path[i])
+				bx, by := sys.GlobalXY(path[i+1])
+				neg := bx < ax || by < ay
+				if neg && positive {
+					t.Fatalf("negative hop after positive on %v", path)
+				}
+				if bx > ax || by > ay {
+					positive = true
+				}
+			}
+			// NFR paths on a mesh are minimal.
+			sx, sy := sys.GlobalXY(src)
+			dx, dy := sys.GlobalXY(dst)
+			if want := abs(dx-sx) + abs(dy-sy); len(path)-1 != want {
+				t.Fatalf("NFR path length %d, minimal %d (%d->%d)", len(path)-1, want, src, dst)
+			}
+		}
+	}
+}
+
+// TestBaselineEscapeAcyclic applies the channel-dependency check to the
+// NFR escape network (single escape VC class).
+func TestBaselineEscapeAcyclic(t *testing.T) {
+	sys, fm := buildFlat(t, 3, 2)
+	edges := map[escChannel]map[escChannel]bool{}
+	for _, src := range sys.Cores {
+		for _, dst := range sys.Cores {
+			if src == dst {
+				continue
+			}
+			path := walkNFR(t, sys, fm, src, dst)
+			for i := 0; i+2 < len(path); i++ {
+				a := escChannel{path[i], path[i+1], 0}
+				b := escChannel{path[i+1], path[i+2], 0}
+				if edges[a] == nil {
+					edges[a] = map[escChannel]bool{}
+				}
+				edges[a][b] = true
+			}
+		}
+	}
+	if cyc := findCycle(edges); cyc != nil {
+		t.Errorf("NFR escape dependency cycle: %v", cyc)
+	}
+}
+
+// TestBaselineAdaptiveCandidatesMinimal: every adaptive candidate must
+// reduce the global Manhattan distance.
+func TestBaselineAdaptiveCandidatesMinimal(t *testing.T) {
+	sys, fm := buildFlat(t, 2, 2)
+	f := sys.Fabric
+	src, dst := sys.Cores[0], sys.Cores[len(sys.Cores)-1]
+	p := &packet.Packet{Src: src, Dst: dst, Len: 32}
+	cands := fm.Candidates(f.Routers[src], 0, p, nil)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	sx, sy := sys.GlobalXY(src)
+	dx, dy := sys.GlobalXY(dst)
+	d0 := abs(dx-sx) + abs(dy-sy)
+	escapes := 0
+	for _, c := range cands {
+		if c.Escape {
+			escapes++
+		}
+		to := sys.Nodes[src].Ports[c.Port].To
+		tx, ty := sys.GlobalXY(to)
+		if abs(dx-tx)+abs(dy-ty) >= d0 {
+			t.Errorf("candidate via port %d does not reduce distance", c.Port)
+		}
+	}
+	if escapes != 1 {
+		t.Errorf("%d escape candidates, want exactly 1", escapes)
+	}
+}

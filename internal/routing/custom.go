@@ -1,0 +1,93 @@
+package routing
+
+import (
+	"fmt"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/topology"
+)
+
+// customLogic routes arbitrary (irregular) chiplet graphs: chiplet-level
+// shortest paths from a per-destination BFS next-hop table, with all
+// deadlock avoidance delegated to the safe/unsafe flow control — the
+// paper's prescribed approach for networks without exploitable label
+// structure (§IV-D: "especially for irregular networks").
+type customLogic struct {
+	sys *topology.System
+	// next[ci][cj] is the neighbor of ci on a shortest chiplet path to
+	// cj (lowest-index tie-break), or -1 on the diagonal.
+	next [][]int
+}
+
+func newCustomLogic(sys *topology.System) *customLogic {
+	m := sys.NumChiplets()
+	c := &customLogic{sys: sys, next: make([][]int, m)}
+	for dst := 0; dst < m; dst++ {
+		// Reverse BFS from dst: hop[i] = distance i -> dst.
+		hop := make([]int, m)
+		for i := range hop {
+			hop[i] = -1
+		}
+		hop[dst] = 0
+		queue := []int{dst}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range sys.CustomNeighbors[v] {
+				if hop[w] < 0 {
+					hop[w] = hop[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			if c.next[i] == nil {
+				c.next[i] = make([]int, m)
+			}
+			c.next[i][dst] = -1
+			if i == dst {
+				continue
+			}
+			for _, w := range sys.CustomNeighbors[i] {
+				if hop[w] == hop[i]-1 {
+					c.next[i][dst] = w
+					break
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (c *customLogic) exit(cv int, p *packet.Packet) exitPlan {
+	cd := c.sys.Nodes[p.Dst].Chiplet
+	nx := c.next[cv][cd]
+	if nx < 0 {
+		panic(fmt.Sprintf("routing: no chiplet path %d -> %d", cv, cd))
+	}
+	g := -1
+	for i, w := range c.sys.CustomNeighbors[cv] {
+		if w == nx {
+			g = i
+			break
+		}
+	}
+	if g < 0 {
+		panic(fmt.Sprintf("routing: chiplet %d has no group toward %d", cv, nx))
+	}
+	return exitPlan{
+		group: g,
+		segLo: 0, segHi: c.sys.Geo.RingLen() - 1,
+		bothWays: true,
+	}
+}
+
+func (c *customLogic) incomingMinusAllowed() bool { return true }
+
+// safeNode: on an irregular graph only packets already at their
+// destination chiplet count as safe (their remaining route — ring ride
+// plus plus-only core moves — cannot join a cross-chiplet cycle);
+// everything in transit relies on Algorithm 5's reserved slack.
+func (c *customLogic) safeNode(v, dstChiplet int) bool {
+	return c.sys.Nodes[v].Chiplet == dstChiplet
+}

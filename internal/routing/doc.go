@@ -1,0 +1,33 @@
+// Package routing implements the paper's routing algorithms on top of the
+// topologies built by internal/topology:
+//
+//   - Baseline: Duato's-protocol adaptive negative-first routing (NFR) on
+//     the flat stitched 2D mesh (§VI-A), with VC0 as the NFR escape channel
+//     and the remaining VCs fully adaptive minimal.
+//
+//   - MFR (minus-first routing) for the high-radix chiplet topologies
+//     (Algorithms 2–4): packets first descend the label order (mesh-negative
+//     moves among cores, then the interface ring toward more-negative
+//     labels, crossing chiplets through equal channels), and finally ascend
+//     (ring to core entry, then mesh-positive moves) at the destination
+//     chiplet. VC0 forms the escape sub-network; the remaining VCs are
+//     adaptive minimal toward the current stage waypoint, filtered by an
+//     admissibility predicate that guarantees a legal escape continuation
+//     from every reachable state (Duato's Lemma 1).
+//
+//   - nD-mesh equal-channel separation (Theorem 1): within a dimension's
+//     interface segment and on its chiplet-to-chiplet links, packets
+//     traveling in the d+ and d- directions use disjoint virtual channels,
+//     breaking the Fig. 8 dependency circle.
+//
+//   - Safe/unsafe mode (Algorithm 5): routing returns shortest-path
+//     candidates on all VCs and the fabric's VC-allocation stage enforces
+//     the safe/unsafe flow-control policy, using SafeAt (Definition 4) as
+//     the safety predicate.
+//
+// Ring-direction conventions (see internal/chiplet): walking the interface
+// ring toward increasing ring position follows decreasing (more negative)
+// labels, so a "minus ride" increases ring position and a "plus ride"
+// decreases it. Rides never use the wrap channel between positions P-1 and
+// 0 (the one plus channel of the ring), which keeps every ride monotone.
+package routing

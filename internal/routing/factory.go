@@ -1,0 +1,42 @@
+package routing
+
+import (
+	"fmt"
+
+	"chipletnet/internal/router"
+	"chipletnet/internal/topology"
+)
+
+// New constructs the routing algorithm matching the system's topology.
+// The returned value must be installed as the fabric's Routing before
+// simulation; when opt.Mode is SafeUnsafe the fabric's SafeUnsafe flag
+// must be enabled as well (the root package runner does both).
+func New(sys *topology.System, opt Options) (router.Routing, error) {
+	switch sys.Kind {
+	case topology.FlatMesh:
+		return newFlatMesh(sys, opt), nil
+	case topology.Hypercube:
+		return newMFR(sys, &hypercubeLogic{sys: sys}, opt), nil
+	case topology.NDMesh, topology.NDTorus:
+		sep := !opt.DisableNDMeshVCSeparation
+		if sep && sys.LP.VCs < 2 {
+			return nil, fmt.Errorf("routing: %v needs >= 2 VCs for the Theorem-1 d+/d- separation (have %d)", sys.Kind, sys.LP.VCs)
+		}
+		base := ndmeshLogic{sys: sys, separate: sep}
+		if sys.Kind == topology.NDTorus {
+			return newMFR(sys, &torusLogic{ndmeshLogic: base}, opt), nil
+		}
+		return newMFR(sys, &base, opt), nil
+	case topology.Dragonfly:
+		return newMFR(sys, &dragonflyLogic{sys: sys}, opt), nil
+	case topology.Tree:
+		return newMFR(sys, newTreeLogic(sys), opt), nil
+	case topology.Custom:
+		if opt.Mode != SafeUnsafe {
+			return nil, fmt.Errorf("routing: irregular custom topologies have no MFR label structure; use the safe/unsafe routing mode")
+		}
+		return newMFR(sys, newCustomLogic(sys), opt), nil
+	default:
+		return nil, fmt.Errorf("routing: unsupported topology kind %v", sys.Kind)
+	}
+}

@@ -1,0 +1,93 @@
+package routing
+
+import (
+	"testing"
+
+	"chipletnet/internal/topology"
+)
+
+// faultedSystems returns grouped topologies with 20% of their
+// chiplet-to-chiplet channels disabled.
+func faultedSystems(t *testing.T) map[string]*topology.System {
+	t.Helper()
+	out := map[string]*topology.System{}
+	lp := testLP()
+	cube, err := topology.BuildHypercube(geo(4, 4), 4, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := topology.BuildDragonfly(geo(4, 4), 6, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := topology.BuildNDMesh(geo(5, 5), []int{3, 3}, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*topology.System{"hypercube": cube, "dragonfly": df, "ndmesh": mesh} {
+		if _, err := s.FailRandomCrossLinks(0.2, 99); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// TestEscapeSurvivesFaults: with 20% of cross links disabled, every core
+// pair must still have a terminating escape path that never uses a failed
+// channel.
+func TestEscapeSurvivesFaults(t *testing.T) {
+	for name, sys := range faultedSystems(t) {
+		m := mfrFor(t, sys, Options{})
+		linked := map[int]bool{}
+		for _, ch := range sys.Chiplets {
+			for _, g := range ch.Groups {
+				for _, id := range g {
+					linked[id] = true
+				}
+			}
+		}
+		for _, src := range sys.Cores {
+			for si, dst := range sys.Cores {
+				if src == dst || si%2 != 0 {
+					continue
+				}
+				path, _ := walkEscape(t, m, src, dst, 3)
+				for i := 0; i+1 < len(path); i++ {
+					a, b := path[i], path[i+1]
+					if sys.Nodes[a].Chiplet != sys.Nodes[b].Chiplet && !linked[a] {
+						t.Fatalf("%s: escape crossed the failed link %d->%d", name, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEscapeAcyclicUnderFaults re-runs the channel-dependency check on the
+// degraded systems: fault steering must not introduce cycles.
+func TestEscapeAcyclicUnderFaults(t *testing.T) {
+	for name, sys := range faultedSystems(t) {
+		m := mfrFor(t, sys, Options{})
+		edges := map[escChannel]map[escChannel]bool{}
+		for _, src := range sys.Cores {
+			for _, dst := range sys.Cores {
+				if src == dst {
+					continue
+				}
+				path, vcs := walkEscape(t, m, src, dst, 2)
+				for i := 0; i+2 < len(path); i++ {
+					a := escChannel{path[i], path[i+1], vcs[i]}
+					b := escChannel{path[i+1], path[i+2], vcs[i+1]}
+					if edges[a] == nil {
+						edges[a] = map[escChannel]bool{}
+					}
+					edges[a][b] = true
+				}
+			}
+		}
+		if cyc := findCycle(edges); cyc != nil {
+			t.Errorf("%s with faults: dependency cycle %v", name, cyc)
+		}
+	}
+}

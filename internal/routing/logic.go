@@ -1,0 +1,213 @@
+package routing
+
+import (
+	"fmt"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/topology"
+)
+
+// hypercubeLogic implements Algorithm 4: offset dimensions are crossed in
+// increasing index order. Group j (dimension j) sits at lower ring
+// positions than group j+1, so visiting dimensions in increasing order
+// walks the ring monotonically in the minus direction; no virtual channels
+// are needed (§IV-C).
+type hypercubeLogic struct {
+	sys *topology.System
+}
+
+func (h *hypercubeLogic) exit(cv int, p *packet.Packet) exitPlan {
+	cur := h.sys.Chiplets[cv].Coord
+	dst := h.sys.Chiplets[h.sys.Nodes[p.Dst].Chiplet].Coord
+	for j := range cur {
+		if cur[j] != dst[j] {
+			lo, hi := h.sys.GroupRange(j)
+			return exitPlan{group: j, segLo: lo, segHi: hi}
+		}
+	}
+	panic(fmt.Sprintf("routing: hypercube exit called with equal coordinates (chiplet %d)", cv))
+}
+
+func (h *hypercubeLogic) incomingMinusAllowed() bool { return true }
+
+// ndmeshLogic implements dimension-order MFR on the chiplet-level nD-mesh.
+// Dimension j's interface segment is the union of groups 2j (d_j-) and
+// 2j+1 (d_j+). Packets traveling d+ enter the segment from below and leave
+// through its upper half; packets traveling d- arrive from the upper half
+// and descend to the lower half on plus-direction equal channels. The two
+// direction classes use disjoint virtual channels on segment and cross
+// hops (Theorem 1 / Fig. 8).
+type ndmeshLogic struct {
+	sys *topology.System
+	// separate applies the Theorem-1 VC separation (VC0 for d-, VC1 for
+	// d+). When disabled both classes use VC0 — a configuration that
+	// Theorem 1 shows can deadlock; kept only for demonstration.
+	separate bool
+}
+
+func (n *ndmeshLogic) exit(cv int, p *packet.Packet) exitPlan {
+	cur := n.sys.Chiplets[cv].Coord
+	dst := n.sys.Chiplets[n.sys.Nodes[p.Dst].Chiplet].Coord
+	for j := range cur {
+		if cur[j] == dst[j] {
+			continue
+		}
+		minusGroup, plusGroup := 2*j, 2*j+1
+		lo, _ := n.sys.GroupRange(minusGroup)
+		_, hi := n.sys.GroupRange(plusGroup)
+		plan := exitPlan{segLo: lo, segHi: hi, bothWays: true}
+		if dst[j] > cur[j] {
+			plan.group = plusGroup
+			if n.separate {
+				plan.vcClass = 1
+			}
+		} else {
+			plan.group = minusGroup
+		}
+		return plan
+	}
+	panic(fmt.Sprintf("routing: nD-mesh exit called with equal coordinates (chiplet %d)", cv))
+}
+
+func (n *ndmeshLogic) incomingMinusAllowed() bool { return true }
+
+// torusLogic routes the chiplet-level nD-torus. The escape sub-network is
+// exactly the embedded nD-mesh (exit plans never use the wrap channels),
+// so the Theorem-1 analysis carries over unchanged; the wrap channels are
+// offered to the adaptive virtual channels only (extraExits), which is
+// Duato-safe because every packet retains its mesh escape from every
+// reachable state.
+type torusLogic struct {
+	ndmeshLogic
+}
+
+// extraExits returns the wrap-direction exit plan for the packet's current
+// dimension when the wrap route is strictly shorter than the mesh route.
+func (t *torusLogic) extraExits(cv int, p *packet.Packet) []exitPlan {
+	cur := t.sys.Chiplets[cv].Coord
+	dst := t.sys.Chiplets[t.sys.Nodes[p.Dst].Chiplet].Coord
+	dims := t.sys.ChipDims
+	for j := range cur {
+		if cur[j] == dst[j] {
+			continue
+		}
+		direct := abs(dst[j] - cur[j])
+		wrap := dims[j] - direct
+		if wrap >= direct {
+			return nil
+		}
+		// Travel the opposite sign through the wrap channel.
+		plus := dst[j] < cur[j]
+		g := 2 * j
+		if plus {
+			g++
+		}
+		if len(t.sys.Chiplets[cv].Groups[g]) == 0 {
+			return nil // dimension too small to have a wrap channel
+		}
+		minusGroup, plusGroup := 2*j, 2*j+1
+		lo, _ := t.sys.GroupRange(minusGroup)
+		_, hi := t.sys.GroupRange(plusGroup)
+		plan := exitPlan{group: g, segLo: lo, segHi: hi, bothWays: true}
+		if t.separate && plus {
+			plan.vcClass = 1
+		}
+		return []exitPlan{plan}
+	}
+	return nil
+}
+
+// dragonflyLogic routes the fully connected topology: every packet takes
+// exactly one chiplet-to-chiplet hop, through the group whose edge color
+// joins the two chiplets. Destination-chiplet rides use the plus direction
+// only, which keeps ring channels that feed cross links (minus rides)
+// disjoint from ring channels fed by cross links (plus rides) and the
+// dependency graph acyclic without virtual channels.
+type dragonflyLogic struct {
+	sys *topology.System
+}
+
+func (d *dragonflyLogic) exit(cv int, p *packet.Packet) exitPlan {
+	cd := d.sys.Nodes[p.Dst].Chiplet
+	g := d.sys.DragonflyColor[cv][cd]
+	if g < 0 {
+		panic(fmt.Sprintf("routing: no dragonfly color between chiplets %d and %d", cv, cd))
+	}
+	lo, hi := d.sys.GroupRange(g)
+	return exitPlan{group: g, segLo: lo, segHi: hi}
+}
+
+func (d *dragonflyLogic) incomingMinusAllowed() bool { return false }
+
+// treeLogic routes the irregular tree topology: up toward the common
+// ancestor through the parent group (the highest ring positions, reached
+// by minus rides), then down through child groups (reached by plus rides).
+type treeLogic struct {
+	sys   *topology.System
+	depth []int
+}
+
+func newTreeLogic(sys *topology.System) *treeLogic {
+	t := &treeLogic{sys: sys, depth: make([]int, sys.NumChiplets())}
+	for i := range t.depth {
+		d, c := 0, i
+		for sys.Parent[c] >= 0 {
+			c = sys.Parent[c]
+			d++
+		}
+		t.depth[i] = d
+	}
+	return t
+}
+
+// nextChiplet returns the tree neighbor of cv on the path to cd.
+func (t *treeLogic) nextChiplet(cv, cd int) (next int, down bool) {
+	// Climb cd to cv's depth+1 and check whether cv is its ancestor.
+	c := cd
+	for t.depth[c] > t.depth[cv]+1 {
+		c = t.sys.Parent[c]
+	}
+	if t.depth[c] == t.depth[cv]+1 && t.sys.Parent[c] == cv {
+		return c, true
+	}
+	return t.sys.Parent[cv], false
+}
+
+func (t *treeLogic) exit(cv int, p *packet.Packet) exitPlan {
+	cd := t.sys.Nodes[p.Dst].Chiplet
+	next, down := t.nextChiplet(cv, cd)
+	ringHi := t.sys.Geo.RingLen() - 1
+	if !down {
+		// Upward: the parent group is the last group.
+		g := t.sys.Grouping.Groups() - 1
+		return exitPlan{group: g, segLo: 0, segHi: ringHi, bothWays: true}
+	}
+	// Downward: find which child slot next occupies.
+	for slot, ch := range t.sys.Children[cv] {
+		if ch == next {
+			return exitPlan{group: slot, segLo: 0, segHi: ringHi, bothWays: true}
+		}
+	}
+	panic(fmt.Sprintf("routing: chiplet %d is not a child of %d", next, cv))
+}
+
+// incomingMinusAllowed is false for trees: destination-chiplet rides use
+// the plus direction only. Minus rides at a destination chiplet would share
+// ring channels with upward exit rides, closing a cross-down → ring-minus →
+// cross-up dependency cycle (caught by the escape-acyclicity test).
+func (t *treeLogic) incomingMinusAllowed() bool { return false }
+
+// safeNode implements the Definition-4 predicate for trees: a packet is
+// safe once it has turned downward — the destination chiplet lies in the
+// subtree of the packet's current chiplet — because the remaining route
+// (plus rides and parent-to-child hops) is acyclic by tree depth. Upward
+// packets are unsafe: their progress guarantee comes from Algorithm 5's
+// reserved slack, not from the channel order.
+func (t *treeLogic) safeNode(v, dstChiplet int) bool {
+	cv := t.sys.Nodes[v].Chiplet
+	c := dstChiplet
+	for t.depth[c] > t.depth[cv] {
+		c = t.sys.Parent[c]
+	}
+	return c == cv
+}

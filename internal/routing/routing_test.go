@@ -1,0 +1,397 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"chipletnet/internal/chiplet"
+	"chipletnet/internal/packet"
+	"chipletnet/internal/topology"
+)
+
+func testLP() topology.LinkParams {
+	return topology.LinkParams{
+		VCs: 2, InternalBufFlits: 32, InterfaceBufFlits: 64,
+		OnChipBW: 4, OffChipBW: 2, OnChipLatency: 1, OffChipLatency: 5,
+		EjectBW: 4,
+	}
+}
+
+func geo(w, h int) chiplet.Geometry { return chiplet.MustNew(w, h) }
+
+// buildAll returns a small instance of every grouped topology.
+func buildAll(t *testing.T) map[string]*topology.System {
+	t.Helper()
+	lp := testLP()
+	out := map[string]*topology.System{}
+	var err error
+	if out["hypercube-4"], err = topology.BuildHypercube(geo(4, 4), 4, lp); err != nil {
+		t.Fatal(err)
+	}
+	if out["ndmesh-3x2x2"], err = topology.BuildNDMesh(geo(4, 4), []int{3, 2, 2}, lp); err != nil {
+		t.Fatal(err)
+	}
+	if out["dragonfly-6"], err = topology.BuildDragonfly(geo(4, 4), 6, lp); err != nil {
+		t.Fatal(err)
+	}
+	if out["tree-7"], err = topology.BuildTree(geo(5, 5), 7, 2, lp); err != nil {
+		t.Fatal(err)
+	}
+	if out["hypercube-6x6"], err = topology.BuildHypercube(geo(6, 6), 5, lp); err != nil {
+		t.Fatal(err)
+	}
+	if out["ndtorus-4x3"], err = topology.BuildNDTorus(geo(4, 4), []int{4, 3}, lp); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mfrFor(t *testing.T, sys *topology.System, opt Options) *mfr {
+	t.Helper()
+	rt, err := New(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := rt.(*mfr)
+	if !ok {
+		t.Fatalf("expected *mfr, got %T", rt)
+	}
+	return m
+}
+
+// walkEscape follows escapeStep from src to dst, asserting progress and a
+// sane bound, and returns the visited nodes (src..dst) plus the per-hop
+// escape VC classes.
+func walkEscape(t *testing.T, m *mfr, src, dst, tag int) ([]int, []int) {
+	t.Helper()
+	p := &packet.Packet{Src: src, Dst: dst, Tag: tag, Len: 32}
+	bound := len(m.sys.Nodes) * 4
+	path := []int{src}
+	var vcs []int
+	v := src
+	for v != dst {
+		next, vc := m.escapeStep(v, p)
+		if m.sys.PortTo(v, next) < 0 {
+			t.Fatalf("escape step %d -> %d is not a link (src %d dst %d)", v, next, src, dst)
+		}
+		path = append(path, next)
+		vcs = append(vcs, vc)
+		v = next
+		if len(path) > bound {
+			t.Fatalf("escape path from %d to %d did not terminate (len > %d)", src, dst, bound)
+		}
+	}
+	return path, vcs
+}
+
+// TestEscapeTerminatesAllPairs walks the escape path for every core pair on
+// every topology.
+func TestEscapeTerminatesAllPairs(t *testing.T) {
+	for name, sys := range buildAll(t) {
+		m := mfrFor(t, sys, Options{})
+		diam, _ := sys.Diameter()
+		maxLen := 0
+		for _, src := range sys.Cores {
+			for _, dst := range sys.Cores {
+				if src == dst {
+					continue
+				}
+				path, _ := walkEscape(t, m, src, dst, 0)
+				if len(path)-1 > maxLen {
+					maxLen = len(path) - 1
+				}
+			}
+		}
+		// Escape paths are not minimal but must stay comparable to the
+		// diameter plus ring detours.
+		limit := diam + 3*sys.Geo.RingLen()
+		if maxLen > limit {
+			t.Errorf("%s: longest escape path %d exceeds %d (diameter %d)", name, maxLen, limit, diam)
+		}
+	}
+}
+
+// TestEscapeMinusFirstWithinChiplet asserts the MFR discipline on every
+// escape path: within each chiplet traversal, ring-position movement in the
+// minus direction (increasing position) never follows a plus move, except
+// inside nD-mesh dimension segments and tree chiplets where equal-label
+// movement is allowed both ways.
+func TestEscapeMinusFirstCoreDiscipline(t *testing.T) {
+	// Strongest checkable invariant for hypercube and dragonfly: the
+	// mesh-label sequence within the source chiplet is non-increasing
+	// (minus-only) until the chiplet-to-chiplet hop, and within the
+	// destination chiplet every core-mesh move after entering the core
+	// region is label-increasing (plus-only).
+	for _, name := range []string{"hypercube-4", "hypercube-6x6", "dragonfly-6"} {
+		sys := buildAll(t)[name]
+		m := mfrFor(t, sys, Options{})
+		for _, src := range sys.Cores {
+			for _, dst := range sys.Cores {
+				if src == dst || sys.Nodes[src].Chiplet == sys.Nodes[dst].Chiplet {
+					continue
+				}
+				path, _ := walkEscape(t, m, src, dst, 1)
+				assertMinusThenPlus(t, sys, path, name)
+			}
+		}
+	}
+}
+
+// assertMinusThenPlus checks that along the path, labels never increase
+// before the final plus phase: formally, once a hop increases the label
+// within a chiplet's core region, all remaining hops stay within the
+// destination chiplet.
+func assertMinusThenPlus(t *testing.T, sys *topology.System, path []int, name string) {
+	t.Helper()
+	dst := path[len(path)-1]
+	dstChip := sys.Nodes[dst].Chiplet
+	plusPhase := false
+	for i := 0; i+1 < len(path); i++ {
+		a, b := &sys.Nodes[path[i]], &sys.Nodes[path[i+1]]
+		if a.Chiplet != b.Chiplet {
+			if plusPhase {
+				t.Fatalf("%s: cross-chiplet hop after plus phase on path %v", name, path)
+			}
+			continue
+		}
+		// Ring plus move (decreasing position) or core plus move starts
+		// the plus phase.
+		plusHop := false
+		if a.RingPos >= 0 && b.RingPos >= 0 {
+			plusHop = b.RingPos < a.RingPos
+		} else if a.RingPos >= 0 && b.RingPos < 0 {
+			plusHop = true // ring -> core entry is a plus channel
+		} else if a.RingPos < 0 && b.RingPos < 0 {
+			plusHop = b.Label > a.Label
+		} else {
+			plusHop = false // core -> ring is a minus channel
+		}
+		if plusHop {
+			if a.Chiplet != dstChip {
+				t.Fatalf("%s: plus hop outside destination chiplet on path %v", name, path)
+			}
+			plusPhase = true
+		} else if plusPhase {
+			t.Fatalf("%s: minus hop %d->%d after plus phase on path %v", name, path[i], path[i+1], path)
+		}
+	}
+}
+
+// escChannel identifies one escape channel: a directed link plus VC class.
+type escChannel struct {
+	from, to int
+	vc       int
+}
+
+// TestEscapeChannelDependenciesAcyclic builds the channel dependency graph
+// induced by all escape paths (every core pair, several interleave tags)
+// and verifies it has no cycle — the Duato condition that makes the escape
+// sub-network deadlock-free.
+func TestEscapeChannelDependenciesAcyclic(t *testing.T) {
+	for name, sys := range buildAll(t) {
+		m := mfrFor(t, sys, Options{})
+		edges := map[escChannel]map[escChannel]bool{}
+		addPath := func(path []int, vcs []int) {
+			for i := 0; i+2 < len(path); i++ {
+				a := escChannel{path[i], path[i+1], vcs[i]}
+				b := escChannel{path[i+1], path[i+2], vcs[i+1]}
+				if edges[a] == nil {
+					edges[a] = map[escChannel]bool{}
+				}
+				edges[a][b] = true
+			}
+		}
+		for _, src := range sys.Cores {
+			for _, dst := range sys.Cores {
+				if src == dst {
+					continue
+				}
+				for _, tag := range []int{0, 1, 5} {
+					path, vcs := walkEscape(t, m, src, dst, tag)
+					addPath(path, vcs)
+				}
+			}
+		}
+		if cyc := findCycle(edges); cyc != nil {
+			t.Errorf("%s: escape channel dependency cycle: %v", name, cyc)
+		}
+	}
+}
+
+// findCycle returns a cycle in the channel graph, or nil.
+func findCycle(edges map[escChannel]map[escChannel]bool) []escChannel {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[escChannel]int{}
+	var stack []escChannel
+	var dfs func(c escChannel) []escChannel
+	dfs = func(c escChannel) []escChannel {
+		color[c] = gray
+		stack = append(stack, c)
+		for n := range edges[c] {
+			switch color[n] {
+			case gray:
+				// Found: slice the stack from n.
+				for i, s := range stack {
+					if s == n {
+						return append([]escChannel(nil), stack[i:]...)
+					}
+				}
+				return stack
+			case white:
+				if cyc := dfs(n); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		color[c] = black
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for c := range edges {
+		if color[c] == white {
+			if cyc := dfs(c); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+// TestNDMeshVCSeparationClasses asserts Theorem 1's condition: on nD-mesh
+// cross hops, d- packets use VC0 and d+ packets use VC1.
+func TestNDMeshVCSeparationClasses(t *testing.T) {
+	sys := buildAll(t)["ndmesh-3x2x2"]
+	m := mfrFor(t, sys, Options{})
+	checked := 0
+	for _, src := range sys.Cores {
+		for _, dst := range sys.Cores {
+			if src == dst {
+				continue
+			}
+			path, vcs := walkEscape(t, m, src, dst, 0)
+			for i := 0; i+1 < len(path); i++ {
+				a, b := &sys.Nodes[path[i]], &sys.Nodes[path[i+1]]
+				if a.Chiplet == b.Chiplet {
+					continue
+				}
+				dim := a.Group / 2
+				plus := sys.Chiplets[b.Chiplet].Coord[dim] > sys.Chiplets[a.Chiplet].Coord[dim]
+				want := 0
+				if plus {
+					want = 1
+				}
+				if vcs[i] != want {
+					t.Fatalf("cross hop %d->%d (dim %d, plus=%v) on VC %d, want %d",
+						path[i], path[i+1], dim, plus, vcs[i], want)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cross hops checked")
+	}
+}
+
+// TestHypercubeDimensionOrder asserts Algorithm 4: chiplet-level hops fix
+// dimensions in increasing order.
+func TestHypercubeDimensionOrder(t *testing.T) {
+	sys := buildAll(t)["hypercube-4"]
+	m := mfrFor(t, sys, Options{})
+	for _, src := range sys.Cores {
+		for _, dst := range sys.Cores {
+			if src == dst {
+				continue
+			}
+			path, _ := walkEscape(t, m, src, dst, 0)
+			lastDim := -1
+			for i := 0; i+1 < len(path); i++ {
+				a, b := &sys.Nodes[path[i]], &sys.Nodes[path[i+1]]
+				if a.Chiplet == b.Chiplet {
+					continue
+				}
+				dim := a.Group
+				if dim <= lastDim {
+					t.Fatalf("dimension order violated (%d after %d) on path %v", dim, lastDim, path)
+				}
+				lastDim = dim
+			}
+		}
+	}
+}
+
+// TestInterleaveTagSpreadsExits verifies that different tags make packets
+// leave through different physical interfaces of the same group.
+func TestInterleaveTagSpreadsExits(t *testing.T) {
+	sys := buildAll(t)["hypercube-4"]
+	m := mfrFor(t, sys, Options{})
+	src := sys.Cores[0]
+	var dst int
+	for _, c := range sys.Cores {
+		if sys.Nodes[c].Chiplet != sys.Nodes[src].Chiplet {
+			dst = c
+			break
+		}
+	}
+	exits := map[int]bool{}
+	for tag := 0; tag < 4; tag++ {
+		path, _ := walkEscape(t, m, src, dst, tag)
+		for i := 0; i+1 < len(path); i++ {
+			if sys.Nodes[path[i]].Chiplet != sys.Nodes[path[i+1]].Chiplet {
+				exits[path[i]] = true
+				break
+			}
+		}
+	}
+	if len(exits) < 2 {
+		t.Errorf("tags 0..3 all exit through %v; interleaving has no effect", exits)
+	}
+}
+
+// TestSafeAtMatchesEscape: every node on an escape path must be admissible
+// (SafeAt true), since the escape continuation exists by construction.
+func TestSafeAtMatchesEscape(t *testing.T) {
+	for name, sys := range buildAll(t) {
+		m := mfrFor(t, sys, Options{})
+		for _, src := range sys.Cores {
+			for si, dst := range sys.Cores {
+				if src == dst || si%3 != 0 {
+					continue
+				}
+				p := &packet.Packet{Src: src, Dst: dst, Tag: 0, Len: 32}
+				path, _ := walkEscape(t, m, src, dst, 0)
+				for _, v := range path {
+					if !m.admissible(v, p) {
+						t.Fatalf("%s: escape path visits inadmissible node %d (src %d dst %d)", name, v, src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFactoryErrors(t *testing.T) {
+	sys, err := topology.BuildNDMesh(geo(4, 4), []int{2, 2}, topology.LinkParams{
+		VCs: 1, InternalBufFlits: 32, InterfaceBufFlits: 64,
+		OnChipBW: 4, OffChipBW: 2, OnChipLatency: 1, OffChipLatency: 5, EjectBW: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sys, Options{}); err == nil {
+		t.Error("nD-mesh with 1 VC accepted despite Theorem-1 separation")
+	}
+	if _, err := New(sys, Options{DisableNDMeshVCSeparation: true}); err != nil {
+		t.Errorf("separation disabled should allow 1 VC: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if fmt.Sprint(DuatoEscape) != "duato-escape" || fmt.Sprint(SafeUnsafe) != "safe-unsafe" {
+		t.Error("Mode.String mismatch")
+	}
+}

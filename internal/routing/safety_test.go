@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"testing"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/topology"
+)
+
+// findLinkedPort returns the input port of node `to` whose link comes from
+// node `from`.
+func findLinkedPort(t *testing.T, sys *topology.System, from, to int) int {
+	t.Helper()
+	p := sys.PortTo(to, from)
+	if p < 0 {
+		t.Fatalf("no port at %d from %d", to, from)
+	}
+	return p
+}
+
+// TestArrivedPlusClassification checks the channel classification backing
+// the phase-aware Definition 4.
+func TestArrivedPlusClassification(t *testing.T) {
+	sys := buildAll(t)["hypercube-4"]
+	m := mfrFor(t, sys, Options{Mode: SafeUnsafe})
+	f := sys.Fabric
+
+	ring := sys.Chiplets[0].Ring
+	P := len(ring)
+
+	cases := []struct {
+		name     string
+		from, to int
+		plus     bool
+	}{
+		{"ring minus step (pos 1 -> 2)", ring[1], ring[2], false},
+		{"ring plus step (pos 2 -> 1)", ring[2], ring[1], true},
+		{"ring wrap (pos P-1 -> 0)", ring[P-1], ring[0], true},
+		{"ring wrap reverse (pos 0 -> P-1)", ring[0], ring[P-1], false},
+		{"ring to core entry", ring[1], sys.NodeID(0, 1, 1), true},
+		{"core to ring", sys.NodeID(0, 1, 1), ring[1], false},
+		{"core plus (X+)", sys.NodeID(0, 1, 1), sys.NodeID(0, 2, 1), true},
+		{"core minus (X-)", sys.NodeID(0, 2, 1), sys.NodeID(0, 1, 1), false},
+	}
+	for _, c := range cases {
+		port := findLinkedPort(t, sys, c.from, c.to)
+		if got := m.arrivedPlus(f.Routers[c.to], port); got != c.plus {
+			t.Errorf("%s: arrivedPlus = %v, want %v", c.name, got, c.plus)
+		}
+	}
+	// Cross-chiplet arrivals are equal channels.
+	var ifNode int
+	for id := range sys.Nodes {
+		if sys.CrossPort(id) >= 0 {
+			ifNode = id
+			break
+		}
+	}
+	peer := sys.Nodes[ifNode].Ports[sys.CrossPort(ifNode)].To
+	port := findLinkedPort(t, sys, ifNode, peer)
+	if m.arrivedPlus(f.Routers[peer], port) {
+		t.Error("cross-chiplet arrival classified as plus")
+	}
+	// Injection queues are never plus.
+	if m.arrivedPlus(f.Routers[sys.Cores[0]], 0) {
+		t.Error("injection queue classified as plus")
+	}
+}
+
+// TestPlusOnlyRemainder checks the plus-only completion predicate.
+func TestPlusOnlyRemainder(t *testing.T) {
+	sys := buildAll(t)["hypercube-6x6"] // 6x6 chiplets: 16 cores each
+	m := mfrFor(t, sys, Options{Mode: SafeUnsafe})
+
+	core := func(c, x, y int) int { return sys.NodeID(c, x, y) }
+	pkt := func(dst int) *packet.Packet { return &packet.Packet{Dst: dst, Len: 32} }
+
+	// Core (1,1) -> core (3,3): plus-only (X+,Y+ walk).
+	if !m.plusOnlyRemainder(core(0, 1, 1), pkt(core(0, 3, 3))) {
+		t.Error("up-right core walk should be plus-only")
+	}
+	// Core (3,3) -> core (1,1): needs minus moves.
+	if m.plusOnlyRemainder(core(0, 3, 3), pkt(core(0, 1, 1))) {
+		t.Error("down-left core walk is not plus-only")
+	}
+	// Different chiplet: never plus-only.
+	if m.plusOnlyRemainder(core(0, 1, 1), pkt(core(1, 3, 3))) {
+		t.Error("cross-chiplet remainder is not plus-only")
+	}
+	// Ring node -> lower-position ring node: plus ride.
+	ring := sys.Chiplets[0].Ring
+	if !m.plusOnlyRemainder(ring[5], pkt(ring[2])) {
+		t.Error("plus ride down the ring should be plus-only")
+	}
+	if m.plusOnlyRemainder(ring[2], pkt(ring[5])) {
+		t.Error("minus ride up the ring is not plus-only")
+	}
+	// Ring node above an enterable entry for an interior destination.
+	if !m.plusOnlyRemainder(ring[5], pkt(core(0, 4, 4))) {
+		t.Error("ride down to a bottom entry then walk up should be plus-only")
+	}
+}
+
+// TestSafeAtPhaseAware: the same node is safe or unsafe depending on the
+// arrival channel.
+func TestSafeAtPhaseAware(t *testing.T) {
+	sys := buildAll(t)["hypercube-6x6"]
+	m := mfrFor(t, sys, Options{Mode: SafeUnsafe})
+	f := sys.Fabric
+
+	at := sys.NodeID(0, 2, 2)            // core (2,2)
+	dstNeedsMinus := sys.NodeID(0, 1, 1) // requires X-,Y-
+	p := &packet.Packet{Dst: dstNeedsMinus, Len: 32}
+
+	// Arriving from (1,2) means the packet moved X+ (plus): unsafe.
+	plusPort := findLinkedPort(t, sys, sys.NodeID(0, 1, 2), at)
+	if m.SafeAt(f.Routers[at], plusPort, p) {
+		t.Error("plus-arrived packet needing minus moves marked safe")
+	}
+	// Arriving from (3,2) means the packet moved X- (minus): safe.
+	minusPort := findLinkedPort(t, sys, sys.NodeID(0, 3, 2), at)
+	if !m.SafeAt(f.Routers[at], minusPort, p) {
+		t.Error("minus-arrived packet denied fresh minus-first path")
+	}
+}

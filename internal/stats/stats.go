@@ -1,0 +1,122 @@
+// Package stats collects per-run network statistics: packet latency,
+// accepted throughput, hop-count breakdowns (for the energy model), and
+// latency percentiles.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"chipletnet/internal/packet"
+)
+
+// Collector accumulates delivery statistics. Install OnDeliver as the
+// fabric sink. Only packets created during the measurement window
+// (Packet.Measured) contribute to latency and hop statistics; throughput
+// counts every flit delivered after MeasureFrom.
+type Collector struct {
+	// MeasureFrom is the cycle measurement starts (end of warm-up).
+	MeasureFrom int64
+
+	latencies []float64
+	sumLat    float64
+	sumNet    float64
+	maxLat    int64
+
+	measuredDelivered int
+	deliveredAll      int
+	acceptedFlits     int64
+
+	sumRouters, sumOnChip, sumOffChip float64
+}
+
+// OnDeliver records a delivered packet.
+func (c *Collector) OnDeliver(p *packet.Packet, now int64) {
+	c.deliveredAll++
+	if now >= c.MeasureFrom {
+		c.acceptedFlits += int64(p.Len)
+	}
+	if !p.Measured {
+		return
+	}
+	c.measuredDelivered++
+	l := p.Latency()
+	c.latencies = append(c.latencies, float64(l))
+	c.sumLat += float64(l)
+	c.sumNet += float64(p.NetworkLatency())
+	if l > c.maxLat {
+		c.maxLat = l
+	}
+	c.sumRouters += float64(p.Routers())
+	c.sumOnChip += float64(p.OnChipHops)
+	c.sumOffChip += float64(p.OffChipHops)
+}
+
+// Summary is the digest of one simulation run.
+type Summary struct {
+	// AvgLatency is the mean packet latency in cycles (creation to tail
+	// delivery, source queueing included) over measured packets.
+	AvgLatency float64
+	// AvgNetworkLatency excludes source queueing (head-flit injection to
+	// tail delivery); AvgLatency - AvgNetworkLatency is the mean source
+	// queueing time.
+	AvgNetworkLatency float64
+	// P50Latency / P95Latency / P99Latency are latency percentiles.
+	P50Latency, P95Latency, P99Latency float64
+	// MaxLatency is the worst measured latency.
+	MaxLatency int64
+	// MeasuredPackets is the number of measured packets delivered.
+	MeasuredPackets int
+	// DeliveredPackets counts all deliveries, warm-up included.
+	DeliveredPackets int
+	// AcceptedFlitsPerNodeCycle is the measured-window throughput.
+	AcceptedFlitsPerNodeCycle float64
+	// AvgRouters / AvgOnChipHops / AvgOffChipHops are mean per-packet hop
+	// counts (routers traversed including the source router; on-chip and
+	// off-chip links traversed) — inputs to the energy model.
+	AvgRouters, AvgOnChipHops, AvgOffChipHops float64
+}
+
+// Summarize computes the summary for a measurement window of the given
+// length over the given endpoint count.
+func (c *Collector) Summarize(measureCycles int64, endpoints int) Summary {
+	s := Summary{
+		MeasuredPackets:  c.measuredDelivered,
+		DeliveredPackets: c.deliveredAll,
+		MaxLatency:       c.maxLat,
+	}
+	if measureCycles > 0 && endpoints > 0 {
+		s.AcceptedFlitsPerNodeCycle = float64(c.acceptedFlits) / float64(measureCycles) / float64(endpoints)
+	}
+	n := len(c.latencies)
+	if n == 0 {
+		s.AvgLatency = math.NaN()
+		return s
+	}
+	s.AvgLatency = c.sumLat / float64(n)
+	s.AvgNetworkLatency = c.sumNet / float64(n)
+	sorted := append([]float64(nil), c.latencies...)
+	sort.Float64s(sorted)
+	s.P50Latency = percentile(sorted, 0.50)
+	s.P95Latency = percentile(sorted, 0.95)
+	s.P99Latency = percentile(sorted, 0.99)
+	s.AvgRouters = c.sumRouters / float64(n)
+	s.AvgOnChipHops = c.sumOnChip / float64(n)
+	s.AvgOffChipHops = c.sumOffChip / float64(n)
+	return s
+}
+
+// percentile returns the q-quantile of sorted data (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

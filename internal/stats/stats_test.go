@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"chipletnet/internal/packet"
+)
+
+func deliver(c *Collector, created, delivered int64, measured bool, lenFlits, routers, on, off int) {
+	p := &packet.Packet{
+		Len: lenFlits, CreatedAt: created, DeliveredAt: delivered,
+		Measured: measured, RouterHops: routers - 1, OnChipHops: on, OffChipHops: off,
+	}
+	c.OnDeliver(p, delivered)
+}
+
+func TestEmptySummary(t *testing.T) {
+	c := &Collector{MeasureFrom: 100}
+	s := c.Summarize(1000, 16)
+	if !math.IsNaN(s.AvgLatency) {
+		t.Error("AvgLatency should be NaN with no measured packets")
+	}
+	if s.AcceptedFlitsPerNodeCycle != 0 || s.MeasuredPackets != 0 {
+		t.Error("non-zero stats on empty collector")
+	}
+}
+
+func TestLatencyAggregation(t *testing.T) {
+	c := &Collector{MeasureFrom: 0}
+	lats := []int64{10, 20, 30, 40}
+	for i, l := range lats {
+		deliver(c, 100, 100+l, true, 8, 3+i, 2, 1)
+	}
+	s := c.Summarize(1000, 4)
+	if s.AvgLatency != 25 {
+		t.Errorf("avg = %g, want 25", s.AvgLatency)
+	}
+	if s.MaxLatency != 40 {
+		t.Errorf("max = %d", s.MaxLatency)
+	}
+	if s.P50Latency != 20 || s.P99Latency != 40 {
+		t.Errorf("p50=%g p99=%g", s.P50Latency, s.P99Latency)
+	}
+	if s.MeasuredPackets != 4 {
+		t.Errorf("measured = %d", s.MeasuredPackets)
+	}
+	if s.AvgRouters != 4.5 || s.AvgOnChipHops != 2 || s.AvgOffChipHops != 1 {
+		t.Errorf("hop averages %g/%g/%g", s.AvgRouters, s.AvgOnChipHops, s.AvgOffChipHops)
+	}
+}
+
+func TestWarmupPacketsExcludedFromLatency(t *testing.T) {
+	c := &Collector{MeasureFrom: 500}
+	deliver(c, 10, 400, false, 8, 2, 1, 0) // warm-up: throughput no, latency no
+	deliver(c, 10, 600, false, 8, 2, 1, 0) // created in warm-up, late delivery: throughput yes
+	deliver(c, 550, 700, true, 8, 2, 1, 0) // measured
+	s := c.Summarize(500, 1)
+	if s.MeasuredPackets != 1 || s.AvgLatency != 150 {
+		t.Errorf("measured=%d avg=%g", s.MeasuredPackets, s.AvgLatency)
+	}
+	if s.DeliveredPackets != 3 {
+		t.Errorf("delivered=%d", s.DeliveredPackets)
+	}
+	// Accepted flits: the two deliveries at/after cycle 500.
+	want := 16.0 / 500.0
+	if math.Abs(s.AcceptedFlitsPerNodeCycle-want) > 1e-12 {
+		t.Errorf("accepted = %g, want %g", s.AcceptedFlitsPerNodeCycle, want)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(data, 0.5); p != 5 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := percentile(data, 0.95); p != 10 {
+		t.Errorf("p95 = %g", p)
+	}
+	if p := percentile(data, 0.01); p != 1 {
+		t.Errorf("p1 = %g", p)
+	}
+	if !math.IsNaN(percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}

@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"fmt"
+
+	"chipletnet/internal/chiplet"
+	"chipletnet/internal/router"
+)
+
+// injectQueueCap is the effectively-unbounded source queue capacity.
+const injectQueueCap = 1 << 30
+
+// newSystem creates the routers and on-chip meshes for numChiplets chiplets
+// and fills in all per-node metadata. Cross-chiplet ports are added by the
+// per-topology builders via addCrossPair (or addMeshStitch for FlatMesh);
+// wire() then instantiates every link.
+func newSystem(kind Kind, geo chiplet.Geometry, numChiplets int, gr chiplet.Grouping, lp LinkParams) (*System, error) {
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+	if numChiplets < 1 {
+		return nil, fmt.Errorf("topology: need at least one chiplet, got %d", numChiplets)
+	}
+	s := &System{
+		Kind:     kind,
+		Geo:      geo,
+		Grouping: gr,
+		LP:       lp,
+		Fabric:   router.NewFabric(),
+	}
+	per := geo.Nodes()
+	ring := geo.Ring()
+	s.Nodes = make([]Node, numChiplets*per)
+	s.Chiplets = make([]Chiplet, numChiplets)
+
+	for c := 0; c < numChiplets; c++ {
+		ch := &s.Chiplets[c]
+		ch.Index = c
+		ch.Nodes = make([]int, per)
+		ch.Ring = make([]int, len(ring))
+		if gr.Groups() > 0 {
+			ch.Groups = make([][]int, gr.Groups())
+		}
+		for i := 0; i < per; i++ {
+			id := c*per + i
+			x, y := geo.Coord(i)
+			ch.Nodes[i] = id
+			n := &s.Nodes[id]
+			*n = Node{
+				ID: id, Chiplet: c, X: x, Y: y,
+				Label:   geo.Label(x, y),
+				RingPos: geo.RingPos(x, y),
+				Group:   -1, GroupSlot: -1,
+			}
+			if n.RingPos >= 0 {
+				ch.Ring[n.RingPos] = id
+				if gr.Groups() > 0 {
+					if g := gr.GroupOf(n.RingPos); g >= 0 {
+						n.Group = g
+						n.GroupSlot = n.RingPos - gr.Start[g]
+					}
+				}
+			} else {
+				s.Cores = append(s.Cores, id)
+			}
+
+			// Router with local (injection/ejection) port 0.
+			r := s.Fabric.NewRouter(id)
+			r.AddInPort(1, injectQueueCap)
+			r.AddOutPort()
+			s.Fabric.MakeEjection(r, 0, lp.VCs, lp.EjectBW)
+			n.Ports = append(n.Ports, Port{Dir: DirLocal, To: -1})
+
+			// On-chip mesh ports.
+			addMesh := func(d Dir, nx, ny int) {
+				if nx < 0 || ny < 0 || nx >= geo.W || ny >= geo.H {
+					return
+				}
+				r.AddInPort(lp.VCs, lp.InternalBufFlits)
+				r.AddOutPort()
+				n.Ports = append(n.Ports, Port{Dir: d, To: c*per + geo.Index(nx, ny)})
+			}
+			addMesh(DirXPlus, x+1, y)
+			addMesh(DirXMinus, x-1, y)
+			addMesh(DirYPlus, x, y+1)
+			addMesh(DirYMinus, x, y-1)
+		}
+	}
+	return s, nil
+}
+
+// addCrossPort adds an off-chip port on node id pointing at node to, with
+// the given direction (DirCross for high-radix topologies; a mesh direction
+// for FlatMesh stitches). The input side uses the interface buffer size.
+func (s *System) addCrossPort(id, to int, d Dir) {
+	n := &s.Nodes[id]
+	r := s.Fabric.Routers[id]
+	r.AddInPort(s.LP.VCs, s.LP.InterfaceBufFlits)
+	r.AddOutPort()
+	n.Ports = append(n.Ports, Port{Dir: d, To: to, OffChip: true})
+}
+
+// addCrossPair connects interface nodes a and b (on different chiplets)
+// with a bidirectional chiplet-to-chiplet channel and registers both nodes
+// in their chiplets' connected-group membership.
+func (s *System) addCrossPair(a, b int) {
+	s.addCrossPort(a, b, DirCross)
+	s.addCrossPort(b, a, DirCross)
+	for _, id := range [2]int{a, b} {
+		n := &s.Nodes[id]
+		if n.Group >= 0 {
+			ch := &s.Chiplets[n.Chiplet]
+			ch.Groups[n.Group] = append(ch.Groups[n.Group], id)
+		}
+	}
+}
+
+// wire instantiates a link for every non-local port. Must be called exactly
+// once, after all ports exist.
+func (s *System) wire() error {
+	for id := range s.Nodes {
+		n := &s.Nodes[id]
+		for pi, p := range n.Ports {
+			if p.Dir == DirLocal {
+				continue
+			}
+			peerPort := s.PortTo(p.To, id)
+			if peerPort < 0 {
+				return fmt.Errorf("topology: node %d port %d points at %d which has no return port", id, pi, p.To)
+			}
+			bw, lat := s.LP.OnChipBW, s.LP.OnChipLatency
+			if p.OffChip {
+				bw, lat = s.LP.OffChipBW, s.LP.OffChipLatency
+			}
+			s.Fabric.ConnectPorts(
+				s.Fabric.Routers[id], pi,
+				s.Fabric.Routers[p.To], peerPort,
+				bw, lat, p.OffChip)
+		}
+	}
+	return nil
+}

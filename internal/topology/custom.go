@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"chipletnet/internal/chiplet"
+)
+
+// BuildCustom connects numChiplets chiplets into an arbitrary (irregular)
+// chiplet-level graph given by an undirected edge list — the Fig. 6
+// capability: after interface re-grouping, "heterogeneous networks such as
+// the tree and even irregular networks can be connected".
+//
+// Each chiplet's interface ring is clustered into one contiguous group per
+// graph neighbor (in ascending neighbor order); the two endpoint groups of
+// an edge are paired slot by slot over their shared prefix. Ring position
+// 0 carries no cross link (it is adjacent to no core).
+//
+// Irregular graphs have no label structure to build an MFR escape network
+// on, so systems built here must be routed with the safe/unsafe flow
+// control (Algorithm 5) — the routing factory enforces this.
+func BuildCustom(geo chiplet.Geometry, numChiplets int, edges [][2]int, lp LinkParams) (*System, error) {
+	if numChiplets < 2 {
+		return nil, fmt.Errorf("topology: custom graph needs at least 2 chiplets, got %d", numChiplets)
+	}
+	// Neighbor sets.
+	nbr := make([][]int, numChiplets)
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		if a < 0 || b >= numChiplets || a == b {
+			return nil, fmt.Errorf("topology: bad edge %v", e)
+		}
+		if seen[[2]int{a, b}] {
+			return nil, fmt.Errorf("topology: duplicate edge %v", e)
+		}
+		seen[[2]int{a, b}] = true
+		nbr[a] = append(nbr[a], b)
+		nbr[b] = append(nbr[b], a)
+	}
+	maxDeg := 0
+	for i, ns := range nbr {
+		if len(ns) == 0 {
+			return nil, fmt.Errorf("topology: chiplet %d has no edges", i)
+		}
+		sort.Ints(ns)
+		if len(ns) > maxDeg {
+			maxDeg = len(ns)
+		}
+	}
+	if maxDeg >= geo.RingLen() {
+		return nil, fmt.Errorf("topology: degree %d exceeds the %d-interface ring", maxDeg, geo.RingLen())
+	}
+
+	// The base system carries no uniform grouping; per-chiplet groupings
+	// are assigned below.
+	s, err := newSystem(Custom, geo, numChiplets, chiplet.Grouping{}, lp)
+	if err != nil {
+		return nil, err
+	}
+	s.ChipDims = []int{numChiplets}
+	s.CustomNeighbors = nbr
+
+	groupings := make([]chiplet.Grouping, numChiplets)
+	for i := range s.Chiplets {
+		s.Chiplets[i].Coord = []int{i}
+		gr, err := chiplet.Group(geo.RingLen(), len(nbr[i]), false)
+		if err != nil {
+			return nil, fmt.Errorf("topology: chiplet %d: %w", i, err)
+		}
+		groupings[i] = gr
+		s.Chiplets[i].Groups = make([][]int, gr.Groups())
+		for pos := 0; pos < geo.RingLen(); pos++ {
+			if g := gr.GroupOf(pos); g >= 0 {
+				n := &s.Nodes[s.Chiplets[i].Ring[pos]]
+				n.Group = g
+				n.GroupSlot = pos - gr.Start[g]
+			}
+		}
+	}
+
+	// Pair each edge's endpoint groups slot by slot, skipping ring
+	// position 0 on either side.
+	for e := range seen {
+		a, b := e[0], e[1]
+		ga := sort.SearchInts(nbr[a], b)
+		gb := sort.SearchInts(nbr[b], a)
+		aLo := groupings[a].Start[ga]
+		bLo := groupings[b].Start[gb]
+		links := min(groupings[a].Size[ga], groupings[b].Size[gb])
+		for k := 0; k < links; k++ {
+			if aLo+k == 0 || bLo+k == 0 {
+				continue
+			}
+			s.addCrossPair(s.Chiplets[a].Ring[aLo+k], s.Chiplets[b].Ring[bLo+k])
+		}
+	}
+	// Every edge must have produced at least one physical channel.
+	for e := range seen {
+		a, b := e[0], e[1]
+		ga := sort.SearchInts(nbr[a], b)
+		if len(s.Chiplets[a].Groups[ga]) == 0 {
+			return nil, fmt.Errorf("topology: edge %v has no usable interface slots", e)
+		}
+	}
+	if err := s.wire(); err != nil {
+		return nil, err
+	}
+	if _, connected := s.Diameter(); !connected {
+		return nil, fmt.Errorf("topology: custom graph is not connected")
+	}
+	return s, nil
+}

@@ -1,0 +1,77 @@
+package topology
+
+import "testing"
+
+// petersen-ish irregular graph on 6 chiplets.
+func irregularEdges() [][2]int {
+	return [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 5}, {2, 5}}
+}
+
+func TestBuildCustomStructure(t *testing.T) {
+	s, err := BuildCustom(geo44(), 6, irregularEdges(), testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	// Degrees: 0:{1,4,5}=3, 1:{0,2}=2, 2:{1,3,5}=3, 3:{2,4}=2, 4:{0,3}=2, 5:{0,2}=2.
+	wantDeg := []int{3, 2, 3, 2, 2, 2}
+	for i, ns := range s.CustomNeighbors {
+		if len(ns) != wantDeg[i] {
+			t.Errorf("chiplet %d degree %d, want %d", i, len(ns), wantDeg[i])
+		}
+		if len(s.Chiplets[i].Groups) != len(ns) {
+			t.Errorf("chiplet %d has %d groups for %d neighbors", i, len(s.Chiplets[i].Groups), len(ns))
+		}
+	}
+	// Each cross link joins the right chiplet pair per the group-neighbor
+	// mapping, and never ring position 0.
+	for id := range s.Nodes {
+		n := &s.Nodes[id]
+		cp := s.CrossPort(id)
+		if cp < 0 {
+			continue
+		}
+		if n.RingPos == 0 {
+			t.Errorf("ring position 0 node %d has a cross link", id)
+		}
+		peer := s.Nodes[n.Ports[cp].To]
+		if s.CustomNeighbors[n.Chiplet][n.Group] != peer.Chiplet {
+			t.Errorf("node %d group %d crosses to chiplet %d, want %d",
+				id, n.Group, peer.Chiplet, s.CustomNeighbors[n.Chiplet][n.Group])
+		}
+	}
+}
+
+func TestBuildCustomRejections(t *testing.T) {
+	lp := testLP()
+	if _, err := BuildCustom(geo44(), 1, nil, lp); err == nil {
+		t.Error("single chiplet accepted")
+	}
+	if _, err := BuildCustom(geo44(), 3, [][2]int{{0, 1}}, lp); err == nil {
+		t.Error("disconnected graph accepted (chiplet 2 isolated)")
+	}
+	if _, err := BuildCustom(geo44(), 3, [][2]int{{0, 1}, {0, 1}, {1, 2}}, lp); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := BuildCustom(geo44(), 3, [][2]int{{0, 0}, {1, 2}}, lp); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := BuildCustom(geo44(), 3, [][2]int{{0, 5}, {1, 2}}, lp); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	// Degree equal to the ring size cannot be grouped.
+	var star [][2]int
+	for i := 1; i <= 12; i++ {
+		star = append(star, [2]int{0, i})
+	}
+	if _, err := BuildCustom(geo44(), 13, star, lp); err == nil {
+		t.Error("degree-12 chiplet accepted on a 12-interface ring")
+	}
+}
+
+func TestBuildCustomDisconnectedComponentRejected(t *testing.T) {
+	// Two disjoint pairs.
+	if _, err := BuildCustom(geo44(), 4, [][2]int{{0, 1}, {2, 3}}, testLP()); err == nil {
+		t.Error("disconnected custom graph accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"fmt"
+
+	"chipletnet/internal/rng"
+)
+
+// CrossPair identifies one bidirectional chiplet-to-chiplet channel by its
+// endpoint node ids (A < B).
+type CrossPair struct {
+	A, B int
+}
+
+// CrossPairs lists every bidirectional chiplet-to-chiplet channel.
+func (s *System) CrossPairs() []CrossPair {
+	var out []CrossPair
+	for id := range s.Nodes {
+		for _, p := range s.Nodes[id].Ports {
+			if p.Dir == DirCross && id < p.To {
+				out = append(out, CrossPair{A: id, B: p.To})
+			}
+		}
+	}
+	return out
+}
+
+// FailCrossLink disables the chiplet-to-chiplet channel between nodes a
+// and b, as firmware would disable a faulty SerDes lane: the physical
+// ports stay in place but both endpoints leave their groups' connected
+// membership, so routing (exit selection and interleaving) stops using the
+// channel. It fails if the removal would leave either endpoint's group
+// without a core-reachable member (one at ring position >= 1), since the
+// system would no longer be routable.
+func (s *System) FailCrossLink(a, b int) error {
+	pa, pb := s.CrossPort(a), s.CrossPort(b)
+	if pa < 0 || pb < 0 || s.Nodes[a].Ports[pa].To != b {
+		return fmt.Errorf("topology: %d and %d do not share a cross link", a, b)
+	}
+	for _, id := range [2]int{a, b} {
+		n := &s.Nodes[id]
+		if n.Group < 0 {
+			return fmt.Errorf("topology: node %d is not in an interface group", id)
+		}
+		member := false
+		for _, m := range s.Chiplets[n.Chiplet].Groups[n.Group] {
+			if m == id {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return fmt.Errorf("topology: link %d-%d is already failed", a, b)
+		}
+		if !s.groupSurvivesWithout(id) {
+			return fmt.Errorf("topology: failing link %d-%d would disconnect group %d of chiplet %d",
+				a, b, n.Group, n.Chiplet)
+		}
+	}
+	for _, id := range [2]int{a, b} {
+		n := &s.Nodes[id]
+		g := s.Chiplets[n.Chiplet].Groups[n.Group]
+		for i, m := range g {
+			if m == id {
+				s.Chiplets[n.Chiplet].Groups[n.Group] = append(g[:i:i], g[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// groupSurvivesWithout reports whether node id's group keeps at least one
+// member at ring position >= 1 after removing id.
+func (s *System) groupSurvivesWithout(id int) bool {
+	n := &s.Nodes[id]
+	for _, m := range s.Chiplets[n.Chiplet].Groups[n.Group] {
+		if m != id && s.Nodes[m].RingPos >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// FailRandomCrossLinks disables approximately fraction of the
+// chiplet-to-chiplet channels, chosen deterministically from seed,
+// skipping any failure that would disconnect a group. It returns the
+// number of channels actually disabled.
+func (s *System) FailRandomCrossLinks(fraction float64, seed uint64) (int, error) {
+	if fraction < 0 || fraction >= 1 {
+		return 0, fmt.Errorf("topology: fault fraction must be in [0,1), got %g", fraction)
+	}
+	pairs := s.CrossPairs()
+	want := int(fraction * float64(len(pairs)))
+	r := rng.New(seed ^ 0xfa17ed11)
+	failed := 0
+	for _, i := range r.Perm(len(pairs)) {
+		if failed >= want {
+			break
+		}
+		if err := s.FailCrossLink(pairs[i].A, pairs[i].B); err == nil {
+			failed++
+		}
+	}
+	return failed, nil
+}

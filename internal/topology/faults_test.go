@@ -1,0 +1,106 @@
+package topology
+
+import "testing"
+
+func TestCrossPairsCount(t *testing.T) {
+	s, err := BuildHypercube(geo44(), 4, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 chiplets x 12 linked interfaces each, two endpoints per pair.
+	want := 16 * 12 / 2
+	if got := len(s.CrossPairs()); got != want {
+		t.Errorf("cross pairs = %d, want %d", got, want)
+	}
+}
+
+func TestFailCrossLinkRemovesMembership(t *testing.T) {
+	s, err := BuildHypercube(geo44(), 4, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := s.CrossPairs()[5]
+	na := s.Nodes[pair.A]
+	before := len(s.Chiplets[na.Chiplet].Groups[na.Group])
+	if err := s.FailCrossLink(pair.A, pair.B); err != nil {
+		t.Fatal(err)
+	}
+	after := len(s.Chiplets[na.Chiplet].Groups[na.Group])
+	if after != before-1 {
+		t.Errorf("group size %d -> %d, want -1", before, after)
+	}
+	for _, m := range s.Chiplets[na.Chiplet].Groups[na.Group] {
+		if m == pair.A {
+			t.Error("failed endpoint still listed in its group")
+		}
+	}
+	// Failing the same link twice must error.
+	if err := s.FailCrossLink(pair.A, pair.B); err == nil {
+		t.Error("double failure accepted")
+	}
+	// Non-adjacent nodes must error.
+	if err := s.FailCrossLink(0, 1); err == nil {
+		t.Error("bogus link accepted")
+	}
+}
+
+func TestFailCrossLinkRefusesDisconnection(t *testing.T) {
+	// 4D-mesh on a 4x4 chiplet has single-link groups (size 1): failing
+	// them would disconnect a dimension and must be refused.
+	s, err := BuildNDMesh(geo44(), []int{2, 2, 2, 2}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refused := false
+	for _, pair := range s.CrossPairs() {
+		na := s.Nodes[pair.A]
+		if len(s.Chiplets[na.Chiplet].Groups[na.Group]) == 1 {
+			if err := s.FailCrossLink(pair.A, pair.B); err == nil {
+				t.Fatalf("disconnecting failure of %v accepted", pair)
+			}
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Skip("no single-link group found")
+	}
+}
+
+func TestFailRandomCrossLinks(t *testing.T) {
+	s, err := BuildHypercube(geo44(), 4, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(s.CrossPairs())
+	failed, err := s.FailRandomCrossLinks(0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != total/4 {
+		t.Errorf("failed %d of %d, want %d", failed, total, total/4)
+	}
+	// Every group still has a core-reachable member.
+	for _, ch := range s.Chiplets {
+		for g, members := range ch.Groups {
+			ok := false
+			for _, m := range members {
+				if s.Nodes[m].RingPos >= 1 {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("chiplet %d group %d lost all core-reachable members", ch.Index, g)
+			}
+		}
+	}
+	// Determinism.
+	s2, _ := BuildHypercube(geo44(), 4, testLP())
+	failed2, _ := s2.FailRandomCrossLinks(0.25, 7)
+	if failed2 != failed {
+		t.Error("fault injection not deterministic")
+	}
+	if _, err := s.FailRandomCrossLinks(1.5, 1); err == nil {
+		t.Error("fraction >= 1 accepted")
+	}
+}

@@ -1,0 +1,379 @@
+package topology
+
+import (
+	"testing"
+
+	"chipletnet/internal/chiplet"
+)
+
+func testLP() LinkParams {
+	return LinkParams{
+		VCs: 2, InternalBufFlits: 32, InterfaceBufFlits: 64,
+		OnChipBW: 4, OffChipBW: 2, OnChipLatency: 1, OffChipLatency: 5,
+		EjectBW: 4,
+	}
+}
+
+func geo44() chiplet.Geometry { return chiplet.MustNew(4, 4) }
+
+// checkStructure verifies invariants every built system must satisfy.
+func checkStructure(t *testing.T, s *System) {
+	t.Helper()
+	// Every non-local port is linked, bidirectionally, with matching
+	// off-chip flags.
+	for id := range s.Nodes {
+		n := &s.Nodes[id]
+		for pi, p := range n.Ports {
+			if p.Dir == DirLocal {
+				if pi != 0 {
+					t.Errorf("node %d: local port at index %d", id, pi)
+				}
+				continue
+			}
+			back := s.PortTo(p.To, id)
+			if back < 0 {
+				t.Fatalf("node %d port %d -> %d has no return port", id, pi, p.To)
+			}
+			bp := s.Nodes[p.To].Ports[back]
+			if bp.OffChip != p.OffChip {
+				t.Errorf("asymmetric off-chip flag on %d<->%d", id, p.To)
+			}
+			if p.OffChip != (s.Nodes[p.To].Chiplet != n.Chiplet) {
+				t.Errorf("off-chip flag mismatch on %d->%d", id, p.To)
+			}
+		}
+	}
+	// Fabric link parameters follow the class.
+	for _, l := range s.Fabric.Links {
+		wantBW, wantLat := s.LP.OnChipBW, s.LP.OnChipLatency
+		if l.OffChip {
+			wantBW, wantLat = s.LP.OffChipBW, s.LP.OffChipLatency
+		}
+		if l.Bandwidth != wantBW || l.Latency != wantLat {
+			t.Errorf("link %d (offchip=%v): bw/lat %d/%d", l.ID, l.OffChip, l.Bandwidth, l.Latency)
+		}
+	}
+	// Connectivity.
+	if _, conn := s.Diameter(); !conn {
+		t.Error("network is not connected")
+	}
+	// Core enumeration matches geometry.
+	want := s.NumChiplets() * s.Geo.CoreCount()
+	if len(s.Cores) != want {
+		t.Errorf("cores = %d, want %d", len(s.Cores), want)
+	}
+	for _, c := range s.Cores {
+		if s.Nodes[c].RingPos >= 0 {
+			t.Errorf("core list contains interface node %d", c)
+		}
+	}
+}
+
+func TestFlatMeshStructure(t *testing.T) {
+	s, err := BuildFlatMesh(geo44(), 3, 2, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	if got := len(s.Nodes); got != 3*2*16 {
+		t.Fatalf("nodes = %d", got)
+	}
+	// Off-chip links: vertical seams 2 * (4 wide * 2 rows) ... count:
+	// horizontal seams: 2 seams * 2 rows * 4 nodes, each bidirectional.
+	wantOff := (2*2*4 + 1*3*4) * 2
+	if got := s.OffChipLinkCount(); got != wantOff {
+		t.Errorf("off-chip links = %d, want %d", got, wantOff)
+	}
+	// Global coordinates are the stitched mesh coordinates.
+	gx, gy := s.GlobalXY(s.NodeID(5, 3, 2)) // chiplet (2,1)
+	if gx != 2*4+3 || gy != 1*4+2 {
+		t.Errorf("GlobalXY = (%d,%d)", gx, gy)
+	}
+	// The stitched system behaves as a 12x8 global mesh: diameter matches
+	// the 2D-mesh formula 2(sqrt(N)-1) generalized to (W-1)+(H-1).
+	d, _ := s.Diameter()
+	if d != 11+7 {
+		t.Errorf("diameter = %d, want 18", d)
+	}
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	s, err := BuildHypercube(geo44(), 4, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	if s.NumChiplets() != 16 {
+		t.Fatalf("chiplets = %d", s.NumChiplets())
+	}
+	// Chiplet-level diameter must be log2(N) = 4 (Table I).
+	if d := s.ChipletDiameter(); d != 4 {
+		t.Errorf("chiplet diameter = %d, want 4", d)
+	}
+	// Algorithm 1: group j of chiplet i links to group j of i^(1<<j),
+	// same ring position on both sides (label consistency).
+	for id := range s.Nodes {
+		n := &s.Nodes[id]
+		cp := s.CrossPort(id)
+		if n.Group < 0 {
+			if cp >= 0 {
+				t.Errorf("ungrouped node %d has a cross port", id)
+			}
+			continue
+		}
+		if cp < 0 {
+			t.Errorf("grouped node %d lacks a cross port", id)
+			continue
+		}
+		peer := s.Nodes[n.Ports[cp].To]
+		if peer.RingPos != n.RingPos || peer.Label != n.Label {
+			t.Errorf("cross link %d->%d changes label %d->%d", id, peer.ID, n.Label, peer.Label)
+		}
+		wantPartner := n.Chiplet ^ (1 << uint(n.Group))
+		if peer.Chiplet != wantPartner {
+			t.Errorf("node %d (chiplet %d group %d) crosses to chiplet %d, want %d",
+				id, n.Chiplet, n.Group, peer.Chiplet, wantPartner)
+		}
+	}
+}
+
+func TestNDMeshStructure(t *testing.T) {
+	s, err := BuildNDMesh(geo44(), []int{4, 4, 4}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	if s.NumChiplets() != 64 {
+		t.Fatalf("chiplets = %d", s.NumChiplets())
+	}
+	// Table I: nD-mesh chiplet diameter = sum (d_i - 1) = 9.
+	if d := s.ChipletDiameter(); d != 9 {
+		t.Errorf("chiplet diameter = %d, want 9", d)
+	}
+	// d+ groups link to the +neighbor's d- group in the same dimension.
+	for id := range s.Nodes {
+		n := &s.Nodes[id]
+		cp := s.CrossPort(id)
+		if cp < 0 {
+			continue
+		}
+		peer := s.Nodes[n.Ports[cp].To]
+		dim, plus := n.Group/2, n.Group%2 == 1
+		pDim, pPlus := peer.Group/2, peer.Group%2 == 1
+		if dim != pDim || plus == pPlus {
+			t.Errorf("cross link joins group %d to group %d", n.Group, peer.Group)
+		}
+		myCo := s.Chiplets[n.Chiplet].Coord
+		peCo := s.Chiplets[peer.Chiplet].Coord
+		diff := peCo[dim] - myCo[dim]
+		if (plus && diff != 1) || (!plus && diff != -1) {
+			t.Errorf("group %d of chiplet %v links to %v", n.Group, myCo, peCo)
+		}
+	}
+}
+
+func TestNDMeshBorderChipletsHaveUnusedGroups(t *testing.T) {
+	s, err := BuildNDMesh(geo44(), []int{2, 2}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chiplet (0,0): d0- and d1- groups unlinked.
+	ch := &s.Chiplets[0]
+	if len(ch.Groups[0]) != 0 || len(ch.Groups[2]) != 0 {
+		t.Errorf("border chiplet has linked minus groups: %v", ch.Groups)
+	}
+	if len(ch.Groups[1]) == 0 || len(ch.Groups[3]) == 0 {
+		t.Errorf("border chiplet lacks linked plus groups: %v", ch.Groups)
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	s, err := BuildDragonfly(geo44(), 6, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	// Fully connected: chiplet diameter 1 (Table I: dragonfly diameter 1).
+	if d := s.ChipletDiameter(); d != 1 {
+		t.Errorf("chiplet diameter = %d, want 1", d)
+	}
+	// Color table: proper edge coloring, symmetric, complete.
+	m := s.NumChiplets()
+	for i := 0; i < m; i++ {
+		seen := map[int]bool{}
+		for j := 0; j < m; j++ {
+			c := s.DragonflyColor[i][j]
+			if i == j {
+				if c != -1 {
+					t.Errorf("diagonal color %d", c)
+				}
+				continue
+			}
+			if c < 0 || c >= m-1 || seen[c] {
+				t.Errorf("bad/duplicate color %d at (%d,%d)", c, i, j)
+			}
+			if s.DragonflyColor[j][i] != c {
+				t.Errorf("asymmetric color at (%d,%d)", i, j)
+			}
+			seen[c] = true
+		}
+	}
+	// Cross links join same-color groups at the same ring position, and
+	// never ring position 0.
+	for id := range s.Nodes {
+		n := &s.Nodes[id]
+		cp := s.CrossPort(id)
+		if cp < 0 {
+			continue
+		}
+		if n.RingPos == 0 {
+			t.Errorf("ring position 0 node %d has a cross link", id)
+		}
+		peer := s.Nodes[n.Ports[cp].To]
+		if peer.Group != n.Group || peer.RingPos != n.RingPos {
+			t.Errorf("cross link %d->%d: group %d->%d pos %d->%d",
+				id, peer.ID, n.Group, peer.Group, n.RingPos, peer.RingPos)
+		}
+		if s.DragonflyColor[n.Chiplet][peer.Chiplet] != n.Group {
+			t.Errorf("link color mismatch for %d->%d", id, peer.ID)
+		}
+	}
+}
+
+func TestDragonflyRejectsOdd(t *testing.T) {
+	if _, err := BuildDragonfly(geo44(), 5, testLP()); err == nil {
+		t.Error("odd dragonfly accepted")
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	s, err := BuildTree(chiplet.MustNew(6, 6), 7, 2, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	// Heap-shaped parent pointers.
+	for i := 1; i < 7; i++ {
+		if s.Parent[i] != (i-1)/2 {
+			t.Errorf("parent[%d] = %d", i, s.Parent[i])
+		}
+	}
+	if s.Parent[0] != -1 {
+		t.Error("root has a parent")
+	}
+	// Chiplet diameter of a 7-node balanced binary tree is 4.
+	if d := s.ChipletDiameter(); d != 4 {
+		t.Errorf("chiplet diameter = %d, want 4", d)
+	}
+}
+
+func TestTableIDiameterOrdering(t *testing.T) {
+	// Table I: for the same chiplet count, diameter(hypercube) <
+	// diameter(3D-mesh) < diameter(2D-mesh). 64 chiplets:
+	lp := testLP()
+	flat, err := BuildFlatMesh(geo44(), 8, 8, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := BuildHypercube(geo44(), 6, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh3, err := BuildNDMesh(geo44(), []int{4, 4, 4}, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFlat := flat.ChipletDiameter()
+	dCube := cube.ChipletDiameter()
+	dMesh3 := mesh3.ChipletDiameter()
+	if dFlat != 14 { // 2(sqrt(64)-1)
+		t.Errorf("2D chiplet diameter = %d, want 14", dFlat)
+	}
+	if dMesh3 != 9 { // 3(cbrt(64)-1)
+		t.Errorf("3D chiplet diameter = %d, want 9", dMesh3)
+	}
+	if dCube != 6 { // log2(64)
+		t.Errorf("hypercube chiplet diameter = %d, want 6", dCube)
+	}
+	if !(dCube < dMesh3 && dMesh3 < dFlat) {
+		t.Errorf("diameter ordering violated: %d %d %d", dCube, dMesh3, dFlat)
+	}
+}
+
+func TestRingStepWraps(t *testing.T) {
+	s, err := BuildHypercube(geo44(), 2, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := s.Chiplets[0].Ring
+	last := ring[len(ring)-1]
+	if got := s.RingStep(last, true); got != ring[0] {
+		t.Errorf("minus step from end = %d, want %d", got, ring[0])
+	}
+	if got := s.RingStep(ring[0], false); got != last {
+		t.Errorf("plus step from start = %d, want %d", got, last)
+	}
+}
+
+func TestExitNodeTagSelection(t *testing.T) {
+	s, err := BuildHypercube(geo44(), 4, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := s.Chiplets[0].Groups[1]
+	if len(members) < 2 {
+		t.Fatalf("group too small: %v", members)
+	}
+	if s.ExitNode(0, 1, -1) != members[0] {
+		t.Error("tag -1 must select slot 0")
+	}
+	if s.ExitNode(0, 1, 1) != members[1] {
+		t.Error("tag 1 must select slot 1")
+	}
+	if s.ExitNode(0, 1, len(members)) != members[0] {
+		t.Error("tags wrap modulo group size")
+	}
+}
+
+func TestLinkParamsValidate(t *testing.T) {
+	good := testLP()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LinkParams{
+		{}, // all zero
+		{VCs: 40, InternalBufFlits: 1, InterfaceBufFlits: 1, OnChipBW: 1, OffChipBW: 1, OnChipLatency: 1, OffChipLatency: 1, EjectBW: 1},
+		{VCs: 2, InternalBufFlits: 0, InterfaceBufFlits: 1, OnChipBW: 1, OffChipBW: 1, OnChipLatency: 1, OffChipLatency: 1, EjectBW: 1},
+		{VCs: 2, InternalBufFlits: 1, InterfaceBufFlits: 1, OnChipBW: 0, OffChipBW: 1, OnChipLatency: 1, OffChipLatency: 1, EjectBW: 1},
+		{VCs: 2, InternalBufFlits: 1, InterfaceBufFlits: 1, OnChipBW: 1, OffChipBW: 1, OnChipLatency: 0, OffChipLatency: 1, EjectBW: 1},
+	}
+	for i, lp := range bad {
+		if err := lp.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestBuilderRejections(t *testing.T) {
+	lp := testLP()
+	if _, err := BuildFlatMesh(geo44(), 0, 2, lp); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := BuildHypercube(geo44(), 0, lp); err == nil {
+		t.Error("0-dim hypercube accepted")
+	}
+	if _, err := BuildNDMesh(geo44(), nil, lp); err == nil {
+		t.Error("empty ndmesh dims accepted")
+	}
+	if _, err := BuildNDMesh(geo44(), []int{4, 0}, lp); err == nil {
+		t.Error("zero ndmesh dim accepted")
+	}
+	if _, err := BuildTree(geo44(), 1, 2, lp); err == nil {
+		t.Error("single-chiplet tree accepted")
+	}
+	// 4x4 ring (12 IFs) cannot host 13 dragonfly peers (12 groups needed
+	// means one group per node; rejected by the grouping invariant).
+	if _, err := BuildDragonfly(geo44(), 14, lp); err == nil {
+		t.Error("oversubscribed dragonfly accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package topology
+
+import "testing"
+
+func TestNDTorusStructure(t *testing.T) {
+	s, err := BuildNDTorus(geo44(), []int{4, 3}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	// Wrap channels halve the per-dimension distance:
+	// mesh [4,3] diameter 3+2=5; torus floor(4/2)+floor(3/2)=3.
+	if d := s.ChipletDiameter(); d != 3 {
+		t.Errorf("chiplet diameter = %d, want 3", d)
+	}
+	mesh, err := BuildNDMesh(geo44(), []int{4, 3}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.ChipletDiameter() != 5 {
+		t.Errorf("mesh chiplet diameter = %d, want 5", mesh.ChipletDiameter())
+	}
+	// Torus has one extra bidirectional channel bundle per row/column.
+	if s.OffChipLinkCount() <= mesh.OffChipLinkCount() {
+		t.Errorf("torus links %d not above mesh links %d", s.OffChipLinkCount(), mesh.OffChipLinkCount())
+	}
+	// No chiplet has an unlinked d+/d- group anymore (every dimension
+	// wraps since all extents >= 3).
+	for _, ch := range s.Chiplets {
+		for g, members := range ch.Groups {
+			if len(members) == 0 {
+				t.Errorf("torus chiplet %d group %d unlinked", ch.Index, g)
+			}
+		}
+	}
+}
+
+func TestNDTorusSkipsWrapForTinyDims(t *testing.T) {
+	// Extent 2 already has a direct link; a wrap would duplicate it.
+	s, err := BuildNDTorus(geo44(), []int{2, 4}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStructure(t, s)
+	mesh, err := BuildNDMesh(geo44(), []int{2, 4}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only dimension 1 (extent 4) gains wrap channels.
+	gained := s.OffChipLinkCount() - mesh.OffChipLinkCount()
+	gr := s.Grouping
+	perPair := gr.Size[2] * 2 * 2 // slots x 2 chiplet-columns x 2 directions
+	if gained != perPair {
+		t.Errorf("gained %d off-chip links, want %d", gained, perPair)
+	}
+}
+
+// TestTable12DTorusFormula checks Table I's 2D-torus diameter sqrt(N) at
+// the chiplet level for an 8x8 torus.
+func TestTable12DTorusFormula(t *testing.T) {
+	s, err := BuildNDTorus(geo44(), []int{8, 8}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.ChipletDiameter(); d != 8 {
+		t.Errorf("8x8 torus chiplet diameter = %d, want sqrt(64) = 8", d)
+	}
+}

@@ -1,0 +1,164 @@
+// Package trace records packet lifecycle events from the cycle engine for
+// debugging and path analysis: which routers a packet visited, on which
+// cycles, over which virtual channels.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/router"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	Injected EventKind = iota
+	HeadMoved
+	Delivered
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Injected:
+		return "inject"
+	case HeadMoved:
+		return "hop"
+	case Delivered:
+		return "deliver"
+	}
+	return "?"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind     EventKind
+	PacketID uint64
+	Cycle    int64
+	From, To int // node ids; To < 0 means local ejection
+	VC       int
+}
+
+// Recorder implements router.Tracer, keeping head-flit movements (the
+// packet's path) for packets accepted by Filter.
+type Recorder struct {
+	// Filter selects which packets to record; nil records everything.
+	Filter func(p *packet.Packet) bool
+	// MaxEvents bounds memory (0 = unlimited); once reached, further
+	// events are dropped and Truncated is set.
+	MaxEvents int
+	Truncated bool
+
+	events []Event
+}
+
+var _ router.Tracer = (*Recorder)(nil)
+
+func (r *Recorder) add(e Event) {
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.Truncated = true
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+func (r *Recorder) keep(p *packet.Packet) bool {
+	return r.Filter == nil || r.Filter(p)
+}
+
+// PacketInjected implements router.Tracer.
+func (r *Recorder) PacketInjected(p *packet.Packet, node int, now int64) {
+	if !r.keep(p) {
+		return
+	}
+	r.add(Event{Kind: Injected, PacketID: p.ID, Cycle: now, From: node, To: node})
+}
+
+// FlitsMoved implements router.Tracer; only head-flit movements are kept
+// (they define the path).
+func (r *Recorder) FlitsMoved(p *packet.Packet, from, to, vc, n int, head bool, now int64) {
+	if !head || !r.keep(p) {
+		return
+	}
+	r.add(Event{Kind: HeadMoved, PacketID: p.ID, Cycle: now, From: from, To: to, VC: vc})
+}
+
+// PacketDelivered implements router.Tracer.
+func (r *Recorder) PacketDelivered(p *packet.Packet, now int64) {
+	if !r.keep(p) {
+		return
+	}
+	r.add(Event{Kind: Delivered, PacketID: p.ID, Cycle: now, From: p.Dst, To: -1})
+}
+
+// Events returns all recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Path returns the node sequence packet id traversed (source router
+// included), with the cycle of each head-flit departure.
+func (r *Recorder) Path(id uint64) (nodes []int, cycles []int64) {
+	for _, e := range r.events {
+		if e.PacketID != id {
+			continue
+		}
+		switch e.Kind {
+		case Injected:
+			nodes = append(nodes, e.From)
+			cycles = append(cycles, e.Cycle)
+		case HeadMoved:
+			if e.To >= 0 {
+				nodes = append(nodes, e.To)
+				cycles = append(cycles, e.Cycle)
+			}
+		}
+	}
+	return nodes, cycles
+}
+
+// Dump writes a human-readable listing grouped by packet.
+func (r *Recorder) Dump(w io.Writer) error {
+	ids := map[uint64]bool{}
+	for _, e := range r.events {
+		ids[e.PacketID] = true
+	}
+	sorted := make([]uint64, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, id := range sorted {
+		if _, err := fmt.Fprintf(w, "packet %d:\n", id); err != nil {
+			return err
+		}
+		for _, e := range r.events {
+			if e.PacketID != id {
+				continue
+			}
+			var err error
+			switch e.Kind {
+			case Injected:
+				_, err = fmt.Fprintf(w, "  @%6d  inject at node %d\n", e.Cycle, e.From)
+			case HeadMoved:
+				if e.To < 0 {
+					_, err = fmt.Fprintf(w, "  @%6d  eject at node %d\n", e.Cycle, e.From)
+				} else {
+					_, err = fmt.Fprintf(w, "  @%6d  %d -> %d (vc %d)\n", e.Cycle, e.From, e.To, e.VC)
+				}
+			case Delivered:
+				_, err = fmt.Fprintf(w, "  @%6d  delivered\n", e.Cycle)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if r.Truncated {
+		if _, err := fmt.Fprintln(w, "(trace truncated at MaxEvents)"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

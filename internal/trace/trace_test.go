@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chipletnet/internal/chiplet"
+	"chipletnet/internal/packet"
+	"chipletnet/internal/routing"
+	"chipletnet/internal/topology"
+)
+
+func tracedSystem(t *testing.T) (*topology.System, *Recorder) {
+	t.Helper()
+	lp := topology.LinkParams{
+		VCs: 2, InternalBufFlits: 32, InterfaceBufFlits: 64,
+		OnChipBW: 4, OffChipBW: 2, OnChipLatency: 1, OffChipLatency: 5,
+		EjectBW: 4,
+	}
+	sys, err := topology.BuildHypercube(chiplet.MustNew(4, 4), 2, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := routing.New(sys, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Fabric.Routing = rt
+	rec := &Recorder{}
+	sys.Fabric.Tracer = rec
+	return sys, rec
+}
+
+func TestRecorderCapturesPath(t *testing.T) {
+	sys, rec := tracedSystem(t)
+	src := sys.Cores[0]
+	var dst int
+	for _, c := range sys.Cores {
+		if sys.Nodes[c].Chiplet != sys.Nodes[src].Chiplet {
+			dst = c
+			break
+		}
+	}
+	p := &packet.Packet{ID: 7, Src: src, Dst: dst, Len: 8, CreatedAt: 1}
+	sys.Fabric.Routers[src].Inject(p, 0)
+	for i := 0; i < 300 && sys.Fabric.InFlight() > 0; i++ {
+		sys.Fabric.Step()
+	}
+	if sys.Fabric.InFlight() != 0 {
+		t.Fatal("packet not delivered")
+	}
+
+	nodes, cycles := rec.Path(7)
+	if len(nodes) < 3 {
+		t.Fatalf("path too short: %v", nodes)
+	}
+	if nodes[0] != src || nodes[len(nodes)-1] != dst {
+		t.Errorf("path %v does not run %d -> %d", nodes, src, dst)
+	}
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] < cycles[i-1] {
+			t.Errorf("cycles not monotone: %v", cycles)
+		}
+	}
+	// Consecutive path nodes must be physically linked.
+	for i := 0; i+1 < len(nodes); i++ {
+		if sys.PortTo(nodes[i], nodes[i+1]) < 0 {
+			t.Errorf("path hop %d -> %d is not a link", nodes[i], nodes[i+1])
+		}
+	}
+	// Path crosses exactly the number of off-chip hops the packet counted.
+	cross := 0
+	for i := 0; i+1 < len(nodes); i++ {
+		if sys.Nodes[nodes[i]].Chiplet != sys.Nodes[nodes[i+1]].Chiplet {
+			cross++
+		}
+	}
+	if cross != p.OffChipHops {
+		t.Errorf("trace shows %d cross hops, packet counted %d", cross, p.OffChipHops)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "packet 7:") || !strings.Contains(out, "delivered") {
+		t.Errorf("dump missing content:\n%s", out)
+	}
+}
+
+func TestRecorderFilterAndCap(t *testing.T) {
+	sys, rec := tracedSystem(t)
+	rec.Filter = func(p *packet.Packet) bool { return p.ID == 2 }
+	rec.MaxEvents = 3
+	src, dst := sys.Cores[0], sys.Cores[1]
+	for id := uint64(1); id <= 3; id++ {
+		sys.Fabric.Routers[src].Inject(&packet.Packet{ID: id, Src: src, Dst: dst, Len: 4}, 0)
+	}
+	for i := 0; i < 300 && sys.Fabric.InFlight() > 0; i++ {
+		sys.Fabric.Step()
+	}
+	for _, e := range rec.Events() {
+		if e.PacketID != 2 {
+			t.Errorf("filter leaked packet %d", e.PacketID)
+		}
+	}
+	if len(rec.Events()) > 3 {
+		t.Errorf("cap exceeded: %d events", len(rec.Events()))
+	}
+	if !rec.Truncated {
+		t.Error("truncation not flagged")
+	}
+}

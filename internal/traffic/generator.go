@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"fmt"
+
+	"chipletnet/internal/interleave"
+	"chipletnet/internal/packet"
+	"chipletnet/internal/rng"
+	"chipletnet/internal/router"
+)
+
+// Generator drives the Bernoulli injection process: every endpoint
+// independently starts a new message each cycle with probability
+// rate / (packetLen * msgPackets), so the long-run offered load is `rate`
+// flits per node per cycle. All packets of a message enter the source
+// queue in the same cycle (messages are the unit applications hand to the
+// network; §V).
+type Generator struct {
+	endpoints  []int // global node ids
+	pattern    Pattern
+	rate       float64
+	packetLen  int
+	msgPackets int
+	policy     interleave.Policy
+
+	pMsg     float64
+	rands    []*rng.Rand
+	nextID   uint64
+	nextMsg  uint64
+	measured bool
+
+	// OfferedPackets counts packets created while measurement is on.
+	OfferedPackets int
+}
+
+// NewGenerator creates a generator injecting at the given rate
+// (flits/node/cycle) from each endpoint.
+func NewGenerator(endpoints []int, p Pattern, rate float64, packetLen, msgPackets int, pol interleave.Policy, seed uint64) (*Generator, error) {
+	if len(endpoints) < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 endpoints")
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("traffic: negative injection rate %g", rate)
+	}
+	if packetLen < 1 || msgPackets < 1 {
+		return nil, fmt.Errorf("traffic: packet length and message size must be positive")
+	}
+	g := &Generator{
+		endpoints:  endpoints,
+		pattern:    p,
+		rate:       rate,
+		packetLen:  packetLen,
+		msgPackets: msgPackets,
+		policy:     pol,
+		pMsg:       rate / float64(packetLen*msgPackets),
+		rands:      make([]*rng.Rand, len(endpoints)),
+	}
+	root := rng.New(seed)
+	for i := range g.rands {
+		g.rands[i] = root.Split(uint64(i) + 1)
+	}
+	return g, nil
+}
+
+// SetMeasured turns measurement marking on or off (warm-up control).
+func (g *Generator) SetMeasured(on bool) { g.measured = on }
+
+// Tick runs one injection cycle: for every endpoint, possibly create a
+// message and enqueue its packets at the endpoint's router.
+func (g *Generator) Tick(f *router.Fabric, now int64) {
+	for i, node := range g.endpoints {
+		r := g.rands[i]
+		if !r.Bernoulli(g.pMsg) {
+			continue
+		}
+		dstIdx := g.pattern.Dest(i, r)
+		dst := g.endpoints[dstIdx]
+		msg := g.nextMsg
+		g.nextMsg++
+		for seq := 0; seq < g.msgPackets; seq++ {
+			p := &packet.Packet{
+				ID:        g.nextID,
+				MsgID:     msg,
+				SeqInMsg:  seq,
+				Src:       node,
+				Dst:       dst,
+				Tag:       g.policy.Tag(msg, seq),
+				Len:       g.packetLen,
+				CreatedAt: now,
+				Measured:  g.measured,
+			}
+			g.nextID++
+			if g.measured {
+				g.OfferedPackets++
+			}
+			f.Routers[node].Inject(p, now)
+		}
+	}
+}

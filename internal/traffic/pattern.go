@@ -1,0 +1,189 @@
+// Package traffic generates synthetic workloads: the six traffic patterns
+// of the paper's evaluation (§VI-B) and a Bernoulli injection process with
+// message framing for the network-interleaving experiments.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"chipletnet/internal/rng"
+)
+
+// Pattern maps a source endpoint index to a destination endpoint index.
+// Endpoint indices are dense [0, N); the generator translates them to
+// global node ids.
+type Pattern interface {
+	Name() string
+	// Dest returns the destination endpoint for source s; r supplies
+	// randomness for stochastic patterns.
+	Dest(s int, r *rng.Rand) int
+}
+
+// NewPattern constructs one of the named patterns over n endpoints:
+// "uniform", "hotspot", "bit-complement", "bit-reverse", "bit-shuffle",
+// "bit-transpose". The bit permutations are defined over b = floor(log2 n)
+// bits; when n is not a power of two, sources with indices >= 2^b fall back
+// to uniform destinations (the paper's configurations are powers of two).
+// seed makes the stochastic patterns reproducible.
+func NewPattern(name string, n int, seed uint64) (Pattern, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 endpoints, got %d", n)
+	}
+	b := bits.Len(uint(n)) - 1 // floor(log2 n)
+	switch name {
+	case "uniform":
+		return uniform{n: n}, nil
+	case "hotspot":
+		return newHotspot(n, seed), nil
+	case "bit-complement":
+		return bitPerm{name: "bit-complement", n: n, b: b, f: func(s, b int) int {
+			return (^s) & (1<<uint(b) - 1)
+		}}, nil
+	case "bit-reverse":
+		return bitPerm{name: "bit-reverse", n: n, b: b, f: func(s, b int) int {
+			d := 0
+			for i := 0; i < b; i++ {
+				if s&(1<<uint(i)) != 0 {
+					d |= 1 << uint(b-1-i)
+				}
+			}
+			return d
+		}}, nil
+	case "bit-shuffle":
+		// d_i = s_{(i-1) mod b}: a left rotation of the source bits.
+		return bitPerm{name: "bit-shuffle", n: n, b: b, f: func(s, b int) int {
+			mask := 1<<uint(b) - 1
+			return ((s << 1) | (s >> uint(b-1))) & mask
+		}}, nil
+	case "bit-transpose":
+		// d_i = s_{(i+b/2) mod b}: a rotation by b/2.
+		return bitPerm{name: "bit-transpose", n: n, b: b, f: func(s, b int) int {
+			h := b / 2
+			mask := 1<<uint(b) - 1
+			return ((s >> uint(h)) | (s << uint(b-h))) & mask
+		}}, nil
+	case "neighbor":
+		// Localized traffic (the communication style wafer-scale 2D-mesh
+		// systems are tuned for, §II-B): destinations are drawn uniformly
+		// from a window of nearby endpoint indices. Endpoints are
+		// enumerated chiplet-major, so index locality approximates
+		// chiplet locality.
+		w := n / 32
+		if w < 4 {
+			w = 4
+		}
+		if w >= n {
+			w = n - 1
+		}
+		return neighbor{n: n, window: w}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}
+
+// neighbor draws destinations within ±window of the source index.
+type neighbor struct {
+	n, window int
+}
+
+func (p neighbor) Name() string { return "neighbor" }
+
+func (p neighbor) Dest(s int, r *rng.Rand) int {
+	off := r.Intn(2*p.window) + 1 // 1..2w
+	if off > p.window {
+		off = p.window - off // -1..-w
+	}
+	d := s + off
+	// Reflect at the ends so the distribution stays local.
+	if d < 0 {
+		d = -d
+	}
+	if d >= p.n {
+		d = 2*(p.n-1) - d
+	}
+	if d == s {
+		d = (s + 1) % p.n
+	}
+	return d
+}
+
+// PatternNames lists the supported pattern names in the paper's order.
+func PatternNames() []string {
+	return []string{"uniform", "hotspot", "bit-complement", "bit-reverse", "bit-shuffle", "bit-transpose"}
+}
+
+type uniform struct{ n int }
+
+func (u uniform) Name() string { return "uniform" }
+
+func (u uniform) Dest(s int, r *rng.Rand) int {
+	d := r.Intn(u.n - 1)
+	if d >= s {
+		d++
+	}
+	return d
+}
+
+// hotspot restricts traffic to a random 10% of node pairs: every source
+// draws a fixed set of max(1, (n-1)/10) destinations at construction and
+// injects uniformly among them.
+type hotspot struct {
+	n     int
+	dests [][]int
+}
+
+func newHotspot(n int, seed uint64) *hotspot {
+	h := &hotspot{n: n, dests: make([][]int, n)}
+	root := rng.New(seed ^ 0x407c0ffee5e7)
+	k := (n - 1) / 10
+	if k < 1 {
+		k = 1
+	}
+	for s := 0; s < n; s++ {
+		r := root.Split(uint64(s))
+		perm := r.Perm(n - 1)
+		ds := make([]int, k)
+		for i := 0; i < k; i++ {
+			d := perm[i]
+			if d >= s {
+				d++
+			}
+			ds[i] = d
+		}
+		h.dests[s] = ds
+	}
+	return h
+}
+
+func (h *hotspot) Name() string { return "hotspot" }
+
+func (h *hotspot) Dest(s int, r *rng.Rand) int {
+	ds := h.dests[s]
+	return ds[r.Intn(len(ds))]
+}
+
+// bitPerm applies a deterministic permutation over b-bit indices; sources
+// outside [0, 2^b) or mapped to themselves fall back to uniform.
+type bitPerm struct {
+	name string
+	n    int
+	b    int
+	f    func(s, b int) int
+}
+
+func (p bitPerm) Name() string { return p.name }
+
+func (p bitPerm) Dest(s int, r *rng.Rand) int {
+	if s < 1<<uint(p.b) {
+		d := p.f(s, p.b)
+		if d != s && d < p.n {
+			return d
+		}
+	}
+	d := r.Intn(p.n - 1)
+	if d >= s {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,327 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chipletnet/internal/interleave"
+	"chipletnet/internal/packet"
+	"chipletnet/internal/rng"
+	"chipletnet/internal/router"
+)
+
+func TestPatternNames(t *testing.T) {
+	for _, name := range PatternNames() {
+		p, err := NewPattern(name, 256, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name && name != "hotspot" { // hotspot keeps its name too
+			t.Errorf("%s reported name %s", name, p.Name())
+		}
+	}
+	if _, err := NewPattern("nonsense", 64, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := NewPattern("uniform", 1, 1); err == nil {
+		t.Error("single endpoint accepted")
+	}
+}
+
+// All patterns must return valid, non-self destinations.
+func TestPatternsValidDestinations(t *testing.T) {
+	r := rng.New(3)
+	for _, name := range PatternNames() {
+		for _, n := range []int{16, 256, 100} { // 100: not a power of two
+			p, err := NewPattern(name, n, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < n; s++ {
+				for rep := 0; rep < 4; rep++ {
+					d := p.Dest(s, r)
+					if d < 0 || d >= n || d == s {
+						t.Fatalf("%s(n=%d): Dest(%d) = %d", name, n, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p, _ := NewPattern("bit-complement", 256, 1)
+	r := rng.New(1)
+	// d_i = NOT s_i over 8 bits.
+	if d := p.Dest(0b00001111, r); d != 0b11110000 {
+		t.Errorf("complement(0x0F) = %#x", d)
+	}
+	if d := p.Dest(0, r); d != 255 {
+		t.Errorf("complement(0) = %d", d)
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	p, _ := NewPattern("bit-reverse", 256, 1)
+	r := rng.New(1)
+	if d := p.Dest(0b00000001, r); d != 0b10000000 {
+		t.Errorf("reverse(1) = %#x", d)
+	}
+	if d := p.Dest(0b0110_0000, r); d != 0b0000_0110 {
+		t.Errorf("reverse(0x60) = %#x", d)
+	}
+}
+
+func TestBitShuffle(t *testing.T) {
+	p, _ := NewPattern("bit-shuffle", 256, 1)
+	r := rng.New(1)
+	// Left rotation: 0b10000000 -> 0b00000001.
+	if d := p.Dest(0b10000000, r); d != 0b00000001 {
+		t.Errorf("shuffle(0x80) = %#x", d)
+	}
+	if d := p.Dest(0b00000011, r); d != 0b00000110 {
+		t.Errorf("shuffle(3) = %#x", d)
+	}
+}
+
+func TestBitTranspose(t *testing.T) {
+	p, _ := NewPattern("bit-transpose", 256, 1)
+	r := rng.New(1)
+	// Rotation by b/2 = 4: low nibble and high nibble swap.
+	if d := p.Dest(0x0A, r); d != 0xA0 {
+		t.Errorf("transpose(0x0A) = %#x", d)
+	}
+}
+
+// Permutation patterns are deterministic except at fixed points of the bit
+// permutation (d == s), where they fall back to uniform random.
+func TestPermutationPatternsDeterministic(t *testing.T) {
+	for _, name := range []string{"bit-complement", "bit-reverse", "bit-transpose"} {
+		p, _ := NewPattern(name, 64, 1)
+		bp := p.(bitPerm)
+		r := rng.New(9)
+		for s := 0; s < 64; s++ {
+			if bp.f(s, bp.b) == s {
+				continue // fixed point: random fallback by design
+			}
+			if p.Dest(s, r) != p.Dest(s, r) {
+				t.Errorf("%s not deterministic at %d", name, s)
+			}
+		}
+	}
+}
+
+func TestHotspotFixedFanout(t *testing.T) {
+	n := 100
+	p, _ := NewPattern("hotspot", n, 5)
+	h := p.(*hotspot)
+	want := (n - 1) / 10
+	for s, ds := range h.dests {
+		if len(ds) != want {
+			t.Fatalf("source %d has %d destinations, want %d", s, len(ds), want)
+		}
+		seen := map[int]bool{}
+		for _, d := range ds {
+			if d == s || d < 0 || d >= n || seen[d] {
+				t.Fatalf("source %d: bad destination set %v", s, ds)
+			}
+			seen[d] = true
+		}
+	}
+	// Same seed -> same sets; different seed -> different sets.
+	p2, _ := NewPattern("hotspot", n, 5)
+	p3, _ := NewPattern("hotspot", n, 6)
+	if h2 := p2.(*hotspot); h2.dests[0][0] != h.dests[0][0] {
+		t.Error("hotspot not reproducible for equal seeds")
+	}
+	if h3 := p3.(*hotspot); equalSets(h3.dests, h.dests) {
+		t.Error("hotspot identical across different seeds")
+	}
+}
+
+func equalSets(a, b [][]int) bool {
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestNeighborPatternIsLocal(t *testing.T) {
+	n := 256
+	p, err := NewPattern("neighbor", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	maxDist := 0
+	for s := 0; s < n; s++ {
+		for rep := 0; rep < 8; rep++ {
+			d := p.Dest(s, r)
+			if d < 0 || d >= n || d == s {
+				t.Fatalf("Dest(%d) = %d", s, d)
+			}
+			dist := d - s
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist > maxDist {
+				maxDist = dist
+			}
+		}
+	}
+	window := n / 32
+	if maxDist > 2*window {
+		t.Errorf("neighbor pattern reached distance %d (window %d)", maxDist, window)
+	}
+}
+
+func TestNeighborPatternTinyN(t *testing.T) {
+	p, err := NewPattern("neighbor", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for s := 0; s < 3; s++ {
+		for rep := 0; rep < 50; rep++ {
+			d := p.Dest(s, r)
+			if d < 0 || d >= 3 || d == s {
+				t.Fatalf("Dest(%d) = %d", s, d)
+			}
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	p, _ := NewPattern("uniform", 16, 1)
+	r := rng.New(2)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[p.Dest(3, r)] = true
+	}
+	if len(seen) != 15 {
+		t.Errorf("uniform from node 3 reached %d of 15 destinations", len(seen))
+	}
+}
+
+func TestBitPermutationIsBijection(t *testing.T) {
+	f := func(bRaw uint8, which uint8) bool {
+		b := int(bRaw%6) + 2
+		n := 1 << uint(b)
+		names := []string{"bit-complement", "bit-reverse", "bit-shuffle", "bit-transpose"}
+		p, err := NewPattern(names[which%4], n, 1)
+		if err != nil {
+			return false
+		}
+		bp := p.(bitPerm)
+		seen := make([]bool, n)
+		for s := 0; s < n; s++ {
+			d := bp.f(s, b)
+			if d < 0 || d >= n || seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sinkFabric builds a single-router fabric where endpoint injection can be
+// observed; used for generator tests.
+func sinkFabric(nodes int) *router.Fabric {
+	f := router.NewFabric()
+	for i := 0; i < nodes; i++ {
+		r := f.NewRouter(i)
+		r.AddInPort(1, 1<<30)
+		r.AddOutPort()
+		f.MakeEjection(r, 0, 2, 1<<20)
+	}
+	// Self-delivery routing: everything goes straight to the local port.
+	f.Routing = localOnly{}
+	return f
+}
+
+type localOnly struct{}
+
+func (localOnly) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
+	return append(buf, router.Candidate{Port: 0, VCMask: router.VCMaskAll(len(r.Out[0].Credits))})
+}
+func (localOnly) SafeAt(*router.Router, int, *packet.Packet) bool { return true }
+
+func TestGeneratorRateAndFraming(t *testing.T) {
+	nodes := 32
+	f := sinkFabric(nodes)
+	f.Sink = func(p *packet.Packet, now int64) {}
+	endpoints := make([]int, nodes)
+	for i := range endpoints {
+		endpoints[i] = i
+	}
+	pat, _ := NewPattern("uniform", nodes, 1)
+	const rate, pktLen, msgPk = 0.4, 8, 4
+	g, err := NewGenerator(endpoints, pat, rate, pktLen, msgPk, interleave.Policy{G: interleave.Packet}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetMeasured(true)
+	const cycles = 20000
+	for cy := int64(1); cy <= cycles; cy++ {
+		g.Tick(f, cy)
+		f.Step()
+	}
+	offeredFlits := float64(g.OfferedPackets * pktLen)
+	got := offeredFlits / float64(nodes) / float64(cycles)
+	if math.Abs(got-rate) > 0.03 {
+		t.Errorf("offered rate %.3f, want %.3f", got, rate)
+	}
+	if g.OfferedPackets%msgPk != 0 {
+		t.Errorf("offered packets %d not a multiple of the message size", g.OfferedPackets)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	pat, _ := NewPattern("uniform", 4, 1)
+	eps := []int{0, 1, 2, 3}
+	if _, err := NewGenerator(eps[:1], pat, 0.1, 8, 1, interleave.Policy{}, 1); err == nil {
+		t.Error("single endpoint accepted")
+	}
+	if _, err := NewGenerator(eps, pat, -1, 8, 1, interleave.Policy{}, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewGenerator(eps, pat, 0.1, 0, 1, interleave.Policy{}, 1); err == nil {
+		t.Error("zero packet length accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() (uint64, int) {
+		nodes := 8
+		f := sinkFabric(nodes)
+		var lastID uint64
+		n := 0
+		f.Sink = func(p *packet.Packet, now int64) { lastID, n = p.ID, n+1 }
+		eps := make([]int, nodes)
+		for i := range eps {
+			eps[i] = i
+		}
+		pat, _ := NewPattern("uniform", nodes, 3)
+		g, _ := NewGenerator(eps, pat, 0.5, 4, 2, interleave.Policy{G: interleave.Message}, 3)
+		g.SetMeasured(true)
+		for cy := int64(1); cy <= 500; cy++ {
+			g.Tick(f, cy)
+			f.Step()
+		}
+		return lastID, n
+	}
+	id1, n1 := run()
+	id2, n2 := run()
+	if id1 != id2 || n1 != n2 {
+		t.Errorf("generator not deterministic: (%d,%d) vs (%d,%d)", id1, n1, id2, n2)
+	}
+}

@@ -1,0 +1,285 @@
+package chipletnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"chipletnet/internal/chiplet"
+	"chipletnet/internal/energy"
+	"chipletnet/internal/interleave"
+	"chipletnet/internal/routing"
+	"chipletnet/internal/stats"
+	"chipletnet/internal/topology"
+	"chipletnet/internal/traffic"
+)
+
+// System is a built but not-yet-run network: the topology, fabric and
+// routing, ready for simulation or inspection (diameters, link counts).
+type System struct {
+	Cfg  Config
+	Topo *topology.System
+}
+
+// Build constructs the system described by cfg: routers, links, labels,
+// groups, chiplet interconnection and routing algorithm.
+func Build(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geo, err := chiplet.New(cfg.ChipletW, cfg.ChipletH)
+	if err != nil {
+		return nil, err
+	}
+	lp := topology.LinkParams{
+		VCs:               cfg.VCs,
+		InternalBufFlits:  cfg.InternalBufFlits,
+		InterfaceBufFlits: cfg.InterfaceBufFlits,
+		OnChipBW:          cfg.OnChipBW,
+		OffChipBW:         cfg.OffChipBW,
+		OnChipLatency:     cfg.OnChipLatency,
+		OffChipLatency:    cfg.OffChipLatency,
+		EjectBW:           cfg.EjectBW,
+	}
+	var sys *topology.System
+	switch cfg.Topology.Kind {
+	case "mesh":
+		sys, err = topology.BuildFlatMesh(geo, cfg.Topology.Dims[0], cfg.Topology.Dims[1], lp)
+	case "ndmesh":
+		sys, err = topology.BuildNDMesh(geo, cfg.Topology.Dims, lp)
+	case "ndtorus":
+		sys, err = topology.BuildNDTorus(geo, cfg.Topology.Dims, lp)
+	case "hypercube":
+		sys, err = topology.BuildHypercube(geo, cfg.Topology.Dims[0], lp)
+	case "dragonfly":
+		sys, err = topology.BuildDragonfly(geo, cfg.Topology.Dims[0], lp)
+	case "tree":
+		sys, err = topology.BuildTree(geo, cfg.Topology.Dims[0], cfg.Topology.Dims[1], lp)
+	case "custom":
+		var n int
+		var edges [][2]int
+		if n, edges, err = cfg.Topology.customEdges(); err == nil {
+			sys, err = topology.BuildCustom(geo, n, edges, lp)
+		}
+	default:
+		return nil, fmt.Errorf("chipletnet: unknown topology kind %q", cfg.Topology.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CrossLinkFaultFraction > 0 {
+		if cfg.Topology.Kind == "mesh" {
+			return nil, fmt.Errorf("chipletnet: the flat mesh baseline has no grouped link redundancy to absorb faults")
+		}
+		if _, err := sys.FailRandomCrossLinks(cfg.CrossLinkFaultFraction, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	rt, err := routing.New(sys, cfg.routingOptions())
+	if err != nil {
+		return nil, err
+	}
+	sys.Fabric.Routing = rt
+	sys.Fabric.SafeUnsafe = cfg.Routing == RoutingSafeUnsafe
+	sys.Fabric.OffChipVAExtra = cfg.OffChipVAExtra
+	sys.Fabric.DeadlockThreshold = cfg.DeadlockThreshold
+	return &System{Cfg: cfg, Topo: sys}, nil
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Cfg Config
+	stats.Summary
+	// OfferedPackets counts packets created during measurement.
+	OfferedPackets int
+	// OfferedRate echoes the configured injection rate (flits/node/cycle).
+	OfferedRate float64
+	// EnergyPJPerBit is the §VII-A transport energy estimate from the
+	// measured average hop counts.
+	EnergyPJPerBit float64
+	// Deadlocked reports that the progress watchdog fired; all other
+	// figures are then meaningless.
+	Deadlocked bool
+	// Endpoints is the number of traffic endpoints (core nodes).
+	Endpoints int
+	// AvgOffChipUtilization / PeakOffChipUtilization summarize how loaded
+	// the chiplet-to-chiplet links were over the whole run (fraction of
+	// link capacity; the bottleneck indicator of §VII-B).
+	AvgOffChipUtilization  float64
+	PeakOffChipUtilization float64
+	// AvgOnChipUtilization is the same for on-chip links.
+	AvgOnChipUtilization float64
+}
+
+// Saturated reports whether the run shows saturation: accepted throughput
+// falling more than 10% below the offered load (the slack absorbs
+// end-of-window packets still in flight), or a deadlock report. The
+// comparison uses the traffic the generator actually produced — at low
+// rates and short windows the Bernoulli process can fall visibly short of
+// the configured rate, which is not congestion.
+func (r Result) Saturated() bool {
+	if r.Deadlocked {
+		return true
+	}
+	offered := r.OfferedRate
+	if r.Cfg.MeasureCycles > 0 && r.Endpoints > 0 {
+		actual := float64(r.OfferedPackets*r.Cfg.PacketFlits) /
+			float64(r.Cfg.MeasureCycles) / float64(r.Endpoints)
+		if actual < offered {
+			offered = actual
+		}
+	}
+	return r.AcceptedFlitsPerNodeCycle < 0.90*offered
+}
+
+// Run builds and simulates cfg and returns the measured statistics.
+func Run(cfg Config) (Result, error) {
+	sys, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Simulate()
+}
+
+// Simulate runs the configured workload on a built system. A System must
+// not be simulated twice; rebuild for fresh runs.
+func (s *System) Simulate() (Result, error) {
+	cfg := s.Cfg
+	pat, err := traffic.NewPattern(cfg.Pattern, len(s.Topo.Cores), cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	gran, err := interleave.ParseGranularity(cfg.Interleave)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := traffic.NewGenerator(
+		s.Topo.Cores, pat, cfg.InjectionRate,
+		cfg.PacketFlits, cfg.MsgPackets,
+		interleave.Policy{G: gran}, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	col := &stats.Collector{MeasureFrom: cfg.WarmupCycles + 1}
+	f := s.Topo.Fabric
+	f.Sink = col.OnDeliver
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	for cy := int64(1); cy <= total; cy++ {
+		gen.SetMeasured(cy > cfg.WarmupCycles)
+		gen.Tick(f, cy)
+		f.Step()
+		if f.Deadlocked {
+			break
+		}
+	}
+
+	res := Result{
+		Cfg:            cfg,
+		Summary:        col.Summarize(cfg.MeasureCycles, len(s.Topo.Cores)),
+		OfferedPackets: gen.OfferedPackets,
+		OfferedRate:    cfg.InjectionRate,
+		Deadlocked:     f.Deadlocked,
+		Endpoints:      len(s.Topo.Cores),
+	}
+	res.EnergyPJPerBit = energy.Default().PerBit(res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
+
+	// Link utilization summary over the whole run.
+	var offSum, onSum float64
+	var offN, onN int
+	for _, l := range f.Links {
+		u := l.Utilization(f.Now)
+		if l.OffChip {
+			offSum += u
+			offN++
+			if u > res.PeakOffChipUtilization {
+				res.PeakOffChipUtilization = u
+			}
+		} else {
+			onSum += u
+			onN++
+		}
+	}
+	if offN > 0 {
+		res.AvgOffChipUtilization = offSum / float64(offN)
+	}
+	if onN > 0 {
+		res.AvgOnChipUtilization = onSum / float64(onN)
+	}
+	return res, nil
+}
+
+// Sweep runs cfg at every injection rate, in parallel across CPUs, and
+// returns the results in rate order.
+func Sweep(cfg Config, rates []float64) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(rates))
+	errs := make([]error, len(rates))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, r := range rates {
+		wg.Add(1)
+		go func(i int, rate float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.InjectionRate = rate
+			results[i], errs[i] = Run(c)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SaturationRate binary-searches the maximum injection rate (flits/node/
+// cycle) the configuration sustains without saturating, within tol.
+func SaturationRate(cfg Config, lo, hi, tol float64) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	stable := func(rate float64) (bool, error) {
+		c := cfg
+		c.InjectionRate = rate
+		res, err := Run(c)
+		if err != nil {
+			return false, err
+		}
+		return !res.Saturated(), nil
+	}
+	okLo, err := stable(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return 0, nil
+	}
+	okHi, err := stable(hi)
+	if err != nil {
+		return 0, err
+	}
+	if okHi {
+		return hi, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := stable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
