@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet lint check figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/chipletlint ./...
+
+# check is the pre-PR gate: vet, build, the full test suite under the race
+# detector, and the determinism linter.
+check: vet build
+	$(GO) test -race ./...
+	$(GO) run ./cmd/chipletlint ./...
+
+figures:
+	$(GO) run ./cmd/chipletfig -scale quick -out results all

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, dir, name, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, file, dir, name)
+}
+
+func assertFinding(t *testing.T, fs []finding, substr string) {
+	t.Helper()
+	for _, f := range fs {
+		if strings.Contains(f.msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding containing %q in %v", substr, fs)
+}
+
+func TestMathRandForbiddenOutsideRNG(t *testing.T) {
+	src := `package x
+import "math/rand"
+var _ = rand.Int`
+	assertFinding(t, lintSource(t, "internal/traffic", "gen.go", src), "math/rand")
+	if fs := lintSource(t, "internal/rng", "rng.go", src); len(fs) != 0 {
+		t.Errorf("internal/rng flagged: %v", fs)
+	}
+}
+
+func TestWallClockForbiddenInSimulator(t *testing.T) {
+	src := `package x
+import "time"
+func f() time.Time { return time.Now() }`
+	assertFinding(t, lintSource(t, "internal/router", "r.go", src), "wall-clock")
+	if fs := lintSource(t, "cmd/chipletfig", "main.go", src); len(fs) != 0 {
+		t.Errorf("command package flagged: %v", fs)
+	}
+	if fs := lintSource(t, "internal/router", "r_test.go", src); len(fs) != 0 {
+		t.Errorf("test file flagged: %v", fs)
+	}
+}
+
+func TestGoroutineForbiddenInInternal(t *testing.T) {
+	src := `package x
+func f() { go func() {}() }`
+	assertFinding(t, lintSource(t, "internal/router", "r.go", src), "goroutine")
+	if fs := lintSource(t, ".", "run.go", src); len(fs) != 0 {
+		t.Errorf("module root flagged (sweep parallelism is allowed): %v", fs)
+	}
+}
+
+func TestMapOrderDependentEffects(t *testing.T) {
+	// The original internal/topology/custom.go defect: side-effecting
+	// method calls ordered by map iteration.
+	src := `package x
+func f(s *sys) {
+	seen := map[int]bool{}
+	for e := range seen {
+		s.addCrossPair(e)
+	}
+}`
+	assertFinding(t, lintSource(t, "internal/topology", "c.go", src), "side effects ordered by map iteration")
+
+	src = `package x
+func f() (out []int) {
+	m := make(map[int]int)
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`
+	assertFinding(t, lintSource(t, "internal/stats", "s.go", src), "appends to")
+
+	src = `package x
+func f() (last int) {
+	m := make(map[int]int)
+	for _, v := range m {
+		last = v
+	}
+	return last
+}`
+	assertFinding(t, lintSource(t, "internal/stats", "s.go", src), "last-writer-wins")
+
+	// Maps that arrive as function parameters are just as order-unstable
+	// as locally made ones.
+	src = `package x
+func f(m map[int]int) (out []int) {
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`
+	assertFinding(t, lintSource(t, "internal/stats", "s.go", src), "appends to")
+}
+
+func TestCollectThenSortAccepted(t *testing.T) {
+	src := `package x
+import "sort"
+func f() []int {
+	m := make(map[int]int)
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}`
+	if fs := lintSource(t, "internal/stats", "s.go", src); len(fs) != 0 {
+		t.Errorf("collect-then-sort idiom flagged: %v", fs)
+	}
+}
+
+func TestCommutativeAggregationAccepted(t *testing.T) {
+	src := `package x
+func f() int {
+	m := make(map[int]int)
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}`
+	if fs := lintSource(t, "internal/stats", "s.go", src); len(fs) != 0 {
+		t.Errorf("commutative aggregation flagged: %v", fs)
+	}
+}

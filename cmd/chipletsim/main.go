@@ -132,6 +132,9 @@ func main() {
 		cfg.Pattern, cfg.InjectionRate, cfg.Interleave, cfg.Routing)
 	if res.Deadlocked {
 		fmt.Println("RESULT:        DEADLOCK detected by the progress watchdog")
+		if res.DeadlockReport != nil {
+			fmt.Println(res.DeadlockReport)
+		}
 		os.Exit(2)
 	}
 	fmt.Printf("latency:       avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %d cycles\n",

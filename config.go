@@ -194,6 +194,13 @@ type Config struct {
 	// DisableNDMeshVCSeparation turns off the Theorem-1 d+/d- virtual
 	// channel separation on nD-mesh (demonstration only).
 	DisableNDMeshVCSeparation bool
+	// AllowUnsafeRouting opts into routing configurations whose escape
+	// sub-network is not certified deadlock-free (the equal-channel mode
+	// above, and Duato-escape routing on irregular custom topologies).
+	// Build rejects such configurations unless this is set; the static
+	// verifier (internal/verify, cmd/chipletverify) reports the offending
+	// channel-dependency cycle either way.
+	AllowUnsafeRouting bool
 
 	// CrossLinkFaultFraction disables this fraction of chiplet-to-chiplet
 	// channels (deterministically from Seed) before simulation, modeling
@@ -281,7 +288,10 @@ func (c Config) Validate() error {
 }
 
 func (c Config) routingOptions() routing.Options {
-	opt := routing.Options{DisableNDMeshVCSeparation: c.DisableNDMeshVCSeparation}
+	opt := routing.Options{
+		DisableNDMeshVCSeparation: c.DisableNDMeshVCSeparation,
+		AllowUnsafe:               c.AllowUnsafeRouting,
+	}
 	if c.Routing == RoutingSafeUnsafe {
 		opt.Mode = routing.SafeUnsafe
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"chipletnet/internal/rng"
+	"chipletnet/internal/verify"
 )
 
 // TestRandomConfigurationsAreRobust drives the whole stack through a
@@ -39,6 +40,41 @@ func TestRandomConfigurationsAreRobust(t *testing.T) {
 	if accepted < iterations/3 {
 		t.Errorf("only %d of %d random configs accepted; generator too wild", accepted, iterations)
 	}
+}
+
+// FuzzVerifyMatchesWatchdog fuzzes the static verifier against the runtime
+// watchdog: for every random buildable configuration the verifier clears,
+// a short saturating simulation must not trip the deadlock watchdog. (The
+// converse is not checkable — a finite run missing a deadlock proves
+// nothing — so the fuzz oracle is one-sided, matching the theory: the
+// criterion is sufficient, not necessary.)
+func FuzzVerifyMatchesWatchdog(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(20260806))
+	f.Add(uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		cfg := randomConfig(rng.New(seed))
+		cfg.InjectionRate = 0.9
+		cfg.WarmupCycles = 200
+		cfg.MeasureCycles = 1300
+		cfg.DeadlockThreshold = 500
+		sys, err := Build(cfg)
+		if err != nil {
+			t.Skip() // invalid combinations may be rejected, not crash
+		}
+		rep := sys.VerifyRouting(verify.Options{MaxDests: 16, MaxSources: 8})
+		if rep.Err() != nil {
+			t.Skip() // not certified: the runtime guarantee is out of scope
+		}
+		res, err := sys.Simulate()
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, cfg.Topology, err)
+		}
+		if res.Deadlocked {
+			t.Errorf("seed %d: verifier passed but watchdog fired: topo=%v W=%d H=%d vcs=%d mode=%s pattern=%s",
+				seed, cfg.Topology, cfg.ChipletW, cfg.ChipletH, cfg.VCs, cfg.Routing, cfg.Pattern)
+		}
+	})
 }
 
 func randomConfig(r *rng.Rand) Config {

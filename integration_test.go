@@ -305,6 +305,10 @@ func TestNDMeshSeparationAblation(t *testing.T) {
 	cfg := fastCfg(NDMeshTopology(2, 2))
 	cfg.DisableNDMeshVCSeparation = true
 	cfg.InjectionRate = 0.05
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("equal-channel mode accepted without AllowUnsafeRouting")
+	}
+	cfg.AllowUnsafeRouting = true
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -9,8 +9,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"chipletnet"
+	"chipletnet/internal/verify"
 )
 
 // Scale controls experiment cost: Quick for benchmarks and CI, Full for
@@ -73,7 +75,41 @@ func baseConfig(s Scale) chipletnet.Config {
 	return cfg
 }
 
+// preflight statically verifies the design point's routing before any
+// cycle is simulated: a sampled channel-dependency-graph analysis
+// (internal/verify) must find no deadlock cycle, unreachable pair or VC
+// inconsistency. Verdicts are memoized per routing-relevant configuration,
+// so a rate sweep over one design point pays for one analysis.
+var preflightCache sync.Map // key string -> error (possibly nil)
+
+func preflight(cfg chipletnet.Config) error {
+	key := fmt.Sprintf("%s%v|%dx%d|vc%d|%s|sep%v|unsafe%v|fault%g|seed%d",
+		cfg.Topology.Kind, cfg.Topology.Dims, cfg.ChipletW, cfg.ChipletH,
+		cfg.VCs, cfg.Routing, cfg.DisableNDMeshVCSeparation,
+		cfg.AllowUnsafeRouting, cfg.CrossLinkFaultFraction, cfg.Seed)
+	if v, ok := preflightCache.Load(key); ok {
+		if v == nil {
+			return nil
+		}
+		return v.(error)
+	}
+	rep, err := chipletnet.VerifyConfig(cfg, verify.Options{MaxDests: 16, MaxSources: 8})
+	if err == nil {
+		err = rep.Err()
+	}
+	if err != nil {
+		err = fmt.Errorf("pre-flight verification failed: %w", err)
+		preflightCache.Store(key, err)
+		return err
+	}
+	preflightCache.Store(key, nil)
+	return nil
+}
+
 func runPoint(cfg chipletnet.Config, exp, series string, x float64, xname string) (Point, error) {
+	if err := preflight(cfg); err != nil {
+		return Point{}, fmt.Errorf("%s/%s at %s=%g: %w", exp, series, xname, x, err)
+	}
 	res, err := chipletnet.Run(cfg)
 	if err != nil {
 		return Point{}, fmt.Errorf("%s/%s at %s=%g: %w", exp, series, xname, x, err)

@@ -45,6 +45,10 @@ type Fabric struct {
 	DeadlockThreshold int64
 	// Deadlocked is set when the watchdog fires.
 	Deadlocked bool
+	// Deadlock is the diagnostic snapshot taken the first time the
+	// watchdog fires: the blocked routers and virtual channels, and the
+	// oldest waiting packet. Nil while the fabric is live.
+	Deadlock *DeadlockReport
 
 	inFlight     int
 	lastProgress int64
@@ -155,8 +159,104 @@ func (f *Fabric) Step() {
 		f.lastProgress = now
 	} else if f.DeadlockThreshold > 0 && f.inFlight > 0 &&
 		now-f.lastProgress > f.DeadlockThreshold {
+		if !f.Deadlocked {
+			f.Deadlock = f.snapshotDeadlock(now)
+		}
 		f.Deadlocked = true
 	}
+}
+
+// maxBlockedWitnesses caps the per-report blocked-VC witness list; the
+// totals keep counting beyond it.
+const maxBlockedWitnesses = 16
+
+// BlockedVC identifies one stalled virtual channel in a deadlock snapshot:
+// the buffer it occupies, its head packet, and how many cycles that packet
+// has been in the network.
+type BlockedVC struct {
+	Node, Port, VC int
+	Packet         *packet.Packet
+	Age            int64 // cycles since the head packet entered its source queue
+	Buffered       int   // flits buffered in the VC
+}
+
+func (b BlockedVC) String() string {
+	return fmt.Sprintf("router %d port %d vc %d: packet %d->%d waiting %d cycles (%d flits buffered)",
+		b.Node, b.Port, b.VC, b.Packet.Src, b.Packet.Dst, b.Age, b.Buffered)
+}
+
+// DeadlockReport is the watchdog's diagnostic snapshot: which routers and
+// virtual channels hold stalled packets when progress ceased, and the age
+// of the oldest waiting packet. It names the resources of the deadlocked
+// configuration so a report can be cross-checked against the static
+// verifier's channel-dependency-cycle witness.
+type DeadlockReport struct {
+	// Cycle is when the watchdog fired; StallCycles how long the fabric
+	// had already been without flit movement at that point.
+	Cycle, StallCycles int64
+	// InFlight is the number of undelivered packets.
+	InFlight int
+	// BlockedRouters and BlockedVCs count every stalled resource; Blocked
+	// lists the first maxBlockedWitnesses of them in router order.
+	BlockedRouters, BlockedVCs int
+	Blocked                    []BlockedVC
+	// Oldest is the longest-waiting head packet and OldestAge its age in
+	// cycles at the snapshot.
+	Oldest    *packet.Packet
+	OldestAge int64
+}
+
+func (d *DeadlockReport) String() string {
+	s := fmt.Sprintf("deadlock at cycle %d: no flit movement for %d cycles, %d packets in flight, %d blocked VCs on %d routers",
+		d.Cycle, d.StallCycles, d.InFlight, d.BlockedVCs, d.BlockedRouters)
+	if d.Oldest != nil {
+		s += fmt.Sprintf("; oldest packet %d->%d waiting %d cycles", d.Oldest.Src, d.Oldest.Dst, d.OldestAge)
+	}
+	for _, b := range d.Blocked {
+		s += "\n  " + b.String()
+	}
+	if d.BlockedVCs > len(d.Blocked) {
+		s += fmt.Sprintf("\n  ... %d further blocked VCs", d.BlockedVCs-len(d.Blocked))
+	}
+	return s
+}
+
+// snapshotDeadlock walks every router's input VCs in deterministic index
+// order and records the occupied ones — with no flit moving anywhere, every
+// buffered packet is by definition stalled.
+func (f *Fabric) snapshotDeadlock(now int64) *DeadlockReport {
+	d := &DeadlockReport{
+		Cycle:       now,
+		StallCycles: now - f.lastProgress,
+		InFlight:    f.inFlight,
+	}
+	for _, r := range f.Routers {
+		routerBlocked := false
+		for pi, ip := range r.In {
+			for vi, vc := range ip.VCs {
+				h := vc.HeadInfo()
+				if h == nil {
+					continue
+				}
+				routerBlocked = true
+				d.BlockedVCs++
+				age := now - h.P.CreatedAt
+				if d.Oldest == nil || age > d.OldestAge {
+					d.Oldest, d.OldestAge = h.P, age
+				}
+				if len(d.Blocked) < maxBlockedWitnesses {
+					d.Blocked = append(d.Blocked, BlockedVC{
+						Node: r.Node, Port: pi, VC: vi,
+						Packet: h.P, Age: age, Buffered: vc.Occupied(),
+					})
+				}
+			}
+		}
+		if routerBlocked {
+			d.BlockedRouters++
+		}
+	}
+	return d
 }
 
 // BufferedFlits returns the total flits buffered in all routers (excluding

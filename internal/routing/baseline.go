@@ -99,6 +99,23 @@ func (f *flatMesh) Candidates(r *router.Router, inPort int, p *packet.Packet, bu
 	return append(buf, router.Candidate{Port: f.sys.MeshPort(v, esc), VCMask: 1, Escape: true})
 }
 
+// EscapeStep exposes the negative-first escape function for static
+// analysis (internal/verify). The NFR step always exists on a mesh.
+func (f *flatMesh) EscapeStep(v int, p *packet.Packet) (next, vc int, ok bool) {
+	if v == p.Dst {
+		return v, 0, false
+	}
+	port := f.sys.MeshPort(v, f.escapeDir(v, p.Dst))
+	if port < 0 {
+		return 0, 0, false
+	}
+	return f.sys.Nodes[v].Ports[port].To, 0, true
+}
+
+// EscapeRequired reports whether every reachable state must offer the
+// escape continuation (Duato's protocol); see (*mfr).EscapeRequired.
+func (f *flatMesh) EscapeRequired() bool { return f.mode == DuatoEscape }
+
 // SafeAt implements Definition 4 per channel: a packet that reached this
 // input over a positive hop has a negative-first path from the current
 // channel only if its remainder is positive-only. Packets that arrived

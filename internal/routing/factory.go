@@ -19,6 +19,9 @@ func New(sys *topology.System, opt Options) (router.Routing, error) {
 		return newMFR(sys, &hypercubeLogic{sys: sys}, opt), nil
 	case topology.NDMesh, topology.NDTorus:
 		sep := !opt.DisableNDMeshVCSeparation
+		if !sep && !opt.AllowUnsafe {
+			return nil, fmt.Errorf("routing: disabling the Theorem-1 d+/d- VC separation makes the %v escape sub-network cyclic (deadlock); set AllowUnsafe to run it anyway", sys.Kind)
+		}
 		if sep && sys.LP.VCs < 2 {
 			return nil, fmt.Errorf("routing: %v needs >= 2 VCs for the Theorem-1 d+/d- separation (have %d)", sys.Kind, sys.LP.VCs)
 		}
@@ -32,7 +35,10 @@ func New(sys *topology.System, opt Options) (router.Routing, error) {
 	case topology.Tree:
 		return newMFR(sys, newTreeLogic(sys), opt), nil
 	case topology.Custom:
-		if opt.Mode != SafeUnsafe {
+		if opt.Mode != SafeUnsafe && !opt.AllowUnsafe {
+			// Shortest-path escape routes on an irregular graph can form
+			// channel cycles (internal/verify demonstrates one on a ring of
+			// chiplets), so Duato-escape mode is opt-in for analysis only.
 			return nil, fmt.Errorf("routing: irregular custom topologies have no MFR label structure; use the safe/unsafe routing mode")
 		}
 		return newMFR(sys, newCustomLogic(sys), opt), nil

@@ -178,9 +178,15 @@ func (t *treeLogic) exit(cv int, p *packet.Packet) exitPlan {
 	next, down := t.nextChiplet(cv, cd)
 	ringHi := t.sys.Geo.RingLen() - 1
 	if !down {
-		// Upward: the parent group is the last group.
+		// Upward: the parent group is the last group, at the highest ring
+		// positions, reached by minus rides only. Plus rides toward the
+		// parent exit would let adaptively placed packets occupy ring
+		// channels that destination and downward rides also use, closing
+		// a cross-down -> ring -> cross-up escape dependency cycle
+		// (internal/verify finds the 4-channel witness when this plan is
+		// bothWays).
 		g := t.sys.Grouping.Groups() - 1
-		return exitPlan{group: g, segLo: 0, segHi: ringHi, bothWays: true}
+		return exitPlan{group: g, segLo: 0, segHi: ringHi}
 	}
 	// Downward: find which child slot next occupies.
 	for slot, ch := range t.sys.Children[cv] {

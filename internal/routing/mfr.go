@@ -35,8 +35,14 @@ type Options struct {
 	// DisableNDMeshVCSeparation turns off the Theorem-1 VC separation of
 	// d+/d- packets in nD-mesh interface segments. Only useful to
 	// demonstrate why the separation exists; leave false for correct
-	// operation.
+	// operation. Requires AllowUnsafe.
 	DisableNDMeshVCSeparation bool
+	// AllowUnsafe opts into configurations whose escape sub-network is not
+	// certified deadlock-free: the nD-mesh equal-channel mode above and
+	// Duato-escape routing on irregular custom topologies. New rejects
+	// them otherwise. The static verifier (internal/verify) and its
+	// negative test fixtures exercise these modes through this opt-in.
+	AllowUnsafe bool
 }
 
 // exitPlan describes, for a packet that must still leave its current
@@ -685,3 +691,17 @@ func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []r
 	}
 	return append(buf, router.Candidate{Port: port, VCMask: 1 << uint(vc), Escape: true})
 }
+
+// EscapeStep exposes the minus-first escape function for static analysis
+// (internal/verify): the next hop and escape VC class for packet p at node
+// v, or ok=false from states with no minus-first continuation. It never
+// panics and does not mutate routing state.
+func (m *mfr) EscapeStep(v int, p *packet.Packet) (next, vc int, ok bool) {
+	return m.escapeStepOK(v, p)
+}
+
+// EscapeRequired reports whether every state packets can reach must offer
+// an escape continuation: true under Duato's protocol, false under the
+// safe/unsafe flow control (where packets may roam past the minus-first
+// windows and rely on Algorithm 5 instead).
+func (m *mfr) EscapeRequired() bool { return m.mode == DuatoEscape }

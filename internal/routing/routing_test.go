@@ -385,8 +385,21 @@ func TestFactoryErrors(t *testing.T) {
 	if _, err := New(sys, Options{}); err == nil {
 		t.Error("nD-mesh with 1 VC accepted despite Theorem-1 separation")
 	}
-	if _, err := New(sys, Options{DisableNDMeshVCSeparation: true}); err != nil {
-		t.Errorf("separation disabled should allow 1 VC: %v", err)
+	if _, err := New(sys, Options{DisableNDMeshVCSeparation: true}); err == nil {
+		t.Error("equal-channel mode accepted without AllowUnsafe")
+	}
+	if _, err := New(sys, Options{DisableNDMeshVCSeparation: true, AllowUnsafe: true}); err != nil {
+		t.Errorf("separation disabled with AllowUnsafe should allow 1 VC: %v", err)
+	}
+	cust, err := topology.BuildCustom(geo(4, 4), 3, [][2]int{{0, 1}, {1, 2}}, testLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cust, Options{}); err == nil {
+		t.Error("custom + Duato accepted without AllowUnsafe")
+	}
+	if _, err := New(cust, Options{AllowUnsafe: true}); err != nil {
+		t.Errorf("custom + Duato with AllowUnsafe should construct: %v", err)
 	}
 }
 

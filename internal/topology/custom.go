@@ -83,9 +83,23 @@ func BuildCustom(geo chiplet.Geometry, numChiplets int, edges [][2]int, lp LinkP
 		}
 	}
 
+	// Canonical edges in deterministic order: iterating the dedup map
+	// directly would assign link ids in map order, which varies run to
+	// run and breaks simulation reproducibility.
+	canonical := make([][2]int, 0, len(seen))
+	for e := range seen {
+		canonical = append(canonical, e)
+	}
+	sort.Slice(canonical, func(i, j int) bool {
+		if canonical[i][0] != canonical[j][0] {
+			return canonical[i][0] < canonical[j][0]
+		}
+		return canonical[i][1] < canonical[j][1]
+	})
+
 	// Pair each edge's endpoint groups slot by slot, skipping ring
 	// position 0 on either side.
-	for e := range seen {
+	for _, e := range canonical {
 		a, b := e[0], e[1]
 		ga := sort.SearchInts(nbr[a], b)
 		gb := sort.SearchInts(nbr[b], a)
@@ -100,7 +114,7 @@ func BuildCustom(geo chiplet.Geometry, numChiplets int, edges [][2]int, lp LinkP
 		}
 	}
 	// Every edge must have produced at least one physical channel.
-	for e := range seen {
+	for _, e := range canonical {
 		a, b := e[0], e[1]
 		ga := sort.SearchInts(nbr[a], b)
 		if len(s.Chiplets[a].Groups[ga]) == 0 {

@@ -1,0 +1,184 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Channel identifies one virtual channel of a directed physical link: the
+// link From -> To restricted to virtual channel VC. Channels are the
+// vertices of the channel dependency graph.
+type Channel struct {
+	From, To int // global node ids
+	VC       int
+}
+
+func (c Channel) String() string { return fmt.Sprintf("%d->%d/vc%d", c.From, c.To, c.VC) }
+
+// DepEdge is one dependency of the channel dependency graph: a packet
+// occupying channel From can request channel To as its next escape hop.
+// Dst and Tag record the (destination, interleave tag) routing round that
+// first induced the dependency, making every witness edge reproducible.
+type DepEdge struct {
+	From, To Channel
+	Dst, Tag int
+}
+
+func (e DepEdge) String() string {
+	return fmt.Sprintf("%v => %v  [packet to %d, tag %d]", e.From, e.To, e.Dst, e.Tag)
+}
+
+// StateRef identifies one routing state: a packet headed to destination Dst
+// with interleave tag Tag, currently at node Node.
+type StateRef struct{ Node, Dst, Tag int }
+
+func (s StateRef) String() string {
+	return fmt.Sprintf("node %d (packet to %d, tag %d)", s.Node, s.Dst, s.Tag)
+}
+
+// ReachFailure records a source node with no path to a destination.
+type ReachFailure struct {
+	Src, Dst, Tag int
+	// Reason distinguishes candidate-graph unreachability from a
+	// non-terminating escape walk.
+	Reason string
+}
+
+func (f ReachFailure) String() string {
+	return fmt.Sprintf("%d -> %d (tag %d): %s", f.Src, f.Dst, f.Tag, f.Reason)
+}
+
+// Report is the structured verdict of one static analysis run.
+type Report struct {
+	// Topology names the analyzed topology kind.
+	Topology string
+	// EscapeRequired records whether the routing mode relies on the escape
+	// sub-network for deadlock freedom (Duato's protocol). When false
+	// (safe/unsafe flow control), a cycle below means "the minus-first
+	// structure is not certified by Duato's criterion", not "will
+	// deadlock": Algorithm 5's flow control provides the runtime
+	// guarantee, and only structural breakage is fatal (see Err).
+	EscapeRequired bool
+
+	// Dests, Tags and States count the analyzed destinations, interleave
+	// tags and visited (node, destination, tag) routing states.
+	Dests, Tags, States int
+	// EscapeChannels is |C1|, the escape sub-network channel count;
+	// DepEdges the dependency count of the analyzed CDG.
+	EscapeChannels, DepEdges int
+
+	// Cycle is the dependency-cycle witness: edge i's To channel is edge
+	// i+1's From channel, wrapping around. Empty when the CDG is acyclic.
+	Cycle []DepEdge
+	// MissingEscape lists reachable states with no escape continuation
+	// (recorded only when EscapeRequired).
+	MissingEscape []StateRef
+	// DeadEnds lists reachable states whose candidate set is empty — the
+	// router would panic at runtime.
+	DeadEnds []StateRef
+	// Unreachable lists src -> dst pairs with no admissible path.
+	Unreachable []ReachFailure
+	// VCViolations lists VC-discipline inconsistencies: escape VCs or
+	// candidate masks outside the configured VC range, or ejection
+	// candidates away from the destination.
+	VCViolations []string
+	// Truncated counts findings dropped beyond Options.MaxWitnesses.
+	Truncated int
+
+	// Panic is set when the routing function panicked during analysis
+	// (the panic is recovered; the report is otherwise incomplete).
+	Panic string
+	// Unsupported is set when the routing implementation does not expose
+	// the EscapeAnalyzer interface needed for static analysis.
+	Unsupported string
+}
+
+// Acyclic reports whether the CDG was fully built and contains no cycle.
+func (r *Report) Acyclic() bool {
+	return r.Panic == "" && r.Unsupported == "" && len(r.Cycle) == 0
+}
+
+// Certified reports whether every check passed: acyclic escape CDG, full
+// reachability, complete escape coverage and consistent VC discipline —
+// the configuration is statically certified deadlock-free by Duato's
+// criterion for virtual cut-through switching.
+func (r *Report) Certified() bool {
+	return r.Acyclic() && len(r.MissingEscape) == 0 && len(r.DeadEnds) == 0 &&
+		len(r.Unreachable) == 0 && len(r.VCViolations) == 0
+}
+
+// Err distills the report into an error for pre-flight gating: nil when
+// the configuration is safe to simulate. Escape-CDG findings (cycle,
+// missing escape continuation) are fatal only under Duato's protocol;
+// under safe/unsafe flow control the runtime guarantee is Algorithm 5's,
+// so only structural breakage (routing panic, dead-end states,
+// unreachable pairs, VC range errors) rejects the configuration.
+func (r *Report) Err() error {
+	switch {
+	case r.Panic != "":
+		return fmt.Errorf("verify: routing panicked during analysis: %s", r.Panic)
+	case r.Unsupported != "":
+		return fmt.Errorf("verify: %s", r.Unsupported)
+	case len(r.DeadEnds) > 0:
+		return fmt.Errorf("verify: %d reachable states have no route candidate (first: %v)",
+			len(r.DeadEnds), r.DeadEnds[0])
+	case len(r.Unreachable) > 0:
+		return fmt.Errorf("verify: %d src->dst pairs unreachable (first: %v)",
+			len(r.Unreachable), r.Unreachable[0])
+	case len(r.VCViolations) > 0:
+		return fmt.Errorf("verify: VC discipline violated: %s", r.VCViolations[0])
+	case r.EscapeRequired && len(r.MissingEscape) > 0:
+		return fmt.Errorf("verify: %d reachable states lack an escape continuation (first: %v)",
+			len(r.MissingEscape), r.MissingEscape[0])
+	case r.EscapeRequired && len(r.Cycle) > 0:
+		return fmt.Errorf("verify: escape channel dependency graph has a %d-edge cycle (%v ...)",
+			len(r.Cycle), r.Cycle[0])
+	}
+	return nil
+}
+
+// String pretty-prints the report, witnesses included.
+func (r *Report) String() string {
+	var b strings.Builder
+	mode := "escape-based (Duato's protocol)"
+	if !r.EscapeRequired {
+		mode = "flow-control-based (safe/unsafe)"
+	}
+	fmt.Fprintf(&b, "topology %s, %s: %d escape channels, %d dependencies over %d destinations x %d tags (%d states)\n",
+		r.Topology, mode, r.EscapeChannels, r.DepEdges, r.Dests, r.Tags, r.States)
+	switch {
+	case r.Panic != "":
+		fmt.Fprintf(&b, "ERROR: routing panicked during analysis: %s\n", r.Panic)
+	case r.Unsupported != "":
+		fmt.Fprintf(&b, "ERROR: %s\n", r.Unsupported)
+	}
+	if len(r.Cycle) > 0 {
+		fmt.Fprintf(&b, "CYCLE: the channel dependency graph has a %d-edge cycle:\n", len(r.Cycle))
+		for _, e := range r.Cycle {
+			fmt.Fprintf(&b, "  %v\n", e)
+		}
+	}
+	for _, s := range r.MissingEscape {
+		fmt.Fprintf(&b, "NO ESCAPE: %v\n", s)
+	}
+	for _, s := range r.DeadEnds {
+		fmt.Fprintf(&b, "DEAD END: no route candidates at %v\n", s)
+	}
+	for _, f := range r.Unreachable {
+		fmt.Fprintf(&b, "UNREACHABLE: %v\n", f)
+	}
+	for _, v := range r.VCViolations {
+		fmt.Fprintf(&b, "VC DISCIPLINE: %s\n", v)
+	}
+	if r.Truncated > 0 {
+		fmt.Fprintf(&b, "... %d further findings truncated\n", r.Truncated)
+	}
+	if r.Certified() {
+		b.WriteString("PASS: escape sub-network acyclic, all pairs reachable, escape coverage complete\n")
+	} else if err := r.Err(); err == nil {
+		b.WriteString("PASS (not certified): structure sound; deadlock freedom rests on the safe/unsafe flow control\n")
+	} else {
+		fmt.Fprintf(&b, "FAIL: %v\n", err)
+	}
+	return b.String()
+}

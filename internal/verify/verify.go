@@ -1,0 +1,475 @@
+// Package verify statically proves routing-level deadlock freedom of a
+// built system before a single cycle is simulated.
+//
+// The analysis implements Duato's criterion for virtual cut-through
+// switching: a routing function is deadlock-free if its escape sub-network
+// C1 — the channels supplied by the escape function — has an acyclic
+// extended channel dependency graph. "Extended" means the dependency
+// c -> c' is recorded whenever any packet can occupy c (however it got
+// there, including via adaptive hops) and its escape function supplies c'
+// next; under virtual cut-through a packet holds exactly one buffer while
+// requesting the next, so only these direct dependencies matter.
+//
+// The analyzer enumerates routing behavior exhaustively per (destination,
+// interleave tag) round in two global passes over all rounds:
+//
+//  1. a link-level BFS from every injection point over the routing
+//     function's candidate sets discovers the reachable states; the escape
+//     step of each reachable state contributes its target channel to C1.
+//     The same pass checks full reachability (every source reaches the
+//     destination in the candidate graph), escape completeness and
+//     termination (Duato mode), dead-end states, and VC-range discipline.
+//  2. dependency edges are emitted against the now-complete C1. Under
+//     Duato's protocol the extended rule applies: the BFS re-runs, and
+//     every candidate channel that lies in C1 can be occupied and depends
+//     on the occupant's next escape channel at the far node. Under the
+//     safe/unsafe flow control the escape network is not a reserved
+//     resource class, so the analysis certifies the minus-first structure
+//     itself (Theorem 1's object, which Definition 4's safety argument
+//     relies on): edges chain the consecutive channels of each pure
+//     minus-first walk from an injection core to the destination.
+//
+// Injection channels belong to C1 but no link channel ever feeds them, so
+// they cannot participate in a cycle and are left out of the graph.
+//
+// The verdict is a structured Report carrying the offending dependency
+// cycle as a concrete witness when verification fails.
+package verify
+
+import (
+	"fmt"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/router"
+	"chipletnet/internal/topology"
+)
+
+// EscapeAnalyzer is the interface a routing implementation must expose, on
+// top of router.Routing, to be statically analyzable. Both routing
+// families in internal/routing (MFR and the flat-mesh NFR baseline)
+// implement it.
+type EscapeAnalyzer interface {
+	router.Routing
+	// EscapeStep returns the escape next hop and VC for packet p at node
+	// v, or ok=false from states with no escape continuation. It must be
+	// side-effect free and must not panic on reachable states.
+	EscapeStep(v int, p *packet.Packet) (next, vc int, ok bool)
+	// EscapeRequired reports whether deadlock freedom relies on the
+	// escape sub-network (Duato's protocol) rather than on flow control.
+	EscapeRequired() bool
+}
+
+// Options tunes analysis cost. The zero value analyzes everything.
+type Options struct {
+	// MaxDests bounds the analyzed destination cores (0 = all).
+	// Destinations are sampled evenly across the core list, preserving
+	// chiplet coverage.
+	MaxDests int
+	// MaxSources bounds the escape-walk sources per destination (0 =
+	// all). Candidate-graph reachability always covers every source.
+	MaxSources int
+	// MaxWitnesses caps recorded findings per category (default 8).
+	MaxWitnesses int
+}
+
+// Run statically analyzes the routing installed on sys.Fabric and returns
+// the structured verdict. The system must be built but not yet simulated;
+// the analysis only reads routing state and does not mutate the fabric.
+// Panics escaping the routing function are recovered into Report.Panic.
+func Run(sys *topology.System, opt Options) (rep *Report) {
+	rep = &Report{Topology: sys.Kind.String()}
+	if opt.MaxWitnesses <= 0 {
+		opt.MaxWitnesses = 8
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			rep.Panic = fmt.Sprint(p)
+		}
+	}()
+	if sys.Fabric == nil || sys.Fabric.Routing == nil {
+		rep.Unsupported = "system has no routing installed (build it first)"
+		return rep
+	}
+	rt, ok := sys.Fabric.Routing.(EscapeAnalyzer)
+	if !ok {
+		rep.Unsupported = fmt.Sprintf("routing %T does not expose EscapeStep for static analysis", sys.Fabric.Routing)
+		return rep
+	}
+	a := &analyzer{
+		sys:     sys,
+		rt:      rt,
+		opt:     opt,
+		rep:     rep,
+		routers: make([]*router.Router, len(sys.Nodes)),
+		dests:   sampleInts(sys.Cores, opt.MaxDests),
+		sources: sampleInts(sys.Cores, opt.MaxSources),
+		tags:    tagSet(sys),
+		c1:      make(map[Channel]bool),
+		adj:     make(map[Channel][]Channel),
+		seen:    make(map[[2]Channel]bool),
+		info:    make(map[[2]Channel][2]int),
+	}
+	for _, r := range sys.Fabric.Routers {
+		a.routers[r.Node] = r
+	}
+	rep.EscapeRequired = rt.EscapeRequired()
+	rep.Dests, rep.Tags = len(a.dests), len(a.tags)
+
+	// Pass 1: reachable states, C1, reachability and discipline checks.
+	for _, dst := range a.dests {
+		for _, tag := range a.tags {
+			a.round(dst, tag, false)
+		}
+	}
+	// Pass 2: dependency edges against the now-complete C1.
+	for _, dst := range a.dests {
+		for _, tag := range a.tags {
+			if rep.EscapeRequired {
+				a.round(dst, tag, true)
+			} else {
+				a.emitWalkDeps(dst, tag)
+			}
+		}
+	}
+	rep.EscapeChannels = len(a.c1)
+	rep.DepEdges = len(a.seen)
+	a.findCycle()
+	return rep
+}
+
+type analyzer struct {
+	sys     *topology.System
+	rt      EscapeAnalyzer
+	opt     Options
+	rep     *Report
+	routers []*router.Router // indexed by global node id
+
+	dests, sources, tags []int
+
+	// c1 is the escape sub-network: every channel some escape step targets.
+	c1 map[Channel]bool
+	// adj is the CDG adjacency; order keeps its keys in first-insertion
+	// order so cycle detection is deterministic.
+	adj   map[Channel][]Channel
+	order []Channel
+	seen  map[[2]Channel]bool
+	info  map[[2]Channel][2]int // edge -> first inducing (dst, tag)
+
+	// per-round scratch
+	visited []bool
+	mark    []bool
+	radj    [][]int
+	cands   []router.Candidate
+}
+
+// round runs one (destination, tag) analysis round: a BFS over the
+// candidate graph from every injection point. With emit=false it grows C1
+// and runs the per-round checks; with emit=true it emits CDG edges.
+func (a *analyzer) round(dst, tag int, emit bool) {
+	p := &packet.Packet{Src: -1, Dst: dst, Tag: tag, Len: 1}
+	n := len(a.sys.Nodes)
+	if a.visited == nil {
+		a.visited = make([]bool, n)
+		a.mark = make([]bool, n)
+		a.radj = make([][]int, n)
+	}
+	for i := 0; i < n; i++ {
+		a.visited[i] = false
+		a.radj[i] = a.radj[i][:0]
+	}
+	queue := make([]int, 0, n)
+	for _, src := range a.sys.Cores {
+		if !a.visited[src] {
+			a.visited[src] = true
+			queue = append(queue, src)
+		}
+	}
+	vcs := a.sys.LP.VCs
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if v == dst {
+			continue // delivered: no further channel requests
+		}
+		r := a.routers[v]
+		a.cands = a.rt.Candidates(r, 0, p, a.cands[:0])
+		if len(a.cands) == 0 {
+			if !emit {
+				a.addDeadEnd(StateRef{v, dst, tag})
+			}
+			continue
+		}
+		if !emit {
+			a.rep.States++
+			enext, evc, eok := a.rt.EscapeStep(v, p)
+			if eok {
+				if evc < 0 || evc >= vcs {
+					a.addVCViolation(fmt.Sprintf("escape VC %d outside [0,%d) at %v",
+						evc, vcs, StateRef{v, dst, tag}))
+				} else {
+					a.c1[Channel{v, enext, evc}] = true
+				}
+			} else if a.rep.EscapeRequired {
+				a.addMissingEscape(StateRef{v, dst, tag})
+			}
+		}
+		for _, c := range a.cands {
+			o := r.Out[c.Port]
+			if o.Link == nil {
+				if !emit {
+					a.addVCViolation(fmt.Sprintf("ejection candidate away from destination at %v",
+						StateRef{v, dst, tag}))
+				}
+				continue
+			}
+			to := o.Link.Dst.Node
+			mask := c.VCMask
+			if excess := mask &^ router.VCMaskAll(len(o.Credits)); excess != 0 {
+				if !emit {
+					a.addVCViolation(fmt.Sprintf("candidate VC mask %#x exceeds the %d downstream VCs at %v",
+						c.VCMask, len(o.Credits), StateRef{v, dst, tag}))
+				}
+				mask &= router.VCMaskAll(len(o.Credits))
+			}
+			if emit && a.rep.EscapeRequired && to != dst {
+				// Extended CDG: the packet can occupy any candidate
+				// channel; from an escape channel its next request is
+				// its escape continuation at the far node.
+				if nn, nvc, ok := a.rt.EscapeStep(to, p); ok && nvc >= 0 && nvc < vcs {
+					tgt := Channel{to, nn, nvc}
+					for vc := 0; vc < len(o.Credits); vc++ {
+						if mask&(1<<uint(vc)) == 0 {
+							continue
+						}
+						if ch := (Channel{v, to, vc}); a.c1[ch] {
+							a.addDep(ch, tgt, dst, tag)
+						}
+					}
+				}
+			}
+			if !emit {
+				a.radj[to] = append(a.radj[to], v)
+			}
+			if !a.visited[to] {
+				a.visited[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	if emit {
+		return
+	}
+	a.checkReach(dst, tag)
+	if a.rep.EscapeRequired {
+		a.checkEscapeWalk(dst, tag, p)
+	}
+}
+
+// checkReach verifies every core can reach dst in the candidate graph, via
+// a reverse BFS from dst over the reverse adjacency the round recorded.
+func (a *analyzer) checkReach(dst, tag int) {
+	n := len(a.sys.Nodes)
+	for i := 0; i < n; i++ {
+		a.mark[i] = false
+	}
+	a.mark[dst] = true
+	queue := make([]int, 0, n)
+	queue = append(queue, dst)
+	for head := 0; head < len(queue); head++ {
+		for _, u := range a.radj[queue[head]] {
+			if !a.mark[u] {
+				a.mark[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	for _, src := range a.sys.Cores {
+		if src != dst && !a.mark[src] {
+			a.addUnreach(ReachFailure{Src: src, Dst: dst, Tag: tag,
+				Reason: "no admissible candidate path"})
+		}
+	}
+}
+
+// checkEscapeWalk verifies the escape function alone delivers every packet
+// (termination, hence livelock freedom of the escape sub-network).
+func (a *analyzer) checkEscapeWalk(dst, tag int, p *packet.Packet) {
+	bound := 4 * len(a.sys.Nodes)
+	for _, src := range a.sources {
+		if src == dst {
+			continue
+		}
+		v, done := src, false
+		for step := 0; step <= bound; step++ {
+			if v == dst {
+				done = true
+				break
+			}
+			next, _, ok := a.rt.EscapeStep(v, p)
+			if !ok {
+				break
+			}
+			v = next
+		}
+		if !done {
+			a.addUnreach(ReachFailure{Src: src, Dst: dst, Tag: tag,
+				Reason: fmt.Sprintf("escape walk does not terminate (stuck near node %d)", v)})
+		}
+	}
+}
+
+// emitWalkDeps emits the safe/unsafe-mode CDG edges for one (destination,
+// tag) round: the consecutive-channel dependencies of every pure
+// minus-first walk from an injection core to the destination. Adaptive
+// placements are deliberately excluded — under the safe/unsafe flow
+// control packets off the minus-first structure are throttled by
+// Algorithm 5, not by channel ordering, so only the structure's own
+// acyclicity is the certifiable property.
+func (a *analyzer) emitWalkDeps(dst, tag int) {
+	p := &packet.Packet{Src: -1, Dst: dst, Tag: tag, Len: 1}
+	bound := 4 * len(a.sys.Nodes)
+	for _, src := range a.sys.Cores {
+		if src == dst {
+			continue
+		}
+		v := src
+		var prev Channel
+		havePrev := false
+		for step := 0; step <= bound && v != dst; step++ {
+			next, vc, ok := a.rt.EscapeStep(v, p)
+			if !ok {
+				break
+			}
+			cur := Channel{v, next, vc}
+			if havePrev {
+				a.addDep(prev, cur, dst, tag)
+			}
+			prev, havePrev = cur, true
+			v = next
+		}
+	}
+}
+
+func (a *analyzer) addDep(from, to Channel, dst, tag int) {
+	e := [2]Channel{from, to}
+	if a.seen[e] {
+		return
+	}
+	a.seen[e] = true
+	a.info[e] = [2]int{dst, tag}
+	if _, ok := a.adj[from]; !ok {
+		a.order = append(a.order, from)
+	}
+	a.adj[from] = append(a.adj[from], to)
+}
+
+// findCycle runs a deterministic DFS (roots in first-insertion order) over
+// the CDG and records the first cycle found as the witness.
+func (a *analyzer) findCycle() {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Channel]int, len(a.adj))
+	var stack []Channel
+	var cycle []Channel
+	var dfs func(c Channel) bool
+	dfs = func(c Channel) bool {
+		color[c] = gray
+		stack = append(stack, c)
+		for _, nx := range a.adj[c] {
+			switch color[nx] {
+			case gray:
+				i := len(stack) - 1
+				for i > 0 && stack[i] != nx {
+					i--
+				}
+				cycle = append(cycle, stack[i:]...)
+				return true
+			case white:
+				if dfs(nx) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[c] = black
+		return false
+	}
+	for _, root := range a.order {
+		if color[root] == white && dfs(root) {
+			break
+		}
+	}
+	for i := range cycle {
+		from, to := cycle[i], cycle[(i+1)%len(cycle)]
+		meta := a.info[[2]Channel{from, to}]
+		a.rep.Cycle = append(a.rep.Cycle, DepEdge{From: from, To: to, Dst: meta[0], Tag: meta[1]})
+	}
+}
+
+// room reports whether another finding may be recorded in a slice of the
+// current length, counting overflow into Truncated.
+func (a *analyzer) room(have int) bool {
+	if have < a.opt.MaxWitnesses {
+		return true
+	}
+	a.rep.Truncated++
+	return false
+}
+
+func (a *analyzer) addDeadEnd(s StateRef) {
+	if a.room(len(a.rep.DeadEnds)) {
+		a.rep.DeadEnds = append(a.rep.DeadEnds, s)
+	}
+}
+
+func (a *analyzer) addMissingEscape(s StateRef) {
+	if a.room(len(a.rep.MissingEscape)) {
+		a.rep.MissingEscape = append(a.rep.MissingEscape, s)
+	}
+}
+
+func (a *analyzer) addUnreach(f ReachFailure) {
+	if a.room(len(a.rep.Unreachable)) {
+		a.rep.Unreachable = append(a.rep.Unreachable, f)
+	}
+}
+
+func (a *analyzer) addVCViolation(msg string) {
+	if a.room(len(a.rep.VCViolations)) {
+		a.rep.VCViolations = append(a.rep.VCViolations, msg)
+	}
+}
+
+// tagSet returns the interleave tags worth distinguishing: -1 (untagged)
+// plus one tag per distinct group slot. Exit selection only depends on
+// tag modulo the group size, so maxGroupSize tags cover every behavior.
+func tagSet(sys *topology.System) []int {
+	maxGroup := 0
+	for _, s := range sys.Grouping.Size {
+		if s > maxGroup {
+			maxGroup = s
+		}
+	}
+	tags := []int{-1}
+	if maxGroup >= 2 {
+		for t := 0; t < maxGroup; t++ {
+			tags = append(tags, t)
+		}
+	}
+	return tags
+}
+
+// sampleInts returns list when max is zero or not binding, else max
+// entries sampled evenly (deterministically) across the list.
+func sampleInts(list []int, max int) []int {
+	if max <= 0 || len(list) <= max {
+		return list
+	}
+	out := make([]int, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, list[i*len(list)/max])
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"chipletnet/internal/chiplet"
 	"chipletnet/internal/energy"
 	"chipletnet/internal/interleave"
+	"chipletnet/internal/router"
 	"chipletnet/internal/routing"
 	"chipletnet/internal/stats"
 	"chipletnet/internal/topology"
@@ -98,8 +99,11 @@ type Result struct {
 	// measured average hop counts.
 	EnergyPJPerBit float64
 	// Deadlocked reports that the progress watchdog fired; all other
-	// figures are then meaningless.
-	Deadlocked bool
+	// figures are then meaningless. DeadlockReport is the watchdog's
+	// diagnostic snapshot (blocked routers and VCs, oldest waiting
+	// packet), nil when the run was live.
+	Deadlocked     bool
+	DeadlockReport *router.DeadlockReport
 	// Endpoints is the number of traffic endpoints (core nodes).
 	Endpoints int
 	// AvgOffChipUtilization / PeakOffChipUtilization summarize how loaded
@@ -181,6 +185,7 @@ func (s *System) Simulate() (Result, error) {
 		OfferedPackets: gen.OfferedPackets,
 		OfferedRate:    cfg.InjectionRate,
 		Deadlocked:     f.Deadlocked,
+		DeadlockReport: f.Deadlock,
 		Endpoints:      len(s.Topo.Cores),
 	}
 	res.EnergyPJPerBit = energy.Default().PerBit(res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)

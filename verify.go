@@ -1,0 +1,29 @@
+package chipletnet
+
+import (
+	"chipletnet/internal/verify"
+)
+
+// VerifyRouting statically analyzes the routing function installed on the
+// built system: it enumerates every routing channel transition, builds the
+// channel dependency graph of the escape sub-network, and proves it
+// acyclic (Duato's criterion for virtual cut-through switching), fully
+// reachable and VC-consistent. The returned report carries the offending
+// dependency cycle as a concrete witness when the proof fails. The
+// analysis only reads routing state; the system can still be simulated
+// afterwards.
+func (s *System) VerifyRouting(opt verify.Options) *verify.Report {
+	return verify.Run(s.Topo, opt)
+}
+
+// VerifyConfig builds the system described by cfg and statically verifies
+// its routing function. The error is non-nil only for build failures;
+// verification verdicts (including failures) are in the report — gate on
+// Report.Err for pre-flight use.
+func VerifyConfig(cfg Config, opt verify.Options) (*verify.Report, error) {
+	sys, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.VerifyRouting(opt), nil
+}
