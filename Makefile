@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint check figures
+.PHONY: build test test-fault vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
+# test-fault runs the fault-injection and link-reliability matrix under the
+# race detector: the reliability protocol unit tests, the killed-link
+# per-topology table, the hypercube acceptance scenario, and the seed corpus
+# of the fault-schedule fuzz target.
+test-fault:
+	$(GO) test -race -run 'Rel|Fault|Credit' ./internal/router ./internal/fault .
+	$(GO) test -race -run FuzzFaultSchedule .
+
 lint:
 	$(GO) run ./cmd/chipletlint ./...
 
 # check is the pre-PR gate: vet, build, the full test suite under the race
 # detector, and the determinism linter.
-check: vet build
+check: vet build test-fault
 	$(GO) test -race ./...
 	$(GO) run ./cmd/chipletlint ./...
 

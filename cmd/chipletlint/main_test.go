@@ -134,3 +134,23 @@ func f() int {
 		t.Errorf("commutative aggregation flagged: %v", fs)
 	}
 }
+
+func TestFaultPackageIsSimulatorScope(t *testing.T) {
+	// The fault-injection engine must live under the determinism rules:
+	// wall-clock reads or stray math/rand there would break reproducible
+	// fault schedules.
+	for _, dir := range []string{"internal/fault", "internal/router", "."} {
+		if !simulatorScope(dir) {
+			t.Errorf("simulatorScope(%q) = false, want true", dir)
+		}
+	}
+	for _, dir := range []string{"cmd/chipletsim", "examples/faulttolerance"} {
+		if simulatorScope(dir) {
+			t.Errorf("simulatorScope(%q) = true, want false", dir)
+		}
+	}
+	src := `package fault
+import "time"
+func stamp() time.Time { return time.Now() }`
+	assertFinding(t, lintSource(t, "internal/fault", "fault.go", src), "time")
+}

@@ -35,6 +35,15 @@ func main() {
 	warmup := flag.Int64("warmup", cfg.WarmupCycles, "warm-up cycles")
 	measure := flag.Int64("measure", cfg.MeasureCycles, "measured cycles")
 	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	faultBER := flag.Float64("fault-ber", cfg.Fault.BER, "per-flit bit-error probability on chiplet-to-chiplet links")
+	faultOnChipBER := flag.Float64("fault-onchip-ber", cfg.Fault.OnChipBER, "per-flit bit-error probability on on-chip links")
+	faultKill := flag.String("fault-kill", "", "permanent link failures as cycle:a-b[,cycle:a-b...]")
+	faultDegrade := flag.String("fault-degrade", "", "link deratings as cycle:a-b:bwdiv[:latmult][,...]")
+	faultTimeout := flag.Int64("fault-timeout", cfg.Fault.RetransmitTimeout, "retransmission timeout in cycles (0 = per-link default)")
+	faultBackoffMax := flag.Int64("fault-backoff-max", cfg.Fault.BackoffMax, "retransmission backoff cap in cycles (0 = default)")
+	faultNoReverify := flag.Bool("fault-no-reverify", cfg.Fault.DisableReverify, "skip deadlock-freedom re-certification after each kill")
+	checkCredits := flag.Bool("checkcredits", cfg.CheckCredits, "audit credit conservation every cycle (slow, diagnostic)")
+	drain := flag.Int64("drain", cfg.DrainCycles, "post-run drain budget in cycles (checks delivery completeness)")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	configPath := flag.String("config", "", "load a JSON config file (flags still override)")
 	dumpConfig := flag.Bool("dump-config", false, "print the effective config as JSON and exit")
@@ -104,6 +113,45 @@ func main() {
 	if use("seed") {
 		cfg.Seed = *seed
 	}
+	if use("fault-ber") {
+		cfg.Fault.BER = *faultBER
+	}
+	if use("fault-onchip-ber") {
+		cfg.Fault.OnChipBER = *faultOnChipBER
+	}
+	if use("fault-kill") && *faultKill != "" {
+		kills, err := parseKills(*faultKill)
+		if err != nil {
+			fatalf("bad -fault-kill: %v", err)
+		}
+		cfg.Fault.Kill = kills
+	}
+	if use("fault-degrade") && *faultDegrade != "" {
+		degs, err := parseDegrades(*faultDegrade)
+		if err != nil {
+			fatalf("bad -fault-degrade: %v", err)
+		}
+		cfg.Fault.Degrade = degs
+	}
+	if use("fault-timeout") {
+		cfg.Fault.RetransmitTimeout = *faultTimeout
+	}
+	if use("fault-backoff-max") {
+		cfg.Fault.BackoffMax = *faultBackoffMax
+	}
+	if use("fault-no-reverify") {
+		cfg.Fault.DisableReverify = *faultNoReverify
+	}
+	if use("checkcredits") {
+		cfg.CheckCredits = *checkCredits
+	}
+	if use("drain") {
+		cfg.DrainCycles = *drain
+	}
+	// Fault completeness accounting needs a drain window to be meaningful.
+	if cfg.Fault.Enabled() && cfg.DrainCycles == 0 && !set["drain"] {
+		cfg.DrainCycles = 10 * (cfg.WarmupCycles + cfg.MeasureCycles)
+	}
 
 	if *dumpConfig {
 		if err := cfg.WriteJSON(os.Stdout); err != nil {
@@ -114,6 +162,13 @@ func main() {
 
 	res, err := chipletnet.Run(cfg)
 	if err != nil {
+		// A typed fault failure (partition, failed re-certification) still
+		// carries a partial Result with the event log; surface it.
+		if *asJSON && (res.FaultStats != nil || len(res.FaultEvents) > 0) {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(res)
+		}
 		fatalf("%v", err)
 	}
 
@@ -122,6 +177,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fatalf("%v", err)
+		}
+		if res.Deadlocked {
+			os.Exit(2)
 		}
 		return
 	}
@@ -146,6 +204,22 @@ func main() {
 	fmt.Printf("energy:        %.2f pJ/bit transport estimate\n", res.EnergyPJPerBit)
 	fmt.Printf("packets:       %d measured, %d total delivered\n",
 		res.MeasuredPackets, res.DeliveredPackets)
+	if st := res.FaultStats; st != nil {
+		fmt.Printf("faults:        %d corrupted bundles, %d retransmissions, %d nacks\n",
+			st.CorruptedBundles, st.Retransmissions, st.Nacks)
+		fmt.Printf("               %d links killed, %d degraded, %d decommissioned, %d packets rerouted\n",
+			st.LinksKilled, st.LinksDegraded, st.LinksDecommissioned, st.ReroutedPackets)
+		fmt.Printf("delivery:      %d delivered, %d lost, %d duplicated, drained=%v (%d in flight at end)\n",
+			st.DeliveredPackets, st.LostPackets, st.DuplicatePackets, res.Drained, res.InFlightAtEnd)
+		const maxShown = 10
+		for i, ev := range res.FaultEvents {
+			if i == maxShown {
+				fmt.Printf("  ... %d further events\n", len(res.FaultEvents)-maxShown)
+				break
+			}
+			fmt.Printf("  cycle %-8d %-20s %s\n", ev.Cycle, ev.Kind, ev.Detail)
+		}
+	}
 }
 
 func satMark(r chipletnet.Result) string {
@@ -165,6 +239,70 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// parseKills parses "cycle:a-b[,cycle:a-b...]" into a kill schedule.
+func parseKills(s string) ([]chipletnet.FaultKill, error) {
+	var out []chipletnet.FaultKill
+	for _, part := range strings.Split(s, ",") {
+		cycle, a, b, rest, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%q: want cycle:a-b", part)
+		}
+		out = append(out, chipletnet.FaultKill{Cycle: cycle, A: a, B: b})
+	}
+	return out, nil
+}
+
+// parseDegrades parses "cycle:a-b:bwdiv[:latmult][,...]" into a derating
+// schedule; latmult defaults to 1 (bandwidth-only derating).
+func parseDegrades(s string) ([]chipletnet.FaultDegrade, error) {
+	var out []chipletnet.FaultDegrade
+	for _, part := range strings.Split(s, ",") {
+		cycle, a, b, rest, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 1 || len(rest) > 2 {
+			return nil, fmt.Errorf("%q: want cycle:a-b:bwdiv[:latmult]", part)
+		}
+		d := chipletnet.FaultDegrade{Cycle: cycle, A: a, B: b, LatencyMult: 1}
+		if d.BandwidthDiv, err = strconv.Atoi(rest[0]); err != nil {
+			return nil, fmt.Errorf("%q: bad bandwidth divisor: %v", part, err)
+		}
+		if len(rest) == 2 {
+			if d.LatencyMult, err = strconv.Atoi(rest[1]); err != nil {
+				return nil, fmt.Errorf("%q: bad latency multiplier: %v", part, err)
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// parseEvent splits one "cycle:a-b[:extra...]" schedule entry.
+func parseEvent(s string) (cycle int64, a, b int, rest []string, err error) {
+	fields := strings.Split(strings.TrimSpace(s), ":")
+	if len(fields) < 2 {
+		return 0, 0, 0, nil, fmt.Errorf("%q: want cycle:a-b", s)
+	}
+	if cycle, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("%q: bad cycle: %v", s, err)
+	}
+	ab := strings.Split(fields[1], "-")
+	if len(ab) != 2 {
+		return 0, 0, 0, nil, fmt.Errorf("%q: want node pair a-b", s)
+	}
+	if a, err = strconv.Atoi(ab[0]); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("%q: bad node id: %v", s, err)
+	}
+	if b, err = strconv.Atoi(ab[1]); err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("%q: bad node id: %v", s, err)
+	}
+	return cycle, a, b, fields[2:], nil
 }
 
 func parseNoC(s string) (w, h int, err error) {

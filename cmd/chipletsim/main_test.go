@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"chipletnet"
+)
+
+func TestParseKills(t *testing.T) {
+	kills, err := parseKills("500:0-16,1200:3-19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chipletnet.FaultKill{
+		{Cycle: 500, A: 0, B: 16},
+		{Cycle: 1200, A: 3, B: 19},
+	}
+	if len(kills) != len(want) {
+		t.Fatalf("got %d kills, want %d", len(kills), len(want))
+	}
+	for i := range want {
+		if kills[i] != want[i] {
+			t.Errorf("kill %d = %+v, want %+v", i, kills[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "500", "500:0", "x:0-16", "500:0-16:2", "500:a-16"} {
+		if _, err := parseKills(bad); err == nil {
+			t.Errorf("parseKills(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDegrades(t *testing.T) {
+	degs, err := parseDegrades("300:0-16:2,900:3-19:4:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chipletnet.FaultDegrade{
+		{Cycle: 300, A: 0, B: 16, BandwidthDiv: 2, LatencyMult: 1},
+		{Cycle: 900, A: 3, B: 19, BandwidthDiv: 4, LatencyMult: 3},
+	}
+	if len(degs) != len(want) {
+		t.Fatalf("got %d degrades, want %d", len(degs), len(want))
+	}
+	for i := range want {
+		if degs[i] != want[i] {
+			t.Errorf("degrade %d = %+v, want %+v", i, degs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"300:0-16", "300:0-16:x", "300:0-16:2:3:4"} {
+		if _, err := parseDegrades(bad); err == nil {
+			t.Errorf("parseDegrades(%q) accepted", bad)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package chipletnet
 import (
 	"fmt"
 
+	"chipletnet/internal/fault"
 	"chipletnet/internal/interleave"
 	"chipletnet/internal/routing"
 )
@@ -208,6 +209,25 @@ type Config struct {
 	// routing steer around them. Only meaningful for grouped topologies.
 	CrossLinkFaultFraction float64
 
+	// Fault configures mid-run fault injection: bit-error rates with
+	// link-level retransmission, and scheduled permanent failures or
+	// derating of chiplet-to-chiplet channels with graceful degradation
+	// (see internal/fault). The zero value disables injection and leaves
+	// the simulation bit-identical to a fault-free run.
+	Fault FaultConfig
+
+	// CheckCredits enables the per-cycle credit-conservation audit in the
+	// router model: any flow-control or retransmission bug that leaks or
+	// double-returns a credit panics immediately with a diagnosis instead
+	// of deadlocking silently. Debug aid.
+	CheckCredits bool
+
+	// DrainCycles, when positive, appends a drain phase after measurement:
+	// injection stops and simulation continues until the network is empty
+	// or the budget runs out, so delivery completeness can be verified
+	// (Result.Drained / InFlightAtEnd).
+	DrainCycles int64
+
 	// Pattern is one of traffic.PatternNames (§VI-B).
 	Pattern string
 	// InjectionRate is the offered load in flits/node/cycle.
@@ -224,6 +244,75 @@ type Config struct {
 	// DeadlockThreshold is the progress watchdog limit in cycles
 	// (0 disables).
 	DeadlockThreshold int64
+}
+
+// FaultKill schedules the permanent failure of the chiplet-to-chiplet
+// channel between nodes A and B at the given cycle.
+type FaultKill struct {
+	Cycle int64
+	A, B  int
+}
+
+// FaultDegrade schedules the derating of the channel between A and B:
+// bandwidth divided by BandwidthDiv (floored at 1 flit/cycle), latency
+// multiplied by LatencyMult. Zero leaves the respective parameter
+// unchanged.
+type FaultDegrade struct {
+	Cycle        int64
+	A, B         int
+	BandwidthDiv int
+	LatencyMult  int
+}
+
+// FaultConfig is the user-facing fault-injection setup, converted to the
+// engine's schedule at simulation time.
+type FaultConfig struct {
+	// BER / OnChipBER are per-flit corruption probabilities on off-chip
+	// and on-chip links; either > 0 enables the link-level reliability
+	// protocol (CRC, ack/nack, go-back-N retransmission) on the covered
+	// links.
+	BER       float64
+	OnChipBER float64
+	// Kill and Degrade are the scheduled permanent faults.
+	Kill    []FaultKill
+	Degrade []FaultDegrade
+	// RetransmitTimeout / BackoffMax tune the retransmission protocol
+	// (cycles; 0 picks defaults that stay below the deadlock watchdog).
+	RetransmitTimeout int64
+	BackoffMax        int64
+	// DisableReverify skips the mid-run deadlock-freedom re-certification
+	// after permanent failures; VerifyMaxDests bounds its cost (0 = 8
+	// sampled destinations).
+	DisableReverify bool
+	VerifyMaxDests  int
+}
+
+// Enabled reports whether any fault injection is configured.
+func (fc FaultConfig) Enabled() bool {
+	return fc.BER > 0 || fc.OnChipBER > 0 || len(fc.Kill) > 0 || len(fc.Degrade) > 0
+}
+
+// engineConfig converts the user-facing setup into the engine's form.
+func (fc FaultConfig) engineConfig(seed uint64) fault.Config {
+	c := fault.Config{
+		BER:               fc.BER,
+		OnChipBER:         fc.OnChipBER,
+		Seed:              seed,
+		RetransmitTimeout: fc.RetransmitTimeout,
+		BackoffMax:        fc.BackoffMax,
+		VerifyOff:         fc.DisableReverify,
+		VerifyMaxDests:    fc.VerifyMaxDests,
+	}
+	for _, k := range fc.Kill {
+		c.Events = append(c.Events, fault.Event{Cycle: k.Cycle, Kind: fault.KindLinkKill, A: k.A, B: k.B})
+	}
+	for _, d := range fc.Degrade {
+		c.Events = append(c.Events, fault.Event{
+			Cycle: d.Cycle, Kind: fault.KindLinkDegrade, A: d.A, B: d.B,
+			BandwidthDiv: d.BandwidthDiv, LatencyMult: d.LatencyMult,
+		})
+	}
+	return c
 }
 
 // DefaultConfig returns the paper's Table II parameter setup on the
@@ -274,6 +363,26 @@ func (c Config) Validate() error {
 	}
 	if c.CrossLinkFaultFraction < 0 || c.CrossLinkFaultFraction >= 1 {
 		return fmt.Errorf("chipletnet: cross-link fault fraction must be in [0,1), got %g", c.CrossLinkFaultFraction)
+	}
+	if c.Fault.BER < 0 || c.Fault.BER >= 1 || c.Fault.OnChipBER < 0 || c.Fault.OnChipBER >= 1 {
+		return fmt.Errorf("chipletnet: fault BER must be in [0,1), got %g off-chip / %g on-chip",
+			c.Fault.BER, c.Fault.OnChipBER)
+	}
+	for _, k := range c.Fault.Kill {
+		if k.Cycle < 1 {
+			return fmt.Errorf("chipletnet: fault kill cycle must be >= 1, got %d", k.Cycle)
+		}
+	}
+	for _, d := range c.Fault.Degrade {
+		if d.Cycle < 1 {
+			return fmt.Errorf("chipletnet: fault degrade cycle must be >= 1, got %d", d.Cycle)
+		}
+		if d.BandwidthDiv < 0 || d.LatencyMult < 0 {
+			return fmt.Errorf("chipletnet: fault degrade parameters must be non-negative")
+		}
+	}
+	if c.DrainCycles < 0 {
+		return fmt.Errorf("chipletnet: negative drain cycles")
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
 		return fmt.Errorf("chipletnet: invalid cycle counts (warmup %d, measure %d)", c.WarmupCycles, c.MeasureCycles)

@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"chipletnet/internal/chiplet"
+	"chipletnet/internal/routing"
+	"chipletnet/internal/topology"
+)
+
+func buildCube(t *testing.T) *topology.System {
+	t.Helper()
+	geo, err := chiplet.New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := topology.BuildHypercube(geo, 3, topology.LinkParams{
+		VCs: 2, InternalBufFlits: 8, InterfaceBufFlits: 16,
+		OnChipBW: 1, OffChipBW: 1, OnChipLatency: 1, OffChipLatency: 2, EjectBW: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := routing.New(sys, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Fabric.Routing = rt
+	return sys
+}
+
+// TestScheduleValidation: every malformed schedule must be rejected at New
+// with ErrBadSchedule, before any cycle runs.
+func TestScheduleValidation(t *testing.T) {
+	sys := buildCube(t)
+	pair := sys.CrossPairs()[0]
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ber out of range", Config{BER: 1.5}},
+		{"negative ber", Config{BER: -0.1}},
+		{"not a cross link", Config{Events: []Event{{Cycle: 10, Kind: KindLinkKill, A: 0, B: 1}}}},
+		{"unknown kind", Config{Events: []Event{{Cycle: 10, Kind: Kind("melt"), A: pair.A, B: pair.B}}}},
+		{"cycle zero", Config{Events: []Event{{Cycle: 0, Kind: KindLinkKill, A: pair.A, B: pair.B}}}},
+		{"double kill", Config{Events: []Event{
+			{Cycle: 10, Kind: KindLinkKill, A: pair.A, B: pair.B},
+			{Cycle: 20, Kind: KindLinkKill, A: pair.B, B: pair.A},
+		}}},
+		{"negative derating", Config{Events: []Event{
+			{Cycle: 10, Kind: KindLinkDegrade, A: pair.A, B: pair.B, BandwidthDiv: -2},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(buildCube(t), tc.cfg); !errors.Is(err, ErrBadSchedule) {
+				t.Fatalf("got %v, want ErrBadSchedule", err)
+			}
+		})
+	}
+}
+
+// TestValidScheduleAccepted: a well-formed schedule builds an engine with
+// the reliability protocol attached to exactly the covered links.
+func TestValidScheduleAccepted(t *testing.T) {
+	sys := buildCube(t)
+	pair := sys.CrossPairs()[0]
+	eng, err := New(sys, Config{
+		BER: 1e-4,
+		Events: []Event{
+			{Cycle: 100, Kind: KindLinkKill, A: pair.A, B: pair.B},
+			{Cycle: 50, Kind: KindLinkDegrade, A: pair.A, B: pair.B, BandwidthDiv: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events are applied in cycle order regardless of schedule order.
+	if eng.events[0].Kind != KindLinkDegrade || eng.events[1].Kind != KindLinkKill {
+		t.Errorf("events not sorted by cycle: %+v", eng.events)
+	}
+	// Off-chip BER only: cross links protected, on-chip links bare.
+	for _, l := range sys.Fabric.Links {
+		if l.OffChip && l.Rel == nil {
+			t.Errorf("off-chip link %d unprotected under BER %g", l.ID, 1e-4)
+		}
+		if !l.OffChip && l.Rel != nil {
+			t.Errorf("on-chip link %d protected without OnChipBER", l.ID)
+		}
+	}
+	// Kills require the snapshot for rerouted-packet accounting.
+	if sys.BaseGroups == nil {
+		t.Error("group membership not snapshotted despite a kill schedule")
+	}
+}
+
+// TestDisabledConfig: the zero Config reports disabled and attaches nothing.
+func TestDisabledConfig(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports enabled")
+	}
+	sys := buildCube(t)
+	if _, err := New(sys, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range sys.Fabric.Links {
+		if l.Rel != nil {
+			t.Fatalf("link %d protected under a disabled config", l.ID)
+		}
+	}
+}

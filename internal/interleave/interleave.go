@@ -52,6 +52,21 @@ func ParseGranularity(s string) (Granularity, error) {
 	return None, fmt.Errorf("interleave: unknown granularity %q", s)
 }
 
+// Index reduces a packet's interleave tag to a physical-interface slot
+// within a group of n members: slot 0 for untagged packets (tag < 0),
+// tag mod n otherwise. Every exit selection in the routing and topology
+// layers goes through this reduction, and it always runs against the
+// group's *current* membership count — when a fault removes an interface
+// from its group, both interleaving granularities automatically re-weight
+// the traffic evenly across the n-1 survivors, with no header or policy
+// change at the sources.
+func Index(n, tag int) int {
+	if tag < 0 || n <= 1 {
+		return 0
+	}
+	return tag % n
+}
+
 // Policy assigns interleave tags.
 type Policy struct {
 	G Granularity

@@ -51,6 +51,13 @@ type Packet struct {
 	// (after warm-up); only these contribute to latency statistics.
 	Measured bool
 
+	// Rerouted marks packets whose exit-interface selection was changed by
+	// fault-driven group degradation: the interface the pre-fault group
+	// membership would have picked is gone, so the interleave re-weighted
+	// the packet onto a survivor. Set by the routing layer; only meaningful
+	// under fault injection.
+	Rerouted bool
+
 	// Hop counters, maintained by the router model as the head flit moves.
 	RouterHops  int // routers traversed, excluding the source router
 	OnChipHops  int // on-chip links traversed

@@ -43,6 +43,12 @@ type Fabric struct {
 	// flit movement (while packets are in flight) after which the fabric
 	// declares a deadlock. Zero disables detection.
 	DeadlockThreshold int64
+	// CreditAudit enables the per-cycle credit-conservation invariant
+	// check (AuditCredits): a retransmission or flow-control bug that
+	// leaks or double-returns a credit panics immediately with a
+	// diagnosis instead of deadlocking silently thousands of cycles
+	// later. Debug aid; costs one pass over all links per cycle.
+	CreditAudit bool
 	// Deadlocked is set when the watchdog fires.
 	Deadlocked bool
 	// Deadlock is the diagnostic snapshot taken the first time the
@@ -164,6 +170,57 @@ func (f *Fabric) Step() {
 		}
 		f.Deadlocked = true
 	}
+
+	if f.CreditAudit {
+		if err := f.AuditCredits(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// AuditCredits verifies credit conservation for every link-connected
+// (output port, downstream VC): the sender's credit counter, the flits
+// charged but not yet buffered downstream, the credit returns in flight,
+// and the downstream buffer occupancy must sum to the buffer capacity.
+// The conservation law holds at every cycle boundary, faults and
+// retransmissions included — a violation means a credit was leaked or
+// double-returned.
+func (f *Fabric) AuditCredits() error {
+	var charged, returning []int
+	for _, l := range f.Links {
+		ip := l.Dst.In[l.DstPort]
+		op := l.Src.Out[l.SrcPort]
+		n := len(ip.VCs)
+		charged = zeroInts(charged, n)
+		returning = zeroInts(returning, n)
+		l.chargedFlits(charged)
+		for i := 0; i < l.credits.Len(); i++ {
+			c := l.credits.At(i)
+			returning[c.vc] += c.n
+		}
+		for vcIdx, vc := range ip.VCs {
+			got := op.Credits[vcIdx] + charged[vcIdx] + returning[vcIdx] + vc.flits
+			if got != vc.Cap {
+				return fmt.Errorf("router: credit conservation violated on link %d (%d->%d) vc %d at cycle %d: credits %d + in-transit %d + returning %d + buffered %d = %d, want capacity %d",
+					l.ID, l.Src.Node, l.Dst.Node, vcIdx, f.Now,
+					op.Credits[vcIdx], charged[vcIdx], returning[vcIdx], vc.flits, got, vc.Cap)
+			}
+		}
+	}
+	return nil
+}
+
+// zeroInts returns buf resized to n and zeroed, reallocating only when
+// it must grow.
+func zeroInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // maxBlockedWitnesses caps the per-report blocked-VC witness list; the

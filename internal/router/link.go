@@ -27,12 +27,21 @@ type Link struct {
 	// by the energy model and may incur a VC-allocation penalty.
 	OffChip bool
 
-	// Carried counts flits pushed onto the link over the whole run;
-	// utilization follows as Carried / (Bandwidth * cycles).
+	// Carried counts flits pushed onto the link over the whole run
+	// (retransmitted copies included); utilization follows as
+	// Carried / (Bandwidth * cycles).
 	Carried int64
+
+	// Rel, when non-nil, enables the link-level reliability protocol:
+	// CRC-checked sequence-numbered bundles, cumulative ack/nack, and
+	// go-back-N retransmission from a replay buffer with capped
+	// exponential backoff. Nil models an ideal error-free channel (the
+	// default; zero overhead and bit-identical to earlier behavior).
+	Rel *LinkRel
 
 	flits   fifo[flitBundle]
 	credits fifo[creditBundle]
+	acks    fifo[ackMsg]
 }
 
 // Utilization returns the fraction of the link's capacity used over the
@@ -49,6 +58,12 @@ type flitBundle struct {
 	n        int // flit count
 	vc       int // destination VC index at Dst's input port
 	arriveAt int64
+
+	// Reliability-protocol header (meaningful only when Link.Rel != nil):
+	// the bundle's sequence number and whether in-transit corruption
+	// flipped bits the receiver's CRC will catch.
+	seq     uint64
+	corrupt bool
 }
 
 type creditBundle struct {
@@ -58,8 +73,14 @@ type creditBundle struct {
 }
 
 // push enqueues n flits of p destined for downstream VC vc. The caller (the
-// switch allocator) is responsible for respecting Bandwidth.
+// switch allocator) is responsible for respecting Bandwidth and has charged
+// downstream credits for the flits — exactly once, retransmissions never
+// re-charge.
 func (l *Link) push(p *packet.Packet, n, vc int, now int64) {
+	if l.Rel != nil {
+		l.Rel.send(l, p, n, vc, now)
+		return
+	}
 	l.Carried += int64(n)
 	l.flits.Push(flitBundle{p: p, n: n, vc: vc, arriveAt: now + int64(l.Latency)})
 }
@@ -70,14 +91,26 @@ func (l *Link) returnCredit(vc, n int, now int64) {
 }
 
 // deliver moves all due flit bundles into Dst's input buffers and all due
-// credits back to Src's output port. It reports whether anything moved
-// (for the deadlock watchdog).
+// credits back to Src's output port. Under the reliability protocol it
+// additionally runs CRC/sequence acceptance on arrivals, processes acks at
+// the sender, and fires timeout-driven retransmissions. It reports whether
+// anything moved (for the deadlock watchdog).
 func (l *Link) deliver(now int64) bool {
 	moved := false
 	for l.flits.Len() > 0 && l.flits.Front().arriveAt <= now {
 		b := l.flits.Pop()
+		if l.Rel != nil && !l.Rel.receive(l, b, now) {
+			continue // dropped: corrupted, duplicate, or out of order
+		}
 		l.Dst.receive(l.DstPort, b.vc, b.p, b.n, now)
 		moved = true
+	}
+	for l.acks.Len() > 0 && l.acks.Front().arriveAt <= now {
+		a := l.acks.Pop()
+		l.Rel.onAck(l, a, now)
+	}
+	if l.Rel != nil && l.Rel.timedOut(now) {
+		l.Rel.retransmit(l, now)
 	}
 	for l.credits.Len() > 0 && l.credits.Front().arriveAt <= now {
 		c := l.credits.Pop()
@@ -94,4 +127,50 @@ func (l *Link) InFlight() int {
 		n += l.flits.At(i).n
 	}
 	return n
+}
+
+// chargedFlits adds to perVC (indexed by downstream VC) the flits the
+// sender has charged credits for that the receiver has not yet buffered:
+// unacknowledged-and-unaccepted replay bundles under the reliability
+// protocol, wire contents otherwise. Replay entries below the receiver's
+// accept horizon are excluded — their flits are already counted in the
+// downstream buffer while the ack is still in flight.
+func (l *Link) chargedFlits(perVC []int) {
+	if l.Rel != nil {
+		for i := 0; i < l.Rel.replay.Len(); i++ {
+			e := l.Rel.replay.At(i)
+			if e.seq >= l.Rel.expect {
+				perVC[e.vc] += e.n
+			}
+		}
+		return
+	}
+	for i := 0; i < l.flits.Len(); i++ {
+		b := l.flits.At(i)
+		perVC[b.vc] += b.n
+	}
+}
+
+// Quiesced reports whether nothing is pending on the link: no flits on
+// the wire, no unacknowledged replay bundles, and no acks or credit
+// returns in flight. A quiesced link can be decommissioned without
+// losing data.
+func (l *Link) Quiesced() bool {
+	return l.flits.Len() == 0 && l.credits.Len() == 0 && l.acks.Len() == 0 &&
+		(l.Rel == nil || l.Rel.replay.Len() == 0)
+}
+
+// ForEachInFlight calls fn for every packet with flits on the wire or,
+// under the reliability protocol, unacknowledged in the replay buffer
+// (each packet may be reported more than once).
+func (l *Link) ForEachInFlight(fn func(*packet.Packet)) {
+	if l.Rel != nil {
+		for i := 0; i < l.Rel.replay.Len(); i++ {
+			fn(l.Rel.replay.At(i).p)
+		}
+		return
+	}
+	for i := 0; i < l.flits.Len(); i++ {
+		fn(l.flits.At(i).p)
+	}
 }

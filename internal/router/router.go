@@ -54,6 +54,14 @@ func (v *VC) Occupied() int { return v.flits }
 // Packets returns the number of (possibly partial) packets buffered.
 func (v *VC) Packets() int { return v.q.Len() }
 
+// ForEachPacket calls fn for every packet resident (fully or partially)
+// in this VC's buffer, in queue order.
+func (v *VC) ForEachPacket(fn func(*packet.Packet)) {
+	for i := 0; i < v.q.Len(); i++ {
+		fn(v.q.At(i).p)
+	}
+}
+
 // HeadDebug describes the head packet of a VC for diagnostics.
 type HeadDebug struct {
 	P              *packet.Packet

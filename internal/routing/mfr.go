@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"chipletnet/internal/interleave"
 	"chipletnet/internal/packet"
 	"chipletnet/internal/router"
 	"chipletnet/internal/topology"
@@ -102,10 +103,35 @@ func (m *mfr) node(id int) *topology.Node { return &m.sys.Nodes[id] }
 
 // pick selects a group member by interleave tag.
 func pick(members []int, tag int) int {
-	if tag < 0 {
-		return members[0]
+	return members[interleave.Index(len(members), tag)]
+}
+
+// exitPick selects the exit member of a group honoring the interleave
+// tag; fromCore applies the core-reachability rule (a member at ring
+// position 0 is unreachable from a core by minus-only moves).
+func (m *mfr) exitPick(members []int, fromCore bool, tag int) int {
+	if fromCore && len(members) > 1 && m.node(members[0]).RingPos == 0 {
+		members = members[1:]
 	}
-	return members[tag%len(members)]
+	return pick(members, tag)
+}
+
+// markRerouted flags p as rerouted when fault-driven group degradation
+// changed its exit selection: the member chosen from the current
+// membership differs from what the pre-fault membership (BaseGroups)
+// would have picked. No-op outside fault injection (BaseGroups nil), so
+// fault-free runs stay bit-identical.
+func (m *mfr) markRerouted(cv, group int, fromCore bool, chosen int, p *packet.Packet) {
+	if p.Rerouted || m.sys.BaseGroups == nil {
+		return
+	}
+	base := m.sys.BaseGroups[cv][group]
+	if len(base) == len(m.sys.Chiplets[cv].Groups[group]) {
+		return // group intact; selection cannot have changed
+	}
+	if m.exitPick(base, fromCore, p.Tag) != chosen {
+		p.Rerouted = true
+	}
 }
 
 // selectExit chooses the physical interface node of the planned exit group
@@ -133,13 +159,12 @@ func (m *mfr) selectExitStrict(v, cv int, plan exitPlan, p *packet.Packet) (int,
 	if nv.RingPos < 0 {
 		// Cores reach the ring at positions >= 1 by minus-only moves, so
 		// a member at ring position 0 is unreachable from a core.
-		sub := members
-		if m.node(members[0]).RingPos == 0 && len(members) > 1 {
-			sub = members[1:]
-		}
-		return pick(sub, p.Tag), true
+		e := m.exitPick(members, true, p.Tag)
+		m.markRerouted(cv, plan.group, true, e, p)
+		return e, true
 	}
-	e := pick(members, p.Tag)
+	e := m.exitPick(members, false, p.Tag)
+	m.markRerouted(cv, plan.group, false, e, p)
 	if plan.bothWays || m.node(e).RingPos >= nv.RingPos {
 		return e, true
 	}
@@ -148,6 +173,15 @@ func (m *mfr) selectExitStrict(v, cv int, plan exitPlan, p *packet.Packet) (int,
 	for _, mem := range members {
 		if m.node(mem).RingPos >= nv.RingPos {
 			return mem, true
+		}
+	}
+	// A failure may have removed every member at or ahead of us after the
+	// packet committed to its ride: fall back to a condemned interface,
+	// kept physically usable exactly for these stragglers.
+	if len(m.sys.Condemned) > 0 {
+		if fb, ok := m.sys.FallbackExit(cv, plan.group, nv.RingPos); ok {
+			p.Rerouted = true
+			return fb, true
 		}
 	}
 	return -1, false
@@ -369,15 +403,11 @@ func (m *mfr) admissible(v int, p *packet.Packet) bool {
 	plan := m.logic.exit(nv.Chiplet, p)
 	hi := plan.segHi
 	if !plan.bothWays {
-		// On minus-only rides the packet can only exit through a linked
-		// member at or ahead of its position; link faults may have
-		// removed members from the top of the group's static range.
-		hi = -1
-		for _, mem := range m.sys.Chiplets[nv.Chiplet].Groups[plan.group] {
-			if pos := m.node(mem).RingPos; pos > hi {
-				hi = pos
-			}
-		}
+		// On minus-only rides the packet can only exit through a usable
+		// interface at or ahead of its position; link faults may have
+		// removed members from the top of the group's static range, but
+		// condemned (not yet decommissioned) interfaces still count.
+		hi = m.sys.GroupMaxExitPos(nv.Chiplet, plan.group)
 	}
 	return nv.RingPos <= hi
 }
@@ -485,7 +515,9 @@ func (m *mfr) waypoint(v int, p *packet.Packet) int {
 		// Shortest-path mode: any member is reachable from anywhere, so
 		// the interleave tag is honored unconditionally.
 		members := m.sys.Chiplets[nv.Chiplet].Groups[plan.group]
-		return pick(members, p.Tag)
+		w := pick(members, p.Tag)
+		m.markRerouted(nv.Chiplet, plan.group, false, w, p)
+		return w
 	}
 	return m.selectExit(v, nv.Chiplet, plan, p)
 }
@@ -705,3 +737,15 @@ func (m *mfr) EscapeStep(v int, p *packet.Packet) (next, vc int, ok bool) {
 // safe/unsafe flow control (where packets may roam past the minus-first
 // windows and rely on Algorithm 5 instead).
 func (m *mfr) EscapeRequired() bool { return m.mode == DuatoEscape }
+
+// ExitGroup returns the interface group packet p leaves chiplet cv
+// through, or ok=false when cv already is the destination chiplet. The
+// fault engine uses it to detect in-flight packets still committed to a
+// condemned interface before decommissioning it. It does not mutate
+// routing state.
+func (m *mfr) ExitGroup(cv int, p *packet.Packet) (group int, ok bool) {
+	if m.node(p.Dst).Chiplet == cv {
+		return 0, false
+	}
+	return m.logic.exit(cv, p).group, true
+}

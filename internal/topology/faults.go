@@ -70,6 +70,49 @@ func (s *System) FailCrossLink(a, b int) error {
 	return nil
 }
 
+// SnapshotGroups records the current group membership of every chiplet in
+// BaseGroups, the pre-fault reference routing uses to detect rerouted
+// packets. Idempotent: a second call keeps the first snapshot.
+func (s *System) SnapshotGroups() {
+	if s.BaseGroups != nil {
+		return
+	}
+	s.BaseGroups = make([][][]int, len(s.Chiplets))
+	for c := range s.Chiplets {
+		groups := make([][]int, len(s.Chiplets[c].Groups))
+		for g, members := range s.Chiplets[c].Groups {
+			groups[g] = append([]int(nil), members...)
+		}
+		s.BaseGroups[c] = groups
+	}
+}
+
+// CondemnCrossLink fails the cross link between a and b (see FailCrossLink)
+// but marks both endpoints condemned: removed from group membership so no
+// new traffic selects them, yet still physically usable as a fallback exit
+// for packets already committed past the surviving members. Decommission
+// the link once such traffic has drained (DecommissionCrossLink).
+func (s *System) CondemnCrossLink(a, b int) error {
+	s.SnapshotGroups()
+	if err := s.FailCrossLink(a, b); err != nil {
+		return err
+	}
+	if s.Condemned == nil {
+		s.Condemned = make(map[int]bool)
+	}
+	s.Condemned[a] = true
+	s.Condemned[b] = true
+	return nil
+}
+
+// DecommissionCrossLink completes a condemned link's removal: the
+// endpoints stop being fallback exits. Call only after the fault engine
+// has verified no in-flight packet still needs the link.
+func (s *System) DecommissionCrossLink(a, b int) {
+	delete(s.Condemned, a)
+	delete(s.Condemned, b)
+}
+
 // groupSurvivesWithout reports whether node id's group keeps at least one
 // member at ring position >= 1 after removing id.
 func (s *System) groupSurvivesWithout(id int) bool {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"chipletnet/internal/chiplet"
+	"chipletnet/internal/interleave"
 	"chipletnet/internal/router"
 )
 
@@ -208,6 +209,21 @@ type System struct {
 	// order (Custom kind only); group g of chiplet i faces
 	// CustomNeighbors[i][g].
 	CustomNeighbors [][]int
+
+	// BaseGroups, when non-nil, is the pre-fault snapshot of every
+	// chiplet's group membership (BaseGroups[c][g] mirrors
+	// Chiplets[c].Groups[g] as built). Taken by SnapshotGroups before the
+	// first fault mutates Groups; routing compares against it to detect
+	// packets rerouted by degradation.
+	BaseGroups [][][]int
+
+	// Condemned marks interface nodes removed from their group (no new
+	// exit selections) but not yet decommissioned: the physical link still
+	// works and serves as a fallback for packets that had already
+	// committed to a ring ride past every surviving member. The fault
+	// engine decommissions a condemned interface once no such stranded
+	// traffic remains.
+	Condemned map[int]bool
 }
 
 // NumChiplets returns the chiplet count.
@@ -277,8 +293,59 @@ func (s *System) GroupRange(g int) (lo, hi int) {
 // interleave tag; tag < 0 selects slot 0.
 func (s *System) ExitNode(c, g, tag int) int {
 	members := s.Chiplets[c].Groups[g]
-	if tag < 0 {
-		return members[0]
+	return members[interleave.Index(len(members), tag)]
+}
+
+// GroupMaxExitPos returns the highest ring position at which group g of
+// chiplet c still has a usable exit: surviving members plus condemned
+// interfaces that remain physically usable as fallbacks. It panics if the
+// group has no usable exit at all (a partition the fault API refuses to
+// create).
+func (s *System) GroupMaxExitPos(c, g int) int {
+	max := -1
+	for _, id := range s.Chiplets[c].Groups[g] {
+		if p := s.Nodes[id].RingPos; p > max {
+			max = p
+		}
 	}
-	return members[tag%len(members)]
+	lo, hi := s.GroupRange(g)
+	for p := lo; p <= hi; p++ {
+		id := s.Chiplets[c].Ring[p]
+		if s.Condemned[id] && p > max {
+			max = p
+		}
+	}
+	if max < 0 {
+		panic(fmt.Sprintf("topology: group %d of chiplet %d has no usable exit", g, c))
+	}
+	return max
+}
+
+// FallbackExit returns the first usable exit of group g on chiplet c at
+// ring position >= fromPos: a surviving member or a condemned-but-usable
+// interface. It serves packets that committed to a minus-only ring ride
+// before a failure removed the members they were heading for.
+func (s *System) FallbackExit(c, g, fromPos int) (node int, ok bool) {
+	lo, hi := s.GroupRange(g)
+	if fromPos > lo {
+		lo = fromPos
+	}
+	for p := lo; p <= hi; p++ {
+		id := s.Chiplets[c].Ring[p]
+		if s.Condemned[id] || s.memberOf(c, g, id) {
+			return id, true
+		}
+	}
+	return -1, false
+}
+
+// memberOf reports whether node id is currently a member of group g on
+// chiplet c.
+func (s *System) memberOf(c, g, id int) bool {
+	for _, m := range s.Chiplets[c].Groups[g] {
+		if m == id {
+			return true
+		}
+	}
+	return false
 }

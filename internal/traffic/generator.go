@@ -65,6 +65,11 @@ func NewGenerator(endpoints []int, p Pattern, rate float64, packetLen, msgPacket
 // SetMeasured turns measurement marking on or off (warm-up control).
 func (g *Generator) SetMeasured(on bool) { g.measured = on }
 
+// TotalPackets returns the number of packets created over the whole run,
+// warm-up included — the injected total that delivery-completeness checks
+// compare against.
+func (g *Generator) TotalPackets() uint64 { return g.nextID }
+
 // Tick runs one injection cycle: for every endpoint, possibly create a
 // message and enqueue its packets at the endpoint's router.
 func (g *Generator) Tick(f *router.Fabric, now int64) {

@@ -7,6 +7,7 @@ import (
 
 	"chipletnet/internal/chiplet"
 	"chipletnet/internal/energy"
+	"chipletnet/internal/fault"
 	"chipletnet/internal/interleave"
 	"chipletnet/internal/router"
 	"chipletnet/internal/routing"
@@ -113,6 +114,16 @@ type Result struct {
 	PeakOffChipUtilization float64
 	// AvgOnChipUtilization is the same for on-chip links.
 	AvgOnChipUtilization float64
+
+	// Drained reports that the post-run drain phase (Config.DrainCycles)
+	// emptied the network; InFlightAtEnd is the number of packets still in
+	// the network when the simulation stopped.
+	Drained       bool
+	InFlightAtEnd int
+	// FaultEvents is the fault event log and FaultStats the injection and
+	// recovery summary; both nil unless fault injection was configured.
+	FaultEvents []fault.Record `json:",omitempty"`
+	FaultStats  *fault.Stats   `json:",omitempty"`
 }
 
 // Saturated reports whether the run shows saturation: accepted throughput
@@ -168,15 +179,49 @@ func (s *System) Simulate() (Result, error) {
 	col := &stats.Collector{MeasureFrom: cfg.WarmupCycles + 1}
 	f := s.Topo.Fabric
 	f.Sink = col.OnDeliver
+	f.CreditAudit = cfg.CheckCredits
 
+	var eng *fault.Engine
+	if cfg.Fault.Enabled() {
+		eng, err = fault.New(s.Topo, cfg.Fault.engineConfig(cfg.Seed))
+		if err != nil {
+			return Result{}, err
+		}
+		eng.Attach(f)
+	}
+
+	var simErr error
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	for cy := int64(1); cy <= total; cy++ {
 		gen.SetMeasured(cy > cfg.WarmupCycles)
 		gen.Tick(f, cy)
+		if eng != nil {
+			if simErr = eng.Step(cy); simErr != nil {
+				break
+			}
+		}
 		f.Step()
 		if f.Deadlocked {
 			break
 		}
+	}
+
+	// Drain phase: stop injecting and let the network empty, so delivery
+	// completeness (zero lost packets) is checkable.
+	drained := false
+	if simErr == nil && !f.Deadlocked && cfg.DrainCycles > 0 {
+		for cy := total + 1; cy <= total+cfg.DrainCycles && f.InFlight() > 0; cy++ {
+			if eng != nil {
+				if simErr = eng.Step(cy); simErr != nil {
+					break
+				}
+			}
+			f.Step()
+			if f.Deadlocked {
+				break
+			}
+		}
+		drained = simErr == nil && !f.Deadlocked && f.InFlight() == 0
 	}
 
 	res := Result{
@@ -187,8 +232,16 @@ func (s *System) Simulate() (Result, error) {
 		Deadlocked:     f.Deadlocked,
 		DeadlockReport: f.Deadlock,
 		Endpoints:      len(s.Topo.Cores),
+		Drained:        drained,
+		InFlightAtEnd:  f.InFlight(),
 	}
 	res.EnergyPJPerBit = energy.Default().PerBit(res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
+	if eng != nil {
+		eng.Finish(gen.TotalPackets(), f.InFlight())
+		res.FaultEvents = eng.Log
+		st := eng.Stats
+		res.FaultStats = &st
+	}
 
 	// Link utilization summary over the whole run.
 	var offSum, onSum float64
@@ -212,7 +265,9 @@ func (s *System) Simulate() (Result, error) {
 	if onN > 0 {
 		res.AvgOnChipUtilization = onSum / float64(onN)
 	}
-	return res, nil
+	// A typed fault failure (partition, failed re-certification) ends the
+	// run cleanly: the partial Result is still returned for diagnostics.
+	return res, simErr
 }
 
 // Sweep runs cfg at every injection rate, in parallel across CPUs, and
