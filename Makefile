@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault vet lint check figures
+.PHONY: build test test-fault test-checkpoint vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,19 @@ test-fault:
 lint:
 	$(GO) run ./cmd/chipletlint ./...
 
+# test-checkpoint runs the checkpoint/restore and crash-safe-campaign
+# matrix under the race detector: bit-identical resume across topologies
+# and fault schedules, typed rejection of damaged snapshot files, the
+# cross-GOMAXPROCS determinism golden test, the checkpoint fuzz seed
+# corpus, the campaign journal, and the campaign supervisor.
+test-checkpoint:
+	$(GO) test -race -run 'Checkpoint|Determinism|RunControl|Sweep' .
+	$(GO) test -race -run FuzzCheckpointRoundTrip .
+	$(GO) test -race -run 'Journal|Campaign' ./internal/experiments ./cmd/chipletfig
+
 # check is the pre-PR gate: vet, build, the full test suite under the race
 # detector, and the determinism linter.
-check: vet build test-fault
+check: vet build test-fault test-checkpoint
 	$(GO) test -race ./...
 	$(GO) run ./cmd/chipletlint ./...
 

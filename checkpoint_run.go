@@ -1,0 +1,344 @@
+package chipletnet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"chipletnet/internal/checkpoint"
+	"chipletnet/internal/energy"
+	"chipletnet/internal/fault"
+	"chipletnet/internal/interleave"
+	"chipletnet/internal/router"
+	"chipletnet/internal/stats"
+	"chipletnet/internal/traffic"
+)
+
+// Control-flow sentinels for externally ended runs; test with errors.Is.
+// The partial Result returned alongside them is still meaningful for
+// diagnostics.
+var (
+	// ErrTimeout: the run was aborted by RunControl.Deadline. The Result
+	// carries a diagnostic snapshot of where traffic was at the abort.
+	ErrTimeout = errors.New("chipletnet: simulation aborted by deadline")
+	// ErrInterrupted: the run was stopped by RunControl.Interrupt after
+	// writing a final checkpoint; resume it with ResumeRun.
+	ErrInterrupted = errors.New("chipletnet: simulation interrupted, checkpoint written")
+)
+
+// RunControl carries optional external control for a simulation run:
+// periodic checkpointing, checkpoint-and-stop interruption, and a
+// deadline. The zero value runs to completion exactly like Simulate. The
+// simulator itself never consults a clock (determinism); deadlines and
+// signals are the caller's, delivered over channels and observed at cycle
+// boundaries only, so they never perturb the simulated state — a run cut
+// short and resumed finishes bit-identical to an uninterrupted one.
+type RunControl struct {
+	// CheckpointPath is where snapshots are written (atomic
+	// write-then-rename, each replacing the previous). Required for
+	// CheckpointEvery and Interrupt.
+	CheckpointPath string
+	// CheckpointEvery > 0 writes a snapshot every that many cycles.
+	CheckpointEvery int64
+	// Interrupt, when non-nil and readable (or closed), makes the run
+	// write a final checkpoint at the next cycle boundary and stop with
+	// ErrInterrupted. Typically wired to SIGINT/SIGTERM by the caller.
+	Interrupt <-chan struct{}
+	// InterruptAtCycle > 0 acts like Interrupt firing at exactly that
+	// cycle boundary — a deterministic interruption, for testing resume.
+	InterruptAtCycle int64
+	// Deadline, when non-nil and readable (or closed), aborts the run at
+	// the next cycle boundary with ErrTimeout and a diagnostic snapshot
+	// (Result.DeadlockReport) of where traffic was stuck. Typically wired
+	// to a wall-clock timer by the caller.
+	Deadline <-chan struct{}
+}
+
+// SimulateControlled is Simulate with external run control. A System must
+// not be simulated twice; rebuild for fresh runs.
+func (s *System) SimulateControlled(ctrl RunControl) (Result, error) {
+	cfg := s.Cfg
+	pat, err := traffic.NewPattern(cfg.Pattern, len(s.Topo.Cores), cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	gran, err := interleave.ParseGranularity(cfg.Interleave)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := traffic.NewGenerator(
+		s.Topo.Cores, pat, cfg.InjectionRate,
+		cfg.PacketFlits, cfg.MsgPackets,
+		interleave.Policy{G: gran}, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	col := &stats.Collector{MeasureFrom: cfg.WarmupCycles + 1}
+	f := s.Topo.Fabric
+	f.Sink = col.OnDeliver
+	f.CreditAudit = cfg.CheckCredits
+
+	var eng *fault.Engine
+	if cfg.Fault.Enabled() {
+		eng, err = fault.New(s.Topo, cfg.Fault.engineConfig(cfg.Seed))
+		if err != nil {
+			return Result{}, err
+		}
+		eng.Attach(f)
+	}
+	return s.run(gen, col, eng, ctrl, 0)
+}
+
+// ResumeRun loads a checkpoint, rebuilds the system from the embedded
+// configuration, restores the complete dynamic state, and continues the
+// run to completion (under the given control). The finished Result is
+// bit-identical to the uninterrupted run's.
+func ResumeRun(path string, ctrl RunControl) (Result, error) {
+	st, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return Result{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(st.Config, &cfg); err != nil {
+		return Result{}, fmt.Errorf("%w: embedded configuration: %v", checkpoint.ErrCorrupt, err)
+	}
+	sys, err := Build(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: rebuilding from embedded configuration: %v", checkpoint.ErrMismatch, err)
+	}
+
+	pat, err := traffic.NewPattern(cfg.Pattern, len(sys.Topo.Cores), cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	gran, err := interleave.ParseGranularity(cfg.Interleave)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := traffic.NewGenerator(
+		sys.Topo.Cores, pat, cfg.InjectionRate,
+		cfg.PacketFlits, cfg.MsgPackets,
+		interleave.Policy{G: gran}, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	col := &stats.Collector{MeasureFrom: cfg.WarmupCycles + 1}
+	f := sys.Topo.Fabric
+	f.Sink = col.OnDeliver
+	f.CreditAudit = cfg.CheckCredits
+
+	// Recreate the fault engine first: it re-attaches the reliability
+	// protocol (with its corruption-stream closures) to the same links,
+	// which the fabric restore then fills with snapshot state.
+	var eng *fault.Engine
+	if cfg.Fault.Enabled() {
+		eng, err = fault.New(sys.Topo, cfg.Fault.engineConfig(cfg.Seed))
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: recreating fault engine: %v", checkpoint.ErrMismatch, err)
+		}
+		eng.Attach(f)
+	}
+	if (st.Fault != nil) != (eng != nil) {
+		return Result{}, fmt.Errorf("%w: snapshot fault state %v, configuration fault injection %v",
+			checkpoint.ErrMismatch, st.Fault != nil, eng != nil)
+	}
+
+	if err := sys.Topo.Restore(&st.Topo); err != nil {
+		return Result{}, err
+	}
+	pkts := checkpoint.Materialize(st.Packets)
+	if err := f.Restore(&st.Fabric, pkts); err != nil {
+		return Result{}, err
+	}
+	if err := gen.Restore(&st.Gen); err != nil {
+		return Result{}, err
+	}
+	col.Restore(&st.Stats)
+	if eng != nil {
+		if err := eng.Restore(st.Fault); err != nil {
+			return Result{}, err
+		}
+	}
+	return sys.run(gen, col, eng, ctrl, st.Cycle)
+}
+
+// run advances the simulation from the cycle after start to completion,
+// observing external control at cycle boundaries, then assembles the
+// Result. start is 0 for a fresh run, the checkpoint cycle on resume.
+func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.Engine, ctrl RunControl, start int64) (Result, error) {
+	cfg := s.Cfg
+	f := s.Topo.Fabric
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+
+	var simErr error
+	timedOut := false
+	var timeoutReport *router.DeadlockReport
+
+	// control runs the external checks after completed cycle cy and
+	// reports whether the run must stop.
+	control := func(cy int64) bool {
+		if ctrl.Deadline != nil {
+			select {
+			case <-ctrl.Deadline:
+				simErr = ErrTimeout
+				timedOut = true
+				timeoutReport = f.DiagnosticReport()
+				return true
+			default:
+			}
+		}
+		interrupted := ctrl.InterruptAtCycle > 0 && cy == ctrl.InterruptAtCycle
+		if !interrupted && ctrl.Interrupt != nil {
+			select {
+			case <-ctrl.Interrupt:
+				interrupted = true
+			default:
+			}
+		}
+		if interrupted {
+			if err := s.writeCheckpoint(ctrl.CheckpointPath, gen, col, eng, cy); err != nil {
+				simErr = err
+			} else {
+				simErr = ErrInterrupted
+			}
+			return true
+		}
+		if ctrl.CheckpointPath != "" && ctrl.CheckpointEvery > 0 && cy%ctrl.CheckpointEvery == 0 {
+			if err := s.writeCheckpoint(ctrl.CheckpointPath, gen, col, eng, cy); err != nil {
+				simErr = err
+				return true
+			}
+		}
+		return false
+	}
+
+	for cy := start + 1; cy <= total; cy++ {
+		gen.SetMeasured(cy > cfg.WarmupCycles)
+		gen.Tick(f, cy)
+		if eng != nil {
+			if simErr = eng.Step(cy); simErr != nil {
+				break
+			}
+		}
+		f.Step()
+		if f.Deadlocked {
+			break
+		}
+		if control(cy) {
+			break
+		}
+	}
+
+	// Drain phase: stop injecting and let the network empty, so delivery
+	// completeness (zero lost packets) is checkable.
+	drained := false
+	if simErr == nil && !f.Deadlocked && cfg.DrainCycles > 0 {
+		from := total
+		if start > from {
+			from = start // resuming a checkpoint taken mid-drain
+		}
+		for cy := from + 1; cy <= total+cfg.DrainCycles && f.InFlight() > 0; cy++ {
+			if eng != nil {
+				if simErr = eng.Step(cy); simErr != nil {
+					break
+				}
+			}
+			f.Step()
+			if f.Deadlocked {
+				break
+			}
+			if control(cy) {
+				break
+			}
+		}
+		drained = simErr == nil && !f.Deadlocked && f.InFlight() == 0
+	}
+
+	res := Result{
+		Cfg:            cfg,
+		Summary:        col.Summarize(cfg.MeasureCycles, len(s.Topo.Cores)),
+		OfferedPackets: gen.OfferedPackets,
+		OfferedRate:    cfg.InjectionRate,
+		Deadlocked:     f.Deadlocked,
+		DeadlockReport: f.Deadlock,
+		Endpoints:      len(s.Topo.Cores),
+		Drained:        drained,
+		InFlightAtEnd:  f.InFlight(),
+		TimedOut:       timedOut,
+	}
+	if timedOut && res.DeadlockReport == nil {
+		res.DeadlockReport = timeoutReport
+	}
+	res.EnergyPJPerBit = energy.Default().PerBit(res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
+	if eng != nil {
+		eng.Finish(gen.TotalPackets(), f.InFlight())
+		res.FaultEvents = eng.Log
+		st := eng.Stats
+		res.FaultStats = &st
+	}
+
+	// Link utilization summary over the whole run.
+	var offSum, onSum float64
+	var offN, onN int
+	for _, l := range f.Links {
+		u := l.Utilization(f.Now)
+		if l.OffChip {
+			offSum += u
+			offN++
+			if u > res.PeakOffChipUtilization {
+				res.PeakOffChipUtilization = u
+			}
+		} else {
+			onSum += u
+			onN++
+		}
+	}
+	if offN > 0 {
+		res.AvgOffChipUtilization = offSum / float64(offN)
+	}
+	if onN > 0 {
+		res.AvgOnChipUtilization = onSum / float64(onN)
+	}
+	// A typed fault failure (partition, failed re-certification), timeout,
+	// or interruption ends the run cleanly: the partial Result is still
+	// returned for diagnostics.
+	return res, simErr
+}
+
+// writeCheckpoint captures the complete dynamic state after completed
+// cycle cy and writes it atomically to path.
+func (s *System) writeCheckpoint(path string, gen *traffic.Generator, col *stats.Collector, eng *fault.Engine, cy int64) error {
+	if path == "" {
+		return fmt.Errorf("chipletnet: checkpoint requested but RunControl.CheckpointPath is empty")
+	}
+	st, err := s.captureState(gen, col, eng, cy)
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFile(path, st)
+}
+
+// captureState assembles the checkpoint State for the run at completed
+// cycle cy.
+func (s *System) captureState(gen *traffic.Generator, col *stats.Collector, eng *fault.Engine, cy int64) (*checkpoint.State, error) {
+	cfgJSON, err := json.Marshal(s.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chipletnet: serializing configuration: %w", err)
+	}
+	tbl := checkpoint.NewPacketTable()
+	st := &checkpoint.State{
+		Config: cfgJSON,
+		Cycle:  cy,
+		Fabric: s.Topo.Fabric.Snapshot(tbl),
+		Gen:    gen.Snapshot(),
+		Stats:  col.Snapshot(),
+		Topo:   s.Topo.Snapshot(),
+	}
+	if eng != nil {
+		st.Fault = eng.Snapshot()
+	}
+	st.Packets = tbl.List()
+	return st, nil
+}

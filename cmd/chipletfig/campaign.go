@@ -1,0 +1,151 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chipletnet/internal/experiments"
+)
+
+// campaignConfig tunes the crash-safe campaign supervisor.
+type campaignConfig struct {
+	Workers int           // concurrent tasks
+	Timeout time.Duration // per-attempt wall-clock limit (0 = none)
+	Retries int           // extra attempts after a failure
+	// Backoff before retry k is BackoffBase << (k-1), capped at
+	// BackoffCap.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	Logf        func(format string, args ...any)
+}
+
+// attemptOutcome is what one isolated attempt of one task produced.
+type attemptOutcome struct {
+	pts []experiments.Point
+	err error
+}
+
+// runAttempt executes task.Run once in its own goroutine, translating a
+// panic into an error and abandoning the goroutine if it outlives the
+// timeout. Go cannot kill a runaway goroutine, so a timed-out attempt
+// keeps burning its CPU until it finishes on its own — the supervisor
+// merely stops waiting, journals the failure, and moves on; the
+// buffered channel lets the straggler exit when it eventually returns.
+func runAttempt(task experiments.Task, timeout time.Duration) attemptOutcome {
+	ch := make(chan attemptOutcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- attemptOutcome{err: fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		pts, err := task.Run()
+		ch <- attemptOutcome{pts: pts, err: err}
+	}()
+	if timeout <= 0 {
+		return <-ch
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out
+	case <-timer.C:
+		return attemptOutcome{err: fmt.Errorf("timed out after %v (attempt abandoned)", timeout)}
+	}
+}
+
+// runCampaign drives the tasks through a worker pool with per-attempt
+// timeouts, panic isolation and capped-backoff retries, journaling every
+// outcome so a killed campaign resumes where it stopped. It returns the
+// points of all done tasks — journaled-complete ones included — grouped
+// by figure, plus the joined errors of tasks that exhausted their
+// retries. A failing task never stops the campaign; its figure is just
+// missing that slice.
+func runCampaign(tasks []experiments.Task, j *experiments.Journal, cc campaignConfig) (map[string][]experiments.Point, error) {
+	logf := cc.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cc.Workers < 1 {
+		cc.Workers = 1
+	}
+
+	perTask := make([][]experiments.Point, len(tasks))
+	taskErrs := make([]error, len(tasks))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cc.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				task := tasks[i]
+				attempts := 0
+				if prev, ok := j.Lookup(task.Key); ok {
+					attempts = prev.Attempts
+				}
+				var lastErr error
+				for try := 0; try <= cc.Retries; try++ {
+					if try > 0 {
+						backoff := cc.BackoffBase << (try - 1)
+						if cc.BackoffCap > 0 && backoff > cc.BackoffCap {
+							backoff = cc.BackoffCap
+						}
+						logf("%s: attempt %d failed (%v); retrying in %v", task.Key, attempts, lastErr, backoff)
+						time.Sleep(backoff)
+					}
+					attempts++
+					out := runAttempt(task, cc.Timeout)
+					if out.err == nil {
+						perTask[i] = out.pts
+						if err := j.Record(experiments.JournalEntry{
+							Key: task.Key, Status: experiments.StatusDone,
+							Attempts: attempts, Points: out.pts,
+						}); err != nil {
+							taskErrs[i] = fmt.Errorf("%s: journal: %w", task.Key, err)
+						}
+						lastErr = nil
+						break
+					}
+					lastErr = out.err
+				}
+				if lastErr != nil {
+					taskErrs[i] = fmt.Errorf("%s: %w", task.Key, lastErr)
+					if err := j.Record(experiments.JournalEntry{
+						Key: task.Key, Status: experiments.StatusFailed,
+						Attempts: attempts, Error: lastErr.Error(),
+					}); err != nil {
+						taskErrs[i] = errors.Join(taskErrs[i], fmt.Errorf("%s: journal: %w", task.Key, err))
+					}
+					logf("%s: giving up after %d attempts: %v", task.Key, attempts, lastErr)
+				}
+			}
+		}()
+	}
+
+	skipped := 0
+	for i, task := range tasks {
+		if pts, ok := j.Done(task.Key); ok {
+			perTask[i] = pts
+			skipped++
+			continue
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if skipped > 0 {
+		logf("resumed: %d of %d tasks already journaled complete", skipped, len(tasks))
+	}
+
+	byFigure := map[string][]experiments.Point{}
+	for i, task := range tasks {
+		if taskErrs[i] == nil {
+			byFigure[task.Figure] = append(byFigure[task.Figure], perTask[i]...)
+		}
+	}
+	return byFigure, errors.Join(taskErrs...)
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chipletnet/internal/experiments"
+)
+
+// counter tracks how many times each synthetic task ran.
+type counter struct {
+	mu   sync.Mutex
+	runs map[string]int
+}
+
+func newCounter() *counter { return &counter{runs: map[string]int{}} }
+
+func (c *counter) bump(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs[key]++
+	return c.runs[key]
+}
+
+func (c *counter) count(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs[key]
+}
+
+func pointFor(key string) []experiments.Point {
+	return []experiments.Point{{Experiment: key, Series: "s", X: 1, AvgLatency: float64(len(key))}}
+}
+
+func okTask(c *counter, key string) experiments.Task {
+	return experiments.Task{Key: key, Figure: "fig", Run: func() ([]experiments.Point, error) {
+		c.bump(key)
+		return pointFor(key), nil
+	}}
+}
+
+// TestCampaignResumeSkipsDone is the acceptance scenario: a campaign
+// killed partway (simulated by a journal holding two completed tasks and
+// a truncated final append) is restarted with the same journal, and only
+// the unfinished task runs — the finished ones contribute their journaled
+// points without re-executing.
+func TestCampaignResumeSkipsDone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	c := newCounter()
+	tasks := []experiments.Task{okTask(c, "t1"), okTask(c, "t2"), okTask(c, "t3")}
+
+	// First campaign: run t1 and t2 only, then "die" mid-append of t3.
+	j, err := experiments.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCampaign(tasks[:2], j, campaignConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Restart with the full task list: only t3 may execute.
+	j2, err := experiments.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	byFig, err := runCampaign(tasks, j2, campaignConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"t1", "t2"} {
+		if n := c.count(key); n != 1 {
+			t.Errorf("%s ran %d times; resume must not re-run journaled-complete tasks", key, n)
+		}
+	}
+	if n := c.count("t3"); n != 1 {
+		t.Errorf("t3 ran %d times, want 1", n)
+	}
+	if got := len(byFig["fig"]); got != 3 {
+		t.Errorf("resumed campaign produced %d points, want 3 (journaled ones included)", got)
+	}
+}
+
+// TestCampaignPanicRetry: a task that panics on its first attempt is
+// retried in isolation and succeeds; the journal records the attempts.
+func TestCampaignPanicRetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := experiments.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c := newCounter()
+	flaky := experiments.Task{Key: "flaky", Figure: "fig", Run: func() ([]experiments.Point, error) {
+		if c.bump("flaky") == 1 {
+			panic("transient")
+		}
+		return pointFor("flaky"), nil
+	}}
+	byFig, err := runCampaign([]experiments.Task{flaky}, j, campaignConfig{
+		Workers: 1, Retries: 2, BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("panic was not absorbed by retry: %v", err)
+	}
+	if len(byFig["fig"]) != 1 {
+		t.Errorf("retried task produced %d points, want 1", len(byFig["fig"]))
+	}
+	if e, ok := j.Lookup("flaky"); !ok || e.Status != experiments.StatusDone || e.Attempts != 2 {
+		t.Errorf("journal entry = %+v, want done after 2 attempts", e)
+	}
+}
+
+// TestCampaignExhaustedRetries: a task that always fails is journaled
+// failed with its error, and the other tasks still complete.
+func TestCampaignExhaustedRetries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := experiments.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c := newCounter()
+	bad := experiments.Task{Key: "bad", Figure: "fig", Run: func() ([]experiments.Point, error) {
+		c.bump("bad")
+		panic("always")
+	}}
+	byFig, err := runCampaign([]experiments.Task{bad, okTask(c, "good")}, j, campaignConfig{
+		Workers: 2, Retries: 1, BackoffBase: time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want failure naming task bad", err)
+	}
+	if n := c.count("bad"); n != 2 {
+		t.Errorf("bad attempted %d times, want 2 (1 + 1 retry)", n)
+	}
+	if len(byFig["fig"]) != 1 {
+		t.Errorf("surviving task points = %d, want 1", len(byFig["fig"]))
+	}
+	if e, ok := j.Lookup("bad"); !ok || e.Status != experiments.StatusFailed || !strings.Contains(e.Error, "always") {
+		t.Errorf("journal entry = %+v, want failed with panic text", e)
+	}
+
+	// A resumed campaign re-runs failed tasks (only done ones are skipped).
+	byFig, err = runCampaign([]experiments.Task{bad, okTask(c, "good")}, j, campaignConfig{Workers: 1})
+	if err == nil {
+		t.Fatal("resumed campaign should still fail on bad")
+	}
+	if n := c.count("good"); n != 1 {
+		t.Errorf("good re-ran on resume (%d runs); done tasks must be skipped", n)
+	}
+	if n := c.count("bad"); n != 3 {
+		t.Errorf("bad not re-attempted on resume: %d total runs, want 3", n)
+	}
+	if e, _ := j.Lookup("bad"); e.Attempts != 3 {
+		t.Errorf("attempts not carried across resume: %+v", e)
+	}
+	if len(byFig["fig"]) != 1 {
+		t.Errorf("resume points = %d, want 1", len(byFig["fig"]))
+	}
+}
+
+// TestCampaignTimeout: an attempt exceeding -point-timeout is abandoned
+// and journaled failed instead of hanging the campaign.
+func TestCampaignTimeout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := experiments.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	release := make(chan struct{})
+	defer close(release)
+	stuck := experiments.Task{Key: "stuck", Figure: "fig", Run: func() ([]experiments.Point, error) {
+		<-release
+		return nil, nil
+	}}
+	_, err = runCampaign([]experiments.Task{stuck}, j, campaignConfig{
+		Workers: 1, Timeout: 20 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout failure", err)
+	}
+	if e, ok := j.Lookup("stuck"); !ok || e.Status != experiments.StatusFailed {
+		t.Errorf("journal entry = %+v, want failed", e)
+	}
+}
+
+// TestCampaignRealTask runs one genuine (tiny) experiment task through
+// the supervisor to keep the synthetic tests honest about the Task shape.
+func TestCampaignRealTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation sweep")
+	}
+	s := experiments.Scale{
+		Name: "test", WarmupCycles: 50, MeasureCycles: 200,
+		Rates: []float64{0.05}, MaxChiplets: 16, CollectiveSizes: []int{16},
+	}
+	tasks, err := experiments.CampaignTasks(s, []string{"faults"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := experiments.OpenJournal(filepath.Join(t.TempDir(), "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	byFig, err := runCampaign(tasks, j, campaignConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byFig["faults"]) == 0 {
+		t.Error("real task produced no points")
+	}
+}

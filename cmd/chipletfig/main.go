@@ -8,6 +8,18 @@
 // ablation, all. Each figure prints its latency curves (annotated with the
 // estimated saturation point) to stdout and, with -out, writes the raw
 // points to DIR/<experiment>.csv.
+//
+// With -journal FILE the experiments run as a crash-safe campaign: the
+// figures split into independently journaled tasks executed by a worker
+// pool with per-task timeouts (-point-timeout), panic isolation and
+// capped-backoff retries (-retries). Every task outcome is appended to
+// the JSONL journal and fsynced, so a killed campaign restarted with
+// -resume re-runs only the unfinished tasks and still emits complete
+// figures:
+//
+//	chipletfig -scale full -out results -journal results/journal.jsonl all
+//	# ... crash, OOM-kill, or ^C ...
+//	chipletfig -scale full -out results -journal results/journal.jsonl -resume all
 package main
 
 import (
@@ -24,6 +36,11 @@ func main() {
 	scaleName := flag.String("scale", "quick", "quick | full")
 	outDir := flag.String("out", "", "directory for CSV output (optional)")
 	replot := flag.String("replot", "", "regenerate SVG charts from the CSVs in this directory and exit")
+	journal := flag.String("journal", "", "run as a crash-safe campaign journaled to this JSONL file")
+	resume := flag.Bool("resume", false, "with -journal: skip tasks the journal records as complete")
+	pointTimeout := flag.Duration("point-timeout", 0, "with -journal: wall-clock limit per task attempt (0 = none)")
+	retries := flag.Int("retries", 2, "with -journal: extra attempts per failed task")
+	workers := flag.Int("workers", 1, "with -journal: concurrent campaign tasks")
 	flag.Parse()
 
 	if *replot != "" {
@@ -85,6 +102,23 @@ func main() {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatalf("%v", err)
 		}
+	}
+
+	if *resume && *journal == "" {
+		fatalf("-resume requires -journal")
+	}
+	if *journal != "" {
+		campaignMain(scale, want, *outDir, *journal, *resume, campaignConfig{
+			Workers:     *workers,
+			Timeout:     *pointTimeout,
+			Retries:     *retries,
+			BackoffBase: time.Second,
+			BackoffCap:  30 * time.Second,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "chipletfig: "+format+"\n", args...)
+			},
+		})
+		return
 	}
 
 	run := func(name string, f func() ([]experiments.Point, error)) {
@@ -161,6 +195,82 @@ func main() {
 
 	for leftover := range want {
 		fatalf("unknown experiment %q", leftover)
+	}
+}
+
+// campaignMain runs the wanted experiments as a crash-safe journaled
+// campaign and writes the same stdout curves and -out files as the
+// direct path. Without -resume an existing journal is discarded; with it
+// the journaled-complete tasks are skipped and their recorded points
+// reused.
+func campaignMain(scale experiments.Scale, want map[string]bool, outDir, journalPath string, resume bool, cc campaignConfig) {
+	if want["table1"] {
+		delete(want, "table1")
+		fmt.Println("=== table1 (network diameter) ===")
+		rows, err := experiments.Table1()
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+		experiments.FormatTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	var names []string
+	for _, name := range []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "faults", "collective"} {
+		if want[name] {
+			delete(want, name)
+			names = append(names, name)
+		}
+	}
+	for leftover := range want {
+		fatalf("unknown experiment %q", leftover)
+	}
+
+	tasks, err := experiments.CampaignTasks(scale, names)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !resume {
+		if err := os.Remove(journalPath); err != nil && !os.IsNotExist(err) {
+			fatalf("%v", err)
+		}
+	}
+	j, err := experiments.OpenJournal(journalPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer j.Close()
+
+	start := time.Now()
+	byFigure, campErr := runCampaign(tasks, j, cc)
+	for _, name := range names {
+		pts := byFigure[name]
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Printf("=== %s (scale %s) ===\n", name, scale.Name)
+		experiments.FormatCurves(os.Stdout, pts)
+		fmt.Println()
+		if outDir != "" {
+			path := filepath.Join(outDir, name+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := experiments.WriteCSV(fh, pts); err != nil {
+				fatalf("%v", err)
+			}
+			if err := fh.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			if _, err := experiments.WriteSVGs(outDir, pts); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	fmt.Printf("--- campaign done in %v ---\n", time.Since(start).Round(time.Second))
+	if campErr != nil {
+		fatalf("campaign finished with failed tasks:\n%v", campErr)
 	}
 }
 

@@ -6,15 +6,25 @@
 //	chipletsim -topology hypercube -dims 6 -rate 0.3
 //	chipletsim -topology ndmesh -dims 4,4,4 -pattern bit-reverse -rate 0.2
 //	chipletsim -topology mesh -dims 8,8 -rate 0.5 -json
+//
+// Long runs can be made resumable: -checkpoint snap.ckpt -checkpoint-every
+// 100000 snapshots the complete simulator state periodically (and on
+// SIGINT/SIGTERM), and -resume snap.ckpt continues such a run to the exact
+// result the uninterrupted run would have produced. -timeout bounds the
+// wall-clock time of a runaway simulation.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"chipletnet"
 )
@@ -47,6 +57,10 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	configPath := flag.String("config", "", "load a JSON config file (flags still override)")
 	dumpConfig := flag.Bool("dump-config", false, "print the effective config as JSON and exit")
+	ckptPath := flag.String("checkpoint", "", "write resumable state snapshots to this file (also on SIGINT/SIGTERM)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "snapshot every N simulated cycles (requires -checkpoint)")
+	resumePath := flag.String("resume", "", "resume from a checkpoint file (its embedded config replaces all topology/workload flags)")
+	timeout := flag.Duration("timeout", 0, "abort a runaway simulation after this wall-clock time with a diagnostic snapshot (e.g. 30m)")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -160,8 +174,61 @@ func main() {
 		return
 	}
 
-	res, err := chipletnet.Run(cfg)
-	if err != nil {
+	if *ckptEvery > 0 && *ckptPath == "" {
+		fatalf("-checkpoint-every needs -checkpoint")
+	}
+	ctrl := chipletnet.RunControl{
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *ckptPath != "" {
+		// A first SIGINT/SIGTERM checkpoints and stops cleanly; a second
+		// falls back to the default (immediate) signal disposition.
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		intr := make(chan struct{})
+		go func() {
+			<-sigc
+			close(intr)
+			<-sigc
+			signal.Stop(sigc)
+		}()
+		ctrl.Interrupt = intr
+	}
+	if *timeout > 0 {
+		dl := make(chan struct{})
+		time.AfterFunc(*timeout, func() { close(dl) })
+		ctrl.Deadline = dl
+	}
+
+	var res chipletnet.Result
+	var err error
+	if *resumePath != "" {
+		res, err = chipletnet.ResumeRun(*resumePath, ctrl)
+	} else {
+		var sys *chipletnet.System
+		if sys, err = chipletnet.Build(cfg); err != nil {
+			fatalf("%v", err)
+		}
+		res, err = sys.SimulateControlled(ctrl)
+	}
+	switch {
+	case errors.Is(err, chipletnet.ErrInterrupted):
+		fmt.Fprintf(os.Stderr, "chipletsim: interrupted; checkpoint written to %s (resume with -resume %s)\n",
+			*ckptPath, *ckptPath)
+		os.Exit(130)
+	case errors.Is(err, chipletnet.ErrTimeout):
+		fmt.Fprintf(os.Stderr, "chipletsim: wall-clock timeout after %v\n", *timeout)
+		if res.DeadlockReport != nil {
+			fmt.Fprintln(os.Stderr, res.DeadlockReport)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(res)
+		}
+		os.Exit(2)
+	case err != nil:
 		// A typed fault failure (partition, failed re-certification) still
 		// carries a partial Result with the event log; surface it.
 		if *asJSON && (res.FaultStats != nil || len(res.FaultEvents) > 0) {

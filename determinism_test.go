@@ -1,0 +1,71 @@
+package chipletnet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestDeterminismAcrossGOMAXPROCS is the cross-scheduler golden test: the
+// JSON-serialized Results of a topology-and-fault matrix, swept in
+// parallel through Sweep, must hash identically under GOMAXPROCS=1 and
+// GOMAXPROCS=N. Sweep is the only concurrency in the stack, so any
+// divergence means shared mutable state leaked between simulations.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	var configs []Config
+	for _, topo := range []Topology{
+		MeshTopology(2, 2),
+		HypercubeTopology(3),
+		DragonflyTopology(4),
+		TreeTopology(5, 2),
+	} {
+		for _, faults := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Topology = topo
+			cfg.WarmupCycles = 50
+			cfg.MeasureCycles = 200
+			cfg.DrainCycles = 20000
+			if faults {
+				cfg.Fault.BER = 5e-4
+			}
+			configs = append(configs, cfg)
+		}
+	}
+	// High enough that every topology delivers measured traffic at the
+	// short window (an empty measurement window makes AvgLatency NaN,
+	// which JSON cannot encode).
+	rates := []float64{0.15, 0.3}
+
+	digest := func() string {
+		h := sha256.New()
+		for i, cfg := range configs {
+			results, err := Sweep(cfg, rates)
+			if err != nil {
+				t.Fatalf("config %d (%+v): %v", i, cfg.Topology, err)
+			}
+			b, err := json.Marshal(results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Write(b)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	serial := digest()
+
+	n := runtime.NumCPU()
+	if n < 4 {
+		n = 4
+	}
+	runtime.GOMAXPROCS(n)
+	parallel := digest()
+
+	if serial != parallel {
+		t.Errorf("results depend on scheduling: GOMAXPROCS=1 digest %s, GOMAXPROCS=%d digest %s", serial, n, parallel)
+	}
+}

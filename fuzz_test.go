@@ -1,8 +1,12 @@
 package chipletnet
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"chipletnet/internal/checkpoint"
 	"chipletnet/internal/rng"
 	"chipletnet/internal/verify"
 )
@@ -74,6 +78,69 @@ func FuzzVerifyMatchesWatchdog(f *testing.F) {
 			t.Errorf("seed %d: verifier passed but watchdog fired: topo=%v W=%d H=%d vcs=%d mode=%s pattern=%s",
 				seed, cfg.Topology, cfg.ChipletW, cfg.ChipletH, cfg.VCs, cfg.Routing, cfg.Pattern)
 		}
+	})
+}
+
+// FuzzCheckpointRoundTrip fuzzes the resume guarantee over the random
+// configuration space: interrupt a run at an arbitrary cycle, resume from
+// the written checkpoint, and the finish must be bit-identical to the
+// uninterrupted run — Result and error alike. Then flip one arbitrary
+// byte of the checkpoint file: the load must fail with one of the typed
+// checkpoint errors, never panic, never silently succeed.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(50), uint64(7))
+	f.Add(uint64(20260806), int64(250), uint64(1000))
+	f.Add(uint64(0xdeadbeef), int64(310), uint64(31))
+	f.Fuzz(func(t *testing.T, seed uint64, stopCycle int64, corrupt uint64) {
+		cfg := randomConfig(rng.New(seed))
+		cfg.WarmupCycles = 60
+		cfg.MeasureCycles = 240
+		cfg.DrainCycles = 20000
+		if seed%3 == 0 {
+			cfg.Fault.BER = 5e-4
+		}
+		if _, err := Build(cfg); err != nil {
+			t.Skip() // invalid combinations may be rejected, not crash
+		}
+		refRes, refErr := Run(cfg)
+		stop := 1 + ((stopCycle%400)+400)%400 // within warm-up, measurement, or early drain
+
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		sys, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sys.SimulateControlled(RunControl{CheckpointPath: path, InterruptAtCycle: stop})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Skip() // run ended (error or empty drain) before the interrupt cycle
+		}
+		res, err := ResumeRun(path, RunControl{})
+		if errText(err) != errText(refErr) {
+			t.Fatalf("seed %d stop %d: resumed error %q, uninterrupted %q", seed, stop, errText(err), errText(refErr))
+		}
+		if got, want := resultJSON(t, res), resultJSON(t, refRes); got != want {
+			t.Errorf("seed %d stop %d: resumed Result differs\n got: %s\nwant: %s", seed, stop, got, want)
+		}
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[corrupt%uint64(len(data))] ^= 0x01
+		bad := filepath.Join(t.TempDir(), "bad.ckpt")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = ResumeRun(bad, RunControl{})
+		if err == nil {
+			t.Fatalf("seed %d: corrupted checkpoint (byte %d) loaded successfully", seed, corrupt%uint64(len(data)))
+		}
+		for _, typed := range []error{checkpoint.ErrNotCheckpoint, checkpoint.ErrVersion, checkpoint.ErrCorrupt, checkpoint.ErrMismatch} {
+			if errors.Is(err, typed) {
+				return
+			}
+		}
+		t.Errorf("seed %d: corruption produced untyped error %v", seed, err)
 	})
 }
 

@@ -1,0 +1,330 @@
+package checkpoint
+
+import "chipletnet/internal/packet"
+
+// State is the complete dynamic state of one simulation at a cycle
+// boundary: everything Simulate touches between cycles, captured so that a
+// run restored from it finishes bit-identical to the uninterrupted run.
+// Structural state (topology wiring, routing tables, traffic patterns) is
+// NOT stored — it is rebuilt deterministically from the embedded Config —
+// only the mutable state layered on top of it is.
+type State struct {
+	// Config is the root-package Config, JSON-encoded (the checkpoint
+	// package cannot import the root package). Resume rebuilds the system
+	// from it, so a snapshot is self-contained.
+	Config []byte
+	// Cycle is the last completed simulation cycle; resume continues at
+	// Cycle+1.
+	Cycle int64
+
+	// Packets is the table of every packet referenced anywhere in the
+	// snapshot (buffers, wires, replay windows), serialized once each;
+	// all other sections reference packets by table index.
+	Packets []PacketState
+
+	Fabric FabricState
+	Gen    GeneratorState
+	Stats  CollectorState
+	Topo   TopoState
+	// Fault is nil when the run has no fault engine.
+	Fault *FaultState
+}
+
+// PacketState mirrors packet.Packet field-for-field.
+type PacketState struct {
+	ID       uint64
+	MsgID    uint64
+	SeqInMsg int
+	Src, Dst int
+	Tag      int
+	Len      int
+
+	CreatedAt   int64
+	InjectedAt  int64
+	DeliveredAt int64
+
+	Measured bool
+	Rerouted bool
+
+	RouterHops  int
+	OnChipHops  int
+	OffChipHops int
+}
+
+// FabricState is the dynamic state of router.Fabric.
+type FabricState struct {
+	Now          int64
+	LastProgress int64
+	InFlight     int
+	Routers      []RouterState
+	Links        []LinkState
+}
+
+// RouterState is the dynamic state of one router. The pipeline-eligibility
+// counter ("waiting") is recomputed on restore from the VC states.
+type RouterState struct {
+	VAOffset int
+	In       []InPortState
+	Out      []OutPortState
+}
+
+// InPortState holds the per-VC state of one input port.
+type InPortState struct {
+	VCs []VCState
+}
+
+// VCState is the buffer and head-of-line pipeline state of one virtual
+// channel.
+type VCState struct {
+	Flits     int
+	State     uint8
+	ReadyAt   int64
+	GrantedAt int64
+	// OutPort is the granted output port index, or -1.
+	OutPort int
+	OutVC   int
+	Queue   []PktInstState
+}
+
+// PktInstState is one (possibly partial) packet resident in a VC buffer.
+type PktInstState struct {
+	Pkt      int // packet-table index
+	Received int
+	Sent     int
+	Safe     bool
+}
+
+// VCRef names an input VC of the same router: (input port, VC index).
+type VCRef struct {
+	Port, VC int
+}
+
+// OutPortState is the credit and allocation state of one output port.
+type OutPortState struct {
+	Credits []int
+	// Owners[i] is the input VC holding downstream VC i, or {-1,-1}.
+	Owners []VCRef
+	// Granted lists input VCs holding a VA grant, in live order.
+	Granted []VCRef
+}
+
+// LinkState is the dynamic state of one link: the in-flight pipelines in
+// both directions plus the parameters fault events may have derated.
+type LinkState struct {
+	Bandwidth int
+	Latency   int
+	Carried   int64
+	Flits     []FlitBundleState
+	Credits   []CreditBundleState
+	Acks      []AckState
+	// Rel is nil when the link runs without the reliability protocol.
+	Rel *LinkRelState
+}
+
+// FlitBundleState is one flit bundle on the wire.
+type FlitBundleState struct {
+	Pkt      int
+	N        int
+	VC       int
+	ArriveAt int64
+	Seq      uint64
+	Corrupt  bool
+}
+
+// CreditBundleState is one credit return on the wire.
+type CreditBundleState struct {
+	VC       int
+	N        int
+	ArriveAt int64
+}
+
+// AckState is one ack/nack on the reverse path.
+type AckState struct {
+	Seq      uint64
+	Nack     bool
+	ArriveAt int64
+}
+
+// LinkRelState is the go-back-N reliability protocol state of one link.
+type LinkRelState struct {
+	CorruptedFlits   int64
+	CorruptedBundles int64
+	Retransmissions  int64
+	Nacks            int64
+	NextSeq          uint64
+	Expect           uint64
+	Backoff          int64
+	RetryAt          int64
+	Replay           []ReplayEntryState
+}
+
+// ReplayEntryState is one unacknowledged bundle in a sender's replay
+// buffer.
+type ReplayEntryState struct {
+	Pkt    int
+	N      int
+	VC     int
+	Seq    uint64
+	SentAt int64
+}
+
+// GeneratorState is the traffic generator's cursor state.
+type GeneratorState struct {
+	// Rands holds the per-endpoint injection stream states in endpoint
+	// order.
+	Rands          []uint64
+	NextID         uint64
+	NextMsg        uint64
+	OfferedPackets int
+}
+
+// CollectorState is the statistics collector's accumulator state.
+type CollectorState struct {
+	Latencies         []float64
+	SumLat            float64
+	SumNet            float64
+	MaxLat            int64
+	MeasuredDelivered int
+	DeliveredAll      int
+	AcceptedFlits     int64
+	SumRouters        float64
+	SumOnChip         float64
+	SumOffChip        float64
+}
+
+// TopoState is the fault-mutable part of the topology: interface-group
+// membership (kills remove members), the pre-fault membership snapshot,
+// and the condemned-interface set.
+type TopoState struct {
+	// Groups[c][g] lists group g of chiplet c's current members.
+	Groups [][][]int
+	// BaseGroups is the pre-fault snapshot, nil if never taken.
+	BaseGroups [][][]int
+	// Condemned lists condemned interface node ids in ascending order.
+	Condemned []int
+}
+
+// FaultState is the fault engine's schedule position and accounting.
+type FaultState struct {
+	// NextEvent indexes the first not-yet-applied schedule event.
+	NextEvent int
+	// Pending lists condemned channels still draining, by endpoints.
+	Pending []CrossRef
+	// Seen lists delivered packet ids in ascending order.
+	Seen []uint64
+	// Dropped counts corruption records not logged (past LogCap).
+	Dropped int
+	Log     []FaultRecordState
+	Stats   FaultStatsState
+	// Streams holds the per-link corruption stream states in the order
+	// the engine attached them (ascending link id).
+	Streams []LinkStreamState
+}
+
+// CrossRef identifies a chiplet-to-chiplet channel by endpoint node ids.
+type CrossRef struct {
+	A, B int
+}
+
+// FaultRecordState mirrors fault.Record.
+type FaultRecordState struct {
+	Cycle  int64
+	Kind   string
+	A, B   int
+	Detail string
+}
+
+// FaultStatsState mirrors fault.Stats. The layer-1 sums are recomputed by
+// Finish from the restored per-link counters, but the remaining fields are
+// engine-owned and must round-trip.
+type FaultStatsState struct {
+	CorruptedFlits      int64
+	CorruptedBundles    int64
+	Retransmissions     int64
+	Nacks               int64
+	LinksKilled         int
+	LinksDegraded       int
+	LinksDecommissioned int
+	ReroutedPackets     int64
+	DeliveredPackets    int
+	DuplicatePackets    int
+	LostPackets         int
+}
+
+// LinkStreamState is one per-link corruption stream state.
+type LinkStreamState struct {
+	LinkID int
+	State  uint64
+}
+
+// PacketTable interns packets during snapshotting so each is serialized
+// exactly once and referenced by index everywhere else.
+type PacketTable struct {
+	byPtr map[*packet.Packet]int
+	list  []PacketState
+}
+
+// NewPacketTable returns an empty table.
+func NewPacketTable() *PacketTable {
+	return &PacketTable{byPtr: make(map[*packet.Packet]int)}
+}
+
+// Ref interns p and returns its table index; -1 for nil.
+func (t *PacketTable) Ref(p *packet.Packet) int {
+	if p == nil {
+		return -1
+	}
+	if i, ok := t.byPtr[p]; ok {
+		return i
+	}
+	i := len(t.list)
+	t.byPtr[p] = i
+	t.list = append(t.list, PacketState{
+		ID:          p.ID,
+		MsgID:       p.MsgID,
+		SeqInMsg:    p.SeqInMsg,
+		Src:         p.Src,
+		Dst:         p.Dst,
+		Tag:         p.Tag,
+		Len:         p.Len,
+		CreatedAt:   p.CreatedAt,
+		InjectedAt:  p.InjectedAt,
+		DeliveredAt: p.DeliveredAt,
+		Measured:    p.Measured,
+		Rerouted:    p.Rerouted,
+		RouterHops:  p.RouterHops,
+		OnChipHops:  p.OnChipHops,
+		OffChipHops: p.OffChipHops,
+	})
+	return i
+}
+
+// List returns the interned packet states in reference order.
+func (t *PacketTable) List() []PacketState { return t.list }
+
+// Materialize rebuilds live packets from serialized states, preserving
+// table indices. Restore paths share the returned slice so a packet
+// referenced from several places is one object again.
+func Materialize(states []PacketState) []*packet.Packet {
+	pkts := make([]*packet.Packet, len(states))
+	for i, s := range states {
+		pkts[i] = &packet.Packet{
+			ID:          s.ID,
+			MsgID:       s.MsgID,
+			SeqInMsg:    s.SeqInMsg,
+			Src:         s.Src,
+			Dst:         s.Dst,
+			Tag:         s.Tag,
+			Len:         s.Len,
+			CreatedAt:   s.CreatedAt,
+			InjectedAt:  s.InjectedAt,
+			DeliveredAt: s.DeliveredAt,
+			Measured:    s.Measured,
+			Rerouted:    s.Rerouted,
+			RouterHops:  s.RouterHops,
+			OnChipHops:  s.OnChipHops,
+			OffChipHops: s.OffChipHops,
+		}
+	}
+	return pkts
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import "fmt"
+
+// Task is one independently runnable, independently journaled unit of an
+// experiment campaign — a traffic pattern, a bandwidth setting, or a
+// whole small figure. Key is the task's stable identity across campaign
+// restarts; Figure is the experiment name the points belong to (the
+// chipletfig output-file grouping).
+type Task struct {
+	Key    string
+	Figure string
+	Run    func() ([]Point, error)
+}
+
+// CampaignTasks enumerates the tasks of the named experiments at the
+// given scale, in a deterministic order with stable keys. The expensive
+// figures split along their outermost sweep (per pattern, per variant
+// and topology, per bandwidth), so a killed-and-restarted campaign only
+// repeats the unfinished slices.
+func CampaignTasks(s Scale, names []string) ([]Task, error) {
+	var tasks []Task
+	add := func(key, figure string, run func() ([]Point, error)) {
+		tasks = append(tasks, Task{Key: key, Figure: figure, Run: run})
+	}
+	for _, name := range names {
+		switch name {
+		case "fig11":
+			for _, pat := range Fig11Patterns() {
+				add("fig11/"+pat, name, func() ([]Point, error) { return Fig11(s, pat) })
+			}
+		case "fig12":
+			for _, v := range fig12Variants(s) {
+				for _, topo := range v.Topos {
+					series := seriesName(topo)
+					add("fig12/"+v.Label+"/"+series, name, func() ([]Point, error) {
+						cfg := baseConfig(s)
+						cfg.ChipletW, cfg.ChipletH = v.NoCW, v.NoCW
+						cfg.Topology = topo
+						return sweep(s, cfg, "fig12"+v.Label, series)
+					})
+				}
+			}
+		case "fig13":
+			add("fig13", name, func() ([]Point, error) { return Fig13(s) })
+		case "fig14":
+			for _, bw := range Fig14Bandwidths() {
+				add(fmt.Sprintf("fig14/bw%dflits", bw), name, func() ([]Point, error) { return Fig14(s, bw) })
+			}
+		case "fig15":
+			add("fig15", name, func() ([]Point, error) { return Fig15(s) })
+		case "fig16":
+			add("fig16", name, func() ([]Point, error) { return Fig16(s) })
+		case "ablation":
+			add("ablation", name, func() ([]Point, error) { return AblationRouting(s) })
+		case "faults":
+			add("faults", name, func() ([]Point, error) { return FaultTolerance(s) })
+		case "collective":
+			add("collective", name, func() ([]Point, error) { return CollectiveStudy(s) })
+		default:
+			return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+		}
+	}
+	return tasks, nil
+}

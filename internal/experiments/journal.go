@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal entry statuses.
+const (
+	StatusDone   = "done"
+	StatusFailed = "failed"
+)
+
+// JournalEntry is one line of a campaign journal: the outcome of one
+// campaign task. Done entries carry the measured points so a resumed
+// campaign can emit complete figures without re-running finished work.
+type JournalEntry struct {
+	Key      string
+	Status   string // StatusDone or StatusFailed
+	Attempts int
+	Error    string  `json:",omitempty"`
+	Points   []Point `json:",omitempty"`
+}
+
+// Journal is a crash-safe record of campaign progress: an append-only
+// JSONL file with one entry per completed or abandoned task, fsynced
+// after every record. A process killed mid-write leaves at most one
+// truncated final line, which the loader tolerates; a later entry for a
+// key overrides an earlier one, so retried tasks simply append.
+//
+// Record is safe for concurrent use; the campaign supervisor calls it
+// from its worker pool.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]JournalEntry
+}
+
+// OpenJournal opens (creating if needed) the journal at path and loads
+// its existing entries. A truncated final line — the signature of a
+// crash mid-append — is discarded; any earlier malformed line is
+// reported as corruption.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	entries := map[string]JournalEntry{}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(lines)-1 {
+				break // interrupted final append
+			}
+			return nil, fmt.Errorf("experiments: journal %s line %d: %w", path, i+1, err)
+		}
+		entries[e.Key] = e
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, entries: entries}, nil
+}
+
+// Record appends one entry and syncs it to disk before returning, so a
+// crash immediately after a task finishes cannot lose its outcome.
+func (j *Journal) Record(e JournalEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.entries[e.Key] = e
+	return nil
+}
+
+// Lookup returns the latest journaled entry for key.
+func (j *Journal) Lookup(key string) (JournalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[key]
+	return e, ok
+}
+
+// Done returns the recorded points of key if it is journaled complete.
+// Failed entries do not count: a resumed campaign re-runs them.
+func (j *Journal) Done(key string) ([]Point, bool) {
+	e, ok := j.Lookup(key)
+	if !ok || e.Status != StatusDone {
+		return nil, false
+	}
+	return e.Points, true
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -175,6 +175,18 @@ type Engine struct {
 	pending []pendingDrain
 	seen    map[uint64]struct{}
 	dropped int // corruption records not logged (past LogCap)
+
+	// streams holds the per-link corruption streams in attach order
+	// (ascending link id). The LinkRel Corrupt closures draw from these;
+	// keeping them addressable here lets a checkpoint capture and restore
+	// their positions without touching the closures.
+	streams []linkStream
+}
+
+// linkStream pairs a protected link with its corruption stream.
+type linkStream struct {
+	linkID int
+	r      *rng.Rand
 }
 
 // pendingDrain tracks one condemned channel until it quiesces.
@@ -268,6 +280,7 @@ func (e *Engine) protectLinks() {
 			timeout = 4*int64(l.Latency) + 16
 		}
 		stream := root.Split(uint64(l.ID))
+		e.streams = append(e.streams, linkStream{linkID: l.ID, r: stream})
 		link, p := l, ber
 		l.Rel = &router.LinkRel{
 			Timeout:    timeout,

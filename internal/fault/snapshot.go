@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"chipletnet/internal/checkpoint"
+)
+
+// Snapshot captures the engine's schedule position, drain queue, delivery
+// accounting, event log, and per-link corruption stream positions. The
+// schedule itself and the LinkRel attachments are not captured — New
+// rebuilds them deterministically from the same Config.
+func (e *Engine) Snapshot() *checkpoint.FaultState {
+	st := &checkpoint.FaultState{
+		NextEvent: e.next,
+		Dropped:   e.dropped,
+		Stats: checkpoint.FaultStatsState{
+			CorruptedFlits:      e.Stats.CorruptedFlits,
+			CorruptedBundles:    e.Stats.CorruptedBundles,
+			Retransmissions:     e.Stats.Retransmissions,
+			Nacks:               e.Stats.Nacks,
+			LinksKilled:         e.Stats.LinksKilled,
+			LinksDegraded:       e.Stats.LinksDegraded,
+			LinksDecommissioned: e.Stats.LinksDecommissioned,
+			ReroutedPackets:     e.Stats.ReroutedPackets,
+			DeliveredPackets:    e.Stats.DeliveredPackets,
+			DuplicatePackets:    e.Stats.DuplicatePackets,
+			LostPackets:         e.Stats.LostPackets,
+		},
+	}
+	for _, pd := range e.pending {
+		st.Pending = append(st.Pending, checkpoint.CrossRef{A: pd.a, B: pd.b})
+	}
+	for id := range e.seen {
+		st.Seen = append(st.Seen, id)
+	}
+	sort.Slice(st.Seen, func(i, j int) bool { return st.Seen[i] < st.Seen[j] })
+	for _, r := range e.Log {
+		st.Log = append(st.Log, checkpoint.FaultRecordState{
+			Cycle: r.Cycle, Kind: string(r.Kind), A: r.A, B: r.B, Detail: r.Detail,
+		})
+	}
+	for _, ls := range e.streams {
+		st.Streams = append(st.Streams, checkpoint.LinkStreamState{LinkID: ls.linkID, State: ls.r.State()})
+	}
+	return st
+}
+
+// Restore lays snapshot state back onto an engine freshly created by New
+// from the same Config against the same rebuilt system. Call after Attach
+// (which allocates the delivery-tracking set this fills).
+func (e *Engine) Restore(st *checkpoint.FaultState) error {
+	if st.NextEvent < 0 || st.NextEvent > len(e.events) {
+		return fmt.Errorf("%w: schedule position %d of %d events",
+			checkpoint.ErrMismatch, st.NextEvent, len(e.events))
+	}
+	if len(st.Streams) != len(e.streams) {
+		return fmt.Errorf("%w: snapshot has %d corruption streams, engine has %d",
+			checkpoint.ErrMismatch, len(st.Streams), len(e.streams))
+	}
+	for i, ss := range st.Streams {
+		if e.streams[i].linkID != ss.LinkID {
+			return fmt.Errorf("%w: corruption stream %d covers link %d in snapshot, link %d in engine",
+				checkpoint.ErrMismatch, i, ss.LinkID, e.streams[i].linkID)
+		}
+		e.streams[i].r.SetState(ss.State)
+	}
+	e.next = st.NextEvent
+	e.pending = nil
+	for _, cr := range st.Pending {
+		la, lb := e.crossLinks(cr.A, cr.B)
+		if la == nil && lb == nil {
+			return fmt.Errorf("%w: pending drain references missing channel %d-%d",
+				checkpoint.ErrMismatch, cr.A, cr.B)
+		}
+		e.pending = append(e.pending, pendingDrain{a: cr.A, b: cr.B, la: la, lb: lb})
+	}
+	if e.seen == nil {
+		e.seen = make(map[uint64]struct{}, len(st.Seen))
+	}
+	for _, id := range st.Seen {
+		e.seen[id] = struct{}{}
+	}
+	e.dropped = st.Dropped
+	e.Log = nil
+	for _, r := range st.Log {
+		e.Log = append(e.Log, Record{Cycle: r.Cycle, Kind: Kind(r.Kind), A: r.A, B: r.B, Detail: r.Detail})
+	}
+	e.Stats = Stats{
+		CorruptedFlits:      st.Stats.CorruptedFlits,
+		CorruptedBundles:    st.Stats.CorruptedBundles,
+		Retransmissions:     st.Stats.Retransmissions,
+		Nacks:               st.Stats.Nacks,
+		LinksKilled:         st.Stats.LinksKilled,
+		LinksDegraded:       st.Stats.LinksDegraded,
+		LinksDecommissioned: st.Stats.LinksDecommissioned,
+		ReroutedPackets:     st.Stats.ReroutedPackets,
+		DeliveredPackets:    st.Stats.DeliveredPackets,
+		DuplicatePackets:    st.Stats.DuplicatePackets,
+		LostPackets:         st.Stats.LostPackets,
+	}
+	return nil
+}

@@ -20,6 +20,14 @@ func New(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// State returns the generator's complete internal state, for
+// checkpointing. SetState with the returned value reproduces the stream
+// exactly from this point.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState restores a state previously captured with State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Split derives an independent stream from r using the given stream
 // identifier. It does not advance r. Streams with distinct ids are
 // statistically independent for simulation purposes.

@@ -1,0 +1,312 @@
+package router
+
+import (
+	"fmt"
+
+	"chipletnet/internal/checkpoint"
+	"chipletnet/internal/packet"
+)
+
+// Snapshot captures the fabric's complete dynamic state into a
+// checkpoint.FabricState, interning every referenced packet in tbl.
+// Structural state (routers, ports, links, routing) is not captured — the
+// restore side rebuilds it from the configuration and only the dynamic
+// state is laid back on top.
+func (f *Fabric) Snapshot(tbl *checkpoint.PacketTable) checkpoint.FabricState {
+	st := checkpoint.FabricState{
+		Now:          f.Now,
+		LastProgress: f.lastProgress,
+		InFlight:     f.inFlight,
+		Routers:      make([]checkpoint.RouterState, len(f.Routers)),
+		Links:        make([]checkpoint.LinkState, len(f.Links)),
+	}
+	for i, r := range f.Routers {
+		st.Routers[i] = r.snapshot(tbl)
+	}
+	for i, l := range f.Links {
+		st.Links[i] = l.snapshot(tbl)
+	}
+	return st
+}
+
+func (r *Router) snapshot(tbl *checkpoint.PacketTable) checkpoint.RouterState {
+	rs := checkpoint.RouterState{
+		VAOffset: r.vaOffset,
+		In:       make([]checkpoint.InPortState, len(r.In)),
+		Out:      make([]checkpoint.OutPortState, len(r.Out)),
+	}
+	for pi, ip := range r.In {
+		vcs := make([]checkpoint.VCState, len(ip.VCs))
+		for vi, vc := range ip.VCs {
+			vs := checkpoint.VCState{
+				Flits:     vc.flits,
+				State:     uint8(vc.state),
+				ReadyAt:   vc.readyAt,
+				GrantedAt: vc.grantedAt,
+				OutPort:   -1,
+				OutVC:     vc.outVC,
+				Queue:     make([]checkpoint.PktInstState, vc.q.Len()),
+			}
+			if vc.outPort != nil {
+				vs.OutPort = vc.outPort.Index
+			}
+			for qi := 0; qi < vc.q.Len(); qi++ {
+				inst := vc.q.At(qi)
+				vs.Queue[qi] = checkpoint.PktInstState{
+					Pkt:      tbl.Ref(inst.p),
+					Received: inst.received,
+					Sent:     inst.sent,
+					Safe:     inst.safe,
+				}
+			}
+			vcs[vi] = vs
+		}
+		rs.In[pi] = checkpoint.InPortState{VCs: vcs}
+	}
+	for oi, o := range r.Out {
+		os := checkpoint.OutPortState{
+			Credits: append([]int(nil), o.Credits...),
+			Owners:  make([]checkpoint.VCRef, len(o.Owner)),
+			Granted: make([]checkpoint.VCRef, len(o.granted)),
+		}
+		for i, v := range o.Owner {
+			os.Owners[i] = vcRef(v)
+		}
+		for i, v := range o.granted {
+			os.Granted[i] = vcRef(v)
+		}
+		rs.Out[oi] = os
+	}
+	return rs
+}
+
+// vcRef names an input VC of its own router; grants and ownership never
+// cross routers.
+func vcRef(v *VC) checkpoint.VCRef {
+	if v == nil {
+		return checkpoint.VCRef{Port: -1, VC: -1}
+	}
+	return checkpoint.VCRef{Port: v.Port.Index, VC: v.Index}
+}
+
+func (l *Link) snapshot(tbl *checkpoint.PacketTable) checkpoint.LinkState {
+	ls := checkpoint.LinkState{
+		Bandwidth: l.Bandwidth,
+		Latency:   l.Latency,
+		Carried:   l.Carried,
+		Flits:     make([]checkpoint.FlitBundleState, l.flits.Len()),
+		Credits:   make([]checkpoint.CreditBundleState, l.credits.Len()),
+		Acks:      make([]checkpoint.AckState, l.acks.Len()),
+	}
+	for i := 0; i < l.flits.Len(); i++ {
+		b := l.flits.At(i)
+		ls.Flits[i] = checkpoint.FlitBundleState{
+			Pkt: tbl.Ref(b.p), N: b.n, VC: b.vc,
+			ArriveAt: b.arriveAt, Seq: b.seq, Corrupt: b.corrupt,
+		}
+	}
+	for i := 0; i < l.credits.Len(); i++ {
+		c := l.credits.At(i)
+		ls.Credits[i] = checkpoint.CreditBundleState{VC: c.vc, N: c.n, ArriveAt: c.arriveAt}
+	}
+	for i := 0; i < l.acks.Len(); i++ {
+		a := l.acks.At(i)
+		ls.Acks[i] = checkpoint.AckState{Seq: a.seq, Nack: a.nack, ArriveAt: a.arriveAt}
+	}
+	if l.Rel != nil {
+		rel := &checkpoint.LinkRelState{
+			CorruptedFlits:   l.Rel.CorruptedFlits,
+			CorruptedBundles: l.Rel.CorruptedBundles,
+			Retransmissions:  l.Rel.Retransmissions,
+			Nacks:            l.Rel.Nacks,
+			NextSeq:          l.Rel.nextSeq,
+			Expect:           l.Rel.expect,
+			Backoff:          l.Rel.backoff,
+			RetryAt:          l.Rel.retryAt,
+			Replay:           make([]checkpoint.ReplayEntryState, l.Rel.replay.Len()),
+		}
+		for i := 0; i < l.Rel.replay.Len(); i++ {
+			e := l.Rel.replay.At(i)
+			rel.Replay[i] = checkpoint.ReplayEntryState{
+				Pkt: tbl.Ref(e.p), N: e.n, VC: e.vc, Seq: e.seq, SentAt: e.sentAt,
+			}
+		}
+		ls.Rel = rel
+	}
+	return ls
+}
+
+// Restore lays snapshot state back onto a structurally identical fabric
+// (same Build from the same configuration, reliability protocol already
+// re-attached). pkts is the materialized packet table; it resolves every
+// packet reference in st. A snapshot that does not fit the structure is
+// rejected with an error wrapping checkpoint.ErrMismatch.
+func (f *Fabric) Restore(st *checkpoint.FabricState, pkts []*packet.Packet) error {
+	if len(st.Routers) != len(f.Routers) || len(st.Links) != len(f.Links) {
+		return fmt.Errorf("%w: snapshot has %d routers / %d links, fabric has %d / %d",
+			checkpoint.ErrMismatch, len(st.Routers), len(st.Links), len(f.Routers), len(f.Links))
+	}
+	pk := func(i int) (*packet.Packet, error) {
+		if i == -1 {
+			return nil, nil
+		}
+		if i < 0 || i >= len(pkts) {
+			return nil, fmt.Errorf("%w: packet reference %d out of range (%d packets)",
+				checkpoint.ErrMismatch, i, len(pkts))
+		}
+		return pkts[i], nil
+	}
+	for i, r := range f.Routers {
+		if err := r.restore(&st.Routers[i], pk); err != nil {
+			return fmt.Errorf("router %d: %w", r.Node, err)
+		}
+	}
+	for i, l := range f.Links {
+		if err := l.restore(&st.Links[i], pk); err != nil {
+			return fmt.Errorf("link %d: %w", l.ID, err)
+		}
+	}
+	f.Now = st.Now
+	f.lastProgress = st.LastProgress
+	f.inFlight = st.InFlight
+	return nil
+}
+
+func (r *Router) restore(rs *checkpoint.RouterState, pk func(int) (*packet.Packet, error)) error {
+	if len(rs.In) != len(r.In) || len(rs.Out) != len(r.Out) {
+		return fmt.Errorf("%w: snapshot has %d in / %d out ports, router has %d / %d",
+			checkpoint.ErrMismatch, len(rs.In), len(rs.Out), len(r.In), len(r.Out))
+	}
+	r.vaOffset = rs.VAOffset
+	r.waiting = 0
+	for pi, ip := range r.In {
+		ps := &rs.In[pi]
+		if len(ps.VCs) != len(ip.VCs) {
+			return fmt.Errorf("%w: port %d has %d VCs in snapshot, %d in router",
+				checkpoint.ErrMismatch, pi, len(ps.VCs), len(ip.VCs))
+		}
+		for vi, vc := range ip.VCs {
+			vs := &ps.VCs[vi]
+			vc.flits = vs.Flits
+			vc.state = vcState(vs.State)
+			vc.readyAt = vs.ReadyAt
+			vc.grantedAt = vs.GrantedAt
+			vc.outVC = vs.OutVC
+			vc.outPort = nil
+			if vs.OutPort >= 0 {
+				if vs.OutPort >= len(r.Out) {
+					return fmt.Errorf("%w: VC %d.%d granted to out port %d of %d",
+						checkpoint.ErrMismatch, pi, vi, vs.OutPort, len(r.Out))
+				}
+				vc.outPort = r.Out[vs.OutPort]
+			}
+			vc.q = fifo[pktInst]{}
+			for _, qs := range vs.Queue {
+				p, err := pk(qs.Pkt)
+				if err != nil {
+					return err
+				}
+				if p == nil {
+					return fmt.Errorf("%w: nil packet in VC queue", checkpoint.ErrMismatch)
+				}
+				vc.q.Push(pktInst{p: p, received: qs.Received, sent: qs.Sent, safe: qs.Safe})
+			}
+			if vc.state == vcRouting {
+				r.waiting++
+			}
+		}
+	}
+	for oi, o := range r.Out {
+		os := &rs.Out[oi]
+		if len(os.Credits) != len(o.Credits) || len(os.Owners) != len(o.Owner) {
+			return fmt.Errorf("%w: out port %d has %d credits / %d owners in snapshot, %d / %d in router",
+				checkpoint.ErrMismatch, oi, len(os.Credits), len(os.Owners), len(o.Credits), len(o.Owner))
+		}
+		copy(o.Credits, os.Credits)
+		for i, ref := range os.Owners {
+			v, err := r.vcByRef(ref)
+			if err != nil {
+				return err
+			}
+			o.Owner[i] = v
+		}
+		o.granted = o.granted[:0]
+		for _, ref := range os.Granted {
+			v, err := r.vcByRef(ref)
+			if err != nil {
+				return err
+			}
+			if v == nil {
+				return fmt.Errorf("%w: nil VC in grant list", checkpoint.ErrMismatch)
+			}
+			o.granted = append(o.granted, v)
+		}
+	}
+	return nil
+}
+
+func (r *Router) vcByRef(ref checkpoint.VCRef) (*VC, error) {
+	if ref.Port == -1 && ref.VC == -1 {
+		return nil, nil
+	}
+	if ref.Port < 0 || ref.Port >= len(r.In) || ref.VC < 0 || ref.VC >= len(r.In[ref.Port].VCs) {
+		return nil, fmt.Errorf("%w: VC reference %d.%d out of range", checkpoint.ErrMismatch, ref.Port, ref.VC)
+	}
+	return r.In[ref.Port].VCs[ref.VC], nil
+}
+
+func (l *Link) restore(ls *checkpoint.LinkState, pk func(int) (*packet.Packet, error)) error {
+	l.Bandwidth = ls.Bandwidth
+	l.Latency = ls.Latency
+	l.Carried = ls.Carried
+	l.flits = fifo[flitBundle]{}
+	for _, b := range ls.Flits {
+		p, err := pk(b.Pkt)
+		if err != nil {
+			return err
+		}
+		l.flits.Push(flitBundle{p: p, n: b.N, vc: b.VC, arriveAt: b.ArriveAt, seq: b.Seq, corrupt: b.Corrupt})
+	}
+	l.credits = fifo[creditBundle]{}
+	for _, c := range ls.Credits {
+		l.credits.Push(creditBundle{vc: c.VC, n: c.N, arriveAt: c.ArriveAt})
+	}
+	l.acks = fifo[ackMsg]{}
+	for _, a := range ls.Acks {
+		l.acks.Push(ackMsg{seq: a.Seq, nack: a.Nack, arriveAt: a.ArriveAt})
+	}
+	if (ls.Rel != nil) != (l.Rel != nil) {
+		return fmt.Errorf("%w: reliability protocol %v in snapshot but %v on link",
+			checkpoint.ErrMismatch, ls.Rel != nil, l.Rel != nil)
+	}
+	if ls.Rel != nil {
+		// Fill into the existing LinkRel: its Corrupt closure (owned by the
+		// fault engine) must survive the restore.
+		rel := l.Rel
+		rel.CorruptedFlits = ls.Rel.CorruptedFlits
+		rel.CorruptedBundles = ls.Rel.CorruptedBundles
+		rel.Retransmissions = ls.Rel.Retransmissions
+		rel.Nacks = ls.Rel.Nacks
+		rel.nextSeq = ls.Rel.NextSeq
+		rel.expect = ls.Rel.Expect
+		rel.backoff = ls.Rel.Backoff
+		rel.retryAt = ls.Rel.RetryAt
+		rel.replay = fifo[replayEntry]{}
+		for _, e := range ls.Rel.Replay {
+			p, err := pk(e.Pkt)
+			if err != nil {
+				return err
+			}
+			rel.replay.Push(replayEntry{p: p, n: e.N, vc: e.VC, seq: e.Seq, sentAt: e.SentAt})
+		}
+	}
+	return nil
+}
+
+// DiagnosticReport takes a deadlock-style snapshot of the fabric's current
+// blocked state on demand (without the watchdog having fired) — used to
+// explain where traffic is stuck when a run is aborted externally, e.g. by
+// a wall-clock timeout.
+func (f *Fabric) DiagnosticReport() *DeadlockReport {
+	return f.snapshotDeadlock(f.Now)
+}

@@ -1,0 +1,33 @@
+package stats
+
+import "chipletnet/internal/checkpoint"
+
+// Snapshot captures the collector's accumulator state.
+func (c *Collector) Snapshot() checkpoint.CollectorState {
+	return checkpoint.CollectorState{
+		Latencies:         append([]float64(nil), c.latencies...),
+		SumLat:            c.sumLat,
+		SumNet:            c.sumNet,
+		MaxLat:            c.maxLat,
+		MeasuredDelivered: c.measuredDelivered,
+		DeliveredAll:      c.deliveredAll,
+		AcceptedFlits:     c.acceptedFlits,
+		SumRouters:        c.sumRouters,
+		SumOnChip:         c.sumOnChip,
+		SumOffChip:        c.sumOffChip,
+	}
+}
+
+// Restore lays snapshot state back onto the collector.
+func (c *Collector) Restore(st *checkpoint.CollectorState) {
+	c.latencies = append([]float64(nil), st.Latencies...)
+	c.sumLat = st.SumLat
+	c.sumNet = st.SumNet
+	c.maxLat = st.MaxLat
+	c.measuredDelivered = st.MeasuredDelivered
+	c.deliveredAll = st.DeliveredAll
+	c.acceptedFlits = st.AcceptedFlits
+	c.sumRouters = st.SumRouters
+	c.sumOnChip = st.SumOnChip
+	c.sumOffChip = st.SumOffChip
+}

@@ -1,0 +1,40 @@
+package traffic
+
+import (
+	"fmt"
+
+	"chipletnet/internal/checkpoint"
+)
+
+// Snapshot captures the generator's cursor state: the per-endpoint
+// injection stream positions and the packet/message id counters. The
+// pattern, rate, and interleave policy are not captured — they are
+// reconstructed from the configuration and hold no mutable state.
+func (g *Generator) Snapshot() checkpoint.GeneratorState {
+	st := checkpoint.GeneratorState{
+		Rands:          make([]uint64, len(g.rands)),
+		NextID:         g.nextID,
+		NextMsg:        g.nextMsg,
+		OfferedPackets: g.OfferedPackets,
+	}
+	for i, r := range g.rands {
+		st.Rands[i] = r.State()
+	}
+	return st
+}
+
+// Restore lays snapshot state back onto a generator freshly constructed
+// from the same configuration.
+func (g *Generator) Restore(st *checkpoint.GeneratorState) error {
+	if len(st.Rands) != len(g.rands) {
+		return fmt.Errorf("%w: snapshot has %d injection streams, generator has %d",
+			checkpoint.ErrMismatch, len(st.Rands), len(g.rands))
+	}
+	for i, s := range st.Rands {
+		g.rands[i].SetState(s)
+	}
+	g.nextID = st.NextID
+	g.nextMsg = st.NextMsg
+	g.OfferedPackets = st.OfferedPackets
+	return nil
+}

@@ -1,19 +1,17 @@
 package chipletnet
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"chipletnet/internal/chiplet"
-	"chipletnet/internal/energy"
 	"chipletnet/internal/fault"
-	"chipletnet/internal/interleave"
 	"chipletnet/internal/router"
 	"chipletnet/internal/routing"
 	"chipletnet/internal/stats"
 	"chipletnet/internal/topology"
-	"chipletnet/internal/traffic"
 )
 
 // System is a built but not-yet-run network: the topology, fabric and
@@ -120,6 +118,10 @@ type Result struct {
 	// the network when the simulation stopped.
 	Drained       bool
 	InFlightAtEnd int
+	// TimedOut reports that the run was aborted by RunControl.Deadline;
+	// DeadlockReport then holds the diagnostic snapshot of where traffic
+	// was at the abort.
+	TimedOut bool `json:",omitempty"`
 	// FaultEvents is the fault event log and FaultStats the injection and
 	// recovery summary; both nil unless fault injection was configured.
 	FaultEvents []fault.Record `json:",omitempty"`
@@ -159,119 +161,15 @@ func Run(cfg Config) (Result, error) {
 // Simulate runs the configured workload on a built system. A System must
 // not be simulated twice; rebuild for fresh runs.
 func (s *System) Simulate() (Result, error) {
-	cfg := s.Cfg
-	pat, err := traffic.NewPattern(cfg.Pattern, len(s.Topo.Cores), cfg.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	gran, err := interleave.ParseGranularity(cfg.Interleave)
-	if err != nil {
-		return Result{}, err
-	}
-	gen, err := traffic.NewGenerator(
-		s.Topo.Cores, pat, cfg.InjectionRate,
-		cfg.PacketFlits, cfg.MsgPackets,
-		interleave.Policy{G: gran}, cfg.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-
-	col := &stats.Collector{MeasureFrom: cfg.WarmupCycles + 1}
-	f := s.Topo.Fabric
-	f.Sink = col.OnDeliver
-	f.CreditAudit = cfg.CheckCredits
-
-	var eng *fault.Engine
-	if cfg.Fault.Enabled() {
-		eng, err = fault.New(s.Topo, cfg.Fault.engineConfig(cfg.Seed))
-		if err != nil {
-			return Result{}, err
-		}
-		eng.Attach(f)
-	}
-
-	var simErr error
-	total := cfg.WarmupCycles + cfg.MeasureCycles
-	for cy := int64(1); cy <= total; cy++ {
-		gen.SetMeasured(cy > cfg.WarmupCycles)
-		gen.Tick(f, cy)
-		if eng != nil {
-			if simErr = eng.Step(cy); simErr != nil {
-				break
-			}
-		}
-		f.Step()
-		if f.Deadlocked {
-			break
-		}
-	}
-
-	// Drain phase: stop injecting and let the network empty, so delivery
-	// completeness (zero lost packets) is checkable.
-	drained := false
-	if simErr == nil && !f.Deadlocked && cfg.DrainCycles > 0 {
-		for cy := total + 1; cy <= total+cfg.DrainCycles && f.InFlight() > 0; cy++ {
-			if eng != nil {
-				if simErr = eng.Step(cy); simErr != nil {
-					break
-				}
-			}
-			f.Step()
-			if f.Deadlocked {
-				break
-			}
-		}
-		drained = simErr == nil && !f.Deadlocked && f.InFlight() == 0
-	}
-
-	res := Result{
-		Cfg:            cfg,
-		Summary:        col.Summarize(cfg.MeasureCycles, len(s.Topo.Cores)),
-		OfferedPackets: gen.OfferedPackets,
-		OfferedRate:    cfg.InjectionRate,
-		Deadlocked:     f.Deadlocked,
-		DeadlockReport: f.Deadlock,
-		Endpoints:      len(s.Topo.Cores),
-		Drained:        drained,
-		InFlightAtEnd:  f.InFlight(),
-	}
-	res.EnergyPJPerBit = energy.Default().PerBit(res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
-	if eng != nil {
-		eng.Finish(gen.TotalPackets(), f.InFlight())
-		res.FaultEvents = eng.Log
-		st := eng.Stats
-		res.FaultStats = &st
-	}
-
-	// Link utilization summary over the whole run.
-	var offSum, onSum float64
-	var offN, onN int
-	for _, l := range f.Links {
-		u := l.Utilization(f.Now)
-		if l.OffChip {
-			offSum += u
-			offN++
-			if u > res.PeakOffChipUtilization {
-				res.PeakOffChipUtilization = u
-			}
-		} else {
-			onSum += u
-			onN++
-		}
-	}
-	if offN > 0 {
-		res.AvgOffChipUtilization = offSum / float64(offN)
-	}
-	if onN > 0 {
-		res.AvgOnChipUtilization = onSum / float64(onN)
-	}
-	// A typed fault failure (partition, failed re-certification) ends the
-	// run cleanly: the partial Result is still returned for diagnostics.
-	return res, simErr
+	return s.SimulateControlled(RunControl{})
 }
 
 // Sweep runs cfg at every injection rate, in parallel across CPUs, and
-// returns the results in rate order.
+// returns the results in rate order. A panic in one run is recovered into
+// that rate's error instead of crashing the sweep. On failure the partial
+// results are returned alongside the joined per-rate errors: results[i]
+// is valid exactly when no error mentions rates[i] (a failed rate leaves
+// its zero Result).
 func Sweep(cfg Config, rates []float64) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -286,16 +184,23 @@ func Sweep(cfg Config, rates []float64) ([]Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("chipletnet: rate %g: panic: %v", rate, p)
+				}
+			}()
 			c := cfg
 			c.InjectionRate = rate
-			results[i], errs[i] = Run(c)
+			var err error
+			results[i], err = Run(c)
+			if err != nil {
+				errs[i] = fmt.Errorf("chipletnet: rate %g: %w", rate, err)
+			}
 		}(i, r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return results, err
 	}
 	return results, nil
 }
