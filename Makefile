@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault test-checkpoint vet lint check figures
+.PHONY: build test test-fault test-checkpoint test-equiv bench-json vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -32,11 +32,30 @@ test-checkpoint:
 	$(GO) test -race -run FuzzCheckpointRoundTrip .
 	$(GO) test -race -run 'Journal|Campaign' ./internal/experiments ./cmd/chipletfig
 
+# test-equiv runs the engine-equivalence gate: the differential matrix
+# (active-set engine vs reference stepper, all topology kinds x routing
+# modes x interleavings x fault schedules) and cross-engine checkpoint
+# interchange under the race detector, the zero-alloc and active-set
+# invariant tests without it (AllocsPerRun is meaningless under -race),
+# and a 30-second run of the engine-equivalence fuzz target.
+test-equiv:
+	$(GO) test -race -run 'EngineEquivalence|EngineCheckpoint|ResetBitIdentical|ActiveSetMatchesReference' . ./internal/router
+	$(GO) test -run 'ZeroAlloc|ActiveSet|DrainedFabric|ResetRestores|AuditCredits' ./internal/router
+	$(GO) test -fuzz FuzzEngineEquivalence -fuzztime 30s -run FuzzEngineEquivalence .
+
+# bench-json regenerates the committed hot-path benchmark baseline
+# (BENCH_hotpath.json): every workload under both cycle engines.
+bench-json:
+	$(GO) run ./cmd/chipletbench -count 2 -out BENCH_hotpath.json
+
 # check is the pre-PR gate: vet, build, the full test suite under the race
-# detector, and the determinism linter.
-check: vet build test-fault test-checkpoint
+# detector, the determinism linter, and the hot-path benchmark gate
+# (active-set engine must hold its speedup over the reference stepper and
+# its allocs/op against the committed baseline).
+check: vet build test-fault test-checkpoint test-equiv
 	$(GO) test -race ./...
 	$(GO) run ./cmd/chipletlint ./...
+	$(GO) run ./cmd/chipletbench -check BENCH_hotpath.json
 
 figures:
 	$(GO) run ./cmd/chipletfig -scale quick -out results all

@@ -1,0 +1,266 @@
+// Command chipletbench is the hot-path benchmark-regression harness: it
+// measures the cycle engine on a fixed set of workloads under BOTH
+// engines (the naive reference stepper and the active-set engine) and
+// gates the result.
+//
+// Usage:
+//
+//	chipletbench [-count N] [-tol 0.10] [-out FILE]     # measure, write JSON
+//	chipletbench [-count N] [-tol 0.10] -check FILE     # measure, gate, exit 1 on regression
+//
+// The JSON file (BENCH_hotpath.json at the repository root) records
+// ns/op, bytes/op and allocs/op per workload per engine — the committed
+// before/after evidence for the hot-path overhaul.
+//
+// Gating is deliberately split by what is portable across machines:
+//
+//   - ns/op is machine-dependent, so the wall-clock gate is RELATIVE and
+//     measured in-process: on every workload the active engine must reach
+//     that workload's minimum speedup over the reference stepper (2x on
+//     the mostly-idle low-rate workloads, parity within -tol elsewhere).
+//     A committed baseline from another machine is reported for context
+//     but never fails the gate.
+//   - allocs/op is deterministic for a fixed workload, so -check gates it
+//     ABSOLUTELY against the committed baseline: the active engine may
+//     not allocate more than the recorded count (beyond -tol slack for
+//     scheduling jitter in the parallel workloads).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"chipletnet"
+	"chipletnet/internal/experiments"
+)
+
+// workload is one gated benchmark: a body run under testing.Benchmark
+// and the minimum active-over-reference speedup it must demonstrate.
+type workload struct {
+	name string
+	// minSpeedup gates reference-ns / active-ns: 2.0 where the active-set
+	// engine must win outright, 0.9 where parity is enough.
+	minSpeedup float64
+	fn         func(b *testing.B)
+}
+
+// measurement is one engine's result on one workload.
+type measurement struct {
+	Name        string
+	N           int
+	NsPerOp     float64
+	BytesPerOp  int64
+	AllocsPerOp int64
+	Extra       map[string]float64 `json:",omitempty"`
+}
+
+// benchFile is the serialized BENCH_hotpath.json.
+type benchFile struct {
+	Note    string
+	GoArch  string
+	Engines map[string][]measurement // "reference" and "active"
+}
+
+func lowCfg() chipletnet.Config {
+	cfg := chipletnet.DefaultConfig()
+	cfg.Topology = chipletnet.HypercubeTopology(6) // 64 chiplets, 1024 routers
+	cfg.InjectionRate = 0.05
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	return cfg
+}
+
+func workloads() []workload {
+	return []workload{
+		{
+			// The headline case for active-set scheduling: a 1024-router
+			// fabric at 0.05 flits/node/cycle is mostly idle, and a full
+			// per-cycle walk wastes almost all of its time.
+			name: "run-low-hypercube6", minSpeedup: 2.0,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := lowCfg()
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// The low-rate Fig. 11 points at quick scale, swept in parallel.
+			name: "fig11-low-rates", minSpeedup: 2.0,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := lowCfg()
+				cfg.WarmupCycles = experiments.Quick.WarmupCycles
+				cfg.MeasureCycles = experiments.Quick.MeasureCycles
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.Sweep(cfg, []float64{0.05, 0.1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// Moderate load: most routers busy most cycles, so the active
+			// sets buy little — the gate is parity with the reference walk.
+			name: "run-mid-hypercube6", minSpeedup: 0.9,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := lowCfg()
+				cfg.InjectionRate = 0.3
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// The warm-reuse bisection: Build once, Reset between probes.
+			name: "saturation-warm-hypercube4", minSpeedup: 0.9,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := chipletnet.DefaultConfig()
+				cfg.Topology = chipletnet.HypercubeTopology(4)
+				cfg.WarmupCycles = 100
+				cfg.MeasureCycles = 500
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.SaturationRate(cfg, 0.05, 0.6, 0.1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}
+
+// measure runs every workload count times under the selected engine and
+// keeps each workload's fastest run (minimum ns/op).
+func measure(useRef bool, count int) []measurement {
+	chipletnet.UseReferenceEngine = useRef
+	defer func() { chipletnet.UseReferenceEngine = false }()
+	var out []measurement
+	for _, w := range workloads() {
+		var best testing.BenchmarkResult
+		for c := 0; c < count; c++ {
+			r := testing.Benchmark(w.fn)
+			if c == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		m := measurement{
+			Name:        w.name,
+			N:           best.N,
+			NsPerOp:     float64(best.NsPerOp()),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+			AllocsPerOp: best.AllocsPerOp(),
+		}
+		if len(best.Extra) > 0 {
+			m.Extra = map[string]float64{}
+			for k, v := range best.Extra {
+				m.Extra[k] = v
+			}
+		}
+		out = append(out, m)
+		fmt.Printf("  %-28s %12.0f ns/op %10d allocs/op  (N=%d)\n", w.name, m.NsPerOp, m.AllocsPerOp, m.N)
+	}
+	return out
+}
+
+func byName(ms []measurement) map[string]measurement {
+	out := map[string]measurement{}
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "", "write measurements of both engines to this JSON file")
+	check := flag.String("check", "", "gate against this committed baseline JSON; exit 1 on regression")
+	count := flag.Int("count", 1, "runs per workload per engine; the fastest is kept")
+	tol := flag.Float64("tol", 0.10, "relative tolerance for the gates")
+	flag.Parse()
+
+	fmt.Println("reference engine:")
+	ref := measure(true, *count)
+	fmt.Println("active-set engine:")
+	act := measure(false, *count)
+
+	refBy, actBy := byName(ref), byName(act)
+	failed := false
+	fmt.Println("speedup (reference / active):")
+	for _, w := range workloads() {
+		r, a := refBy[w.name], actBy[w.name]
+		speedup := r.NsPerOp / a.NsPerOp
+		verdict := "ok"
+		if speedup < w.minSpeedup*(1-*tol) {
+			verdict = fmt.Sprintf("FAIL (need %.2fx)", w.minSpeedup)
+			failed = true
+		}
+		fmt.Printf("  %-28s %6.2fx  %s\n", w.name, speedup, verdict)
+	}
+
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var base benchFile
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatalf("parsing %s: %v", *check, err)
+		}
+		baseAct := byName(base.Engines["active"])
+		fmt.Printf("against baseline %s:\n", *check)
+		for _, w := range workloads() {
+			b, ok := baseAct[w.name]
+			if !ok {
+				fmt.Printf("  %-28s not in baseline; re-run with -out to record it\n", w.name)
+				failed = true
+				continue
+			}
+			a := actBy[w.name]
+			// Allocation counts are machine-independent: gate absolutely.
+			limit := int64(float64(b.AllocsPerOp)*(1+*tol)) + 64
+			if a.AllocsPerOp > limit {
+				fmt.Printf("  %-28s FAIL: %d allocs/op, baseline %d\n", w.name, a.AllocsPerOp, b.AllocsPerOp)
+				failed = true
+				continue
+			}
+			// Wall clock is not: report the drift, never fail on it.
+			fmt.Printf("  %-28s ok: %d allocs/op (baseline %d), ns/op %+.0f%% vs baseline machine\n",
+				w.name, a.AllocsPerOp, b.AllocsPerOp, 100*(a.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+	}
+
+	if *out != "" {
+		f := benchFile{
+			Note:    "hot-path benchmark baseline; regenerate with `make bench-json`",
+			GoArch:  runtime.GOOS + "/" + runtime.GOARCH,
+			Engines: map[string][]measurement{"reference": ref, "active": act},
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chipletbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,262 @@
+package chipletnet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chipletnet/internal/rng"
+)
+
+// gobHash canonically serializes v and returns its digest. gob rather
+// than JSON because Result can legitimately carry NaN (AvgLatency of an
+// empty measurement window), which JSON cannot encode.
+func gobHash(t *testing.T, v any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+}
+
+// runEngine runs cfg under the selected cycle engine (true = naive
+// reference stepper, false = active-set engine) and restores the
+// package knob afterwards.
+func runEngine(useRef bool, cfg Config) (Result, error) {
+	prev := UseReferenceEngine
+	UseReferenceEngine = useRef
+	defer func() { UseReferenceEngine = prev }()
+	return Run(cfg)
+}
+
+// equivConfig is the shared small-but-complete workload shape for the
+// equivalence matrix: long enough for credit backpressure, short enough
+// that the full matrix stays fast.
+func equivConfig(topo Topology) Config {
+	cfg := DefaultConfig()
+	cfg.Topology = topo
+	cfg.InjectionRate = 0.2
+	cfg.WarmupCycles = 50
+	cfg.MeasureCycles = 250
+	cfg.DrainCycles = 30000
+	return cfg
+}
+
+// TestEngineEquivalence is the differential gate for the hot-path
+// overhaul: across every topology kind, both routing modes, every
+// interleave granularity, and fault schedules up to permanent kills, the
+// active-set engine must produce a Result — statistics, energy, fault
+// log, deadlock report — hash-identical to the retained reference
+// stepper's. Any divergence is an engine bug by definition.
+func TestEngineEquivalence(t *testing.T) {
+	topos := []struct {
+		name    string
+		topo    Topology
+		modes   []RoutingMode
+		grouped bool // interface-group redundancy: kill events legal
+	}{
+		{"mesh", MeshTopology(2, 2), []RoutingMode{RoutingDuato}, false},
+		{"hypercube", HypercubeTopology(3), []RoutingMode{RoutingDuato, RoutingSafeUnsafe}, true},
+		{"ndtorus", NDTorusTopology(4, 4), []RoutingMode{RoutingDuato}, true},
+		{"dragonfly", DragonflyTopology(4), []RoutingMode{RoutingDuato, RoutingSafeUnsafe}, true},
+		{"tree", TreeTopology(5, 2), []RoutingMode{RoutingDuato}, true},
+		{"custom", CustomTopology(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}}),
+			[]RoutingMode{RoutingSafeUnsafe}, true},
+	}
+	for _, tc := range topos {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, mode := range tc.modes {
+				for _, il := range []string{"none", "message", "packet"} {
+					base := equivConfig(tc.topo)
+					base.Routing = mode
+					base.Interleave = il
+
+					// Fault schedule: BER everywhere plus a mid-run derating,
+					// and on grouped topologies a permanent kill — so the
+					// engines are also compared across retransmission, replay
+					// and structural degradation.
+					faulty := base
+					faulty.Fault.BER = 5e-4
+					if sys, err := Build(base); err == nil {
+						if pairs := sys.Topo.CrossPairs(); len(pairs) > 0 {
+							faulty.Fault.Degrade = []FaultDegrade{
+								{Cycle: 120, A: pairs[0].A, B: pairs[0].B, BandwidthDiv: 2, LatencyMult: 2},
+							}
+							if tc.grouped {
+								p := pairs[len(pairs)-1]
+								faulty.Fault.Kill = []FaultKill{{Cycle: 150, A: p.A, B: p.B}}
+							}
+						}
+					}
+
+					for _, cc := range []struct {
+						name string
+						cfg  Config
+					}{{"no-faults", base}, {"faults", faulty}} {
+						name := fmt.Sprintf("%s/%s/%s", mode, il, cc.name)
+						t.Run(name, func(t *testing.T) {
+							refRes, refErr := runEngine(true, cc.cfg)
+							actRes, actErr := runEngine(false, cc.cfg)
+							if errText(refErr) != errText(actErr) {
+								t.Fatalf("errors differ: reference %q, active %q", errText(refErr), errText(actErr))
+							}
+							if refErr != nil {
+								return
+							}
+							if gobHash(t, refRes) != gobHash(t, actRes) {
+								t.Errorf("Results differ between engines\nreference: %s\n   active: %s",
+									resultJSON(t, refRes), resultJSON(t, actRes))
+							}
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineCheckpointInterchangeable proves snapshots are
+// engine-independent: a run interrupted under the reference engine must
+// write a checkpoint byte-identical to one written under the active
+// engine, and resuming a reference-engine checkpoint on the active
+// engine (and vice versa) must finish bit-identical to an uninterrupted
+// run.
+func TestEngineCheckpointInterchangeable(t *testing.T) {
+	cfg := equivConfig(HypercubeTopology(3))
+	cfg.Fault.BER = 5e-4
+
+	snapshot := func(useRef bool) []byte {
+		prev := UseReferenceEngine
+		UseReferenceEngine = useRef
+		defer func() { UseReferenceEngine = prev }()
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		sys, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.SimulateControlled(RunControl{CheckpointPath: path, InterruptAtCycle: 150}); !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("got %v, want ErrInterrupted", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	refCkpt := snapshot(true)
+	actCkpt := snapshot(false)
+	if !bytes.Equal(refCkpt, actCkpt) {
+		t.Fatal("checkpoint files differ between engines; the engine choice leaked into the snapshot format")
+	}
+
+	refRes, err := runEngine(true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, refRes)
+	for _, cross := range []struct {
+		name   string
+		ckpt   []byte
+		resume bool // engine for the resumed half
+	}{
+		{"reference-to-active", refCkpt, false},
+		{"active-to-reference", actCkpt, true},
+	} {
+		t.Run(cross.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "cross.ckpt")
+			if err := os.WriteFile(path, cross.ckpt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			prev := UseReferenceEngine
+			UseReferenceEngine = cross.resume
+			defer func() { UseReferenceEngine = prev }()
+			res, err := ResumeRun(path, RunControl{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resultJSON(t, res); got != want {
+				t.Errorf("cross-engine resume differs\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestResetBitIdentical is the warm-reuse gate for SaturationRate: a
+// Simulate on a Reset system must be bit-identical to a Simulate on a
+// fresh Build — including at a different injection rate, the way the
+// bisection uses it.
+func TestResetBitIdentical(t *testing.T) {
+	cfg := equivConfig(DragonflyTopology(4))
+	cfg.Fault.BER = 5e-4 // BER is rate-only, legal to reuse across Reset
+
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmFirst, err := sys.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Reset()
+	cfg2 := cfg
+	cfg2.InjectionRate = 0.35
+	sys.Cfg = cfg2
+	warmSecond, err := sys.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	freshFirst, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSecond, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultJSON(t, warmFirst), resultJSON(t, freshFirst); got != want {
+		t.Errorf("first warm run differs from fresh build\n got: %s\nwant: %s", got, want)
+	}
+	if got, want := resultJSON(t, warmSecond), resultJSON(t, freshSecond); got != want {
+		t.Errorf("post-Reset run differs from fresh build\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// FuzzEngineEquivalence extends the differential gate across the random
+// configuration space: for any buildable configuration, both engines
+// must agree bit-for-bit — Result and error alike.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(20260806))
+	f.Add(uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		cfg := randomConfig(rng.New(seed))
+		cfg.WarmupCycles = 60
+		cfg.MeasureCycles = 240
+		cfg.DrainCycles = 20000
+		if seed%3 == 0 {
+			cfg.Fault.BER = 5e-4
+		}
+		if _, err := Build(cfg); err != nil {
+			t.Skip() // invalid combinations may be rejected, not crash
+		}
+		refRes, refErr := runEngine(true, cfg)
+		actRes, actErr := runEngine(false, cfg)
+		if errText(refErr) != errText(actErr) {
+			t.Fatalf("seed %d: errors differ: reference %q, active %q", seed, errText(refErr), errText(actErr))
+		}
+		if refErr != nil {
+			return
+		}
+		if gobHash(t, refRes) != gobHash(t, actRes) {
+			t.Errorf("seed %d (%+v): Results differ between engines\nreference: %s\n   active: %s",
+				seed, cfg.Topology, resultJSON(t, refRes), resultJSON(t, actRes))
+		}
+	})
+}

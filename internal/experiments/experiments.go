@@ -106,16 +106,46 @@ func preflight(cfg chipletnet.Config) error {
 	return nil
 }
 
-func runPoint(cfg chipletnet.Config, exp, series string, x float64, xname string) (Point, error) {
-	if err := preflight(cfg); err != nil {
-		return Point{}, fmt.Errorf("%s/%s at %s=%g: %w", exp, series, xname, x, err)
+// job is one pending simulation of an experiment: the configuration plus
+// the labels of the Point it will become.
+type job struct {
+	cfg    chipletnet.Config
+	exp    string
+	series string
+	x      float64
+	xname  string
+}
+
+// runJobs verifies and simulates a batch of jobs and converts the
+// results to points in job order. All jobs of a batch run concurrently
+// through chipletnet.RunEach — the parallelism lives at the module root
+// (internal packages spawn no goroutines; see cmd/chipletlint), and the
+// output ordering is positional, so it is schedule-independent. Figures
+// hand their complete series × rate cross product here, which keeps
+// GOMAXPROCS saturated across series boundaries instead of only within
+// one rate sweep.
+func runJobs(jobs []job) ([]Point, error) {
+	cfgs := make([]chipletnet.Config, len(jobs))
+	for i, j := range jobs {
+		if err := preflight(j.cfg); err != nil {
+			return nil, fmt.Errorf("%s/%s at %s=%g: %w", j.exp, j.series, j.xname, j.x, err)
+		}
+		cfgs[i] = j.cfg
 	}
-	res, err := chipletnet.Run(cfg)
-	if err != nil {
-		return Point{}, fmt.Errorf("%s/%s at %s=%g: %w", exp, series, xname, x, err)
+	results, errs := chipletnet.RunEach(cfgs)
+	pts := make([]Point, len(jobs))
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s/%s at %s=%g: %w", j.exp, j.series, j.xname, j.x, errs[i])
+		}
+		pts[i] = pointFrom(results[i], j)
 	}
+	return pts, nil
+}
+
+func pointFrom(res chipletnet.Result, j job) Point {
 	return Point{
-		Experiment: exp, Series: series, X: x, XName: xname,
+		Experiment: j.exp, Series: j.series, X: j.x, XName: j.xname,
 		AvgLatency: res.AvgLatency,
 		P99Latency: res.P99Latency,
 		Accepted:   res.AcceptedFlitsPerNodeCycle,
@@ -124,22 +154,24 @@ func runPoint(cfg chipletnet.Config, exp, series string, x float64, xname string
 		Routers:    res.AvgRouters,
 		Saturated:  res.Saturated(),
 		Deadlock:   res.Deadlocked,
-	}, nil
+	}
 }
 
-// sweep runs cfg over the scale's rates for one series.
-func sweep(s Scale, cfg chipletnet.Config, exp, series string) ([]Point, error) {
-	var pts []Point
+// sweepJobs enqueues cfg over the scale's rates for one series.
+func sweepJobs(s Scale, cfg chipletnet.Config, exp, series string) []job {
+	jobs := make([]job, 0, len(s.Rates))
 	for _, r := range s.Rates {
 		c := cfg
 		c.InjectionRate = r
-		p, err := runPoint(c, exp, series, r, "injection-rate")
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+		jobs = append(jobs, job{cfg: c, exp: exp, series: series, x: r, xname: "injection-rate"})
 	}
-	return pts, nil
+	return jobs
+}
+
+// sweep runs cfg over the scale's rates for one series (the granularity
+// campaign tasks use).
+func sweep(s Scale, cfg chipletnet.Config, exp, series string) ([]Point, error) {
+	return runJobs(sweepJobs(s, cfg, exp, series))
 }
 
 // fig11Topologies returns the three §VI-B systems on 64 4×4 chiplets:
@@ -168,18 +200,14 @@ func seriesName(t chipletnet.Topology) string {
 // Fig11 reproduces Fig. 11: latency vs. injection rate for one traffic
 // pattern over the three topologies (64 4×4 chiplets).
 func Fig11(s Scale, pattern string) ([]Point, error) {
-	var pts []Point
+	var jobs []job
 	for _, topo := range fig11Topologies() {
 		cfg := baseConfig(s)
 		cfg.Topology = topo
 		cfg.Pattern = pattern
-		sw, err := sweep(s, cfg, "fig11-"+pattern, seriesName(topo))
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, sw...)
+		jobs = append(jobs, sweepJobs(s, cfg, "fig11-"+pattern, seriesName(topo))...)
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // Fig11Patterns lists the six Fig. 11 traffic patterns.
@@ -243,20 +271,16 @@ func fig12Variants(s Scale) []fig12Variant {
 // Fig12 reproduces Fig. 12: latency vs. injection rate across system
 // scales (16/64/256 chiplets; 4×4 and 8×8 NoCs) under uniform traffic.
 func Fig12(s Scale) ([]Point, error) {
-	var pts []Point
+	var jobs []job
 	for _, v := range fig12Variants(s) {
 		for _, topo := range v.Topos {
 			cfg := baseConfig(s)
 			cfg.ChipletW, cfg.ChipletH = v.NoCW, v.NoCW
 			cfg.Topology = topo
-			sw, err := sweep(s, cfg, "fig12"+v.Label, seriesName(topo))
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, sw...)
+			jobs = append(jobs, sweepJobs(s, cfg, "fig12"+v.Label, seriesName(topo))...)
 		}
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // Fig13 reproduces Fig. 13: average transport energy (pJ/bit) of 2D-mesh
@@ -290,38 +314,30 @@ func Fig13(s Scale) ([]Point, error) {
 				sys{n, w, chipletnet.HypercubeTopology(cubeN), fmt.Sprintf("hypercube-%dx%dNoC", w, w)})
 		}
 	}
-	var pts []Point
+	var jobs []job
 	for _, y := range systems {
 		cfg := baseConfig(s)
 		cfg.ChipletW, cfg.ChipletH = y.nocW, y.nocW
 		cfg.Topology = y.topo
 		cfg.InjectionRate = 0.05 // energy is a hop-count property; light load
-		p, err := runPoint(cfg, "fig13-energy", y.series, float64(y.chiplets), "chiplets")
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, p)
+		jobs = append(jobs, job{cfg: cfg, exp: "fig13-energy", series: y.series, x: float64(y.chiplets), xname: "chiplets"})
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // Fig14 reproduces Fig. 14: latency vs. injection rate for chiplet-to-
 // chiplet bandwidths of 1/4x, 1/2x, 1x and 2x the on-chip bandwidth
 // (32/64/128/256 bits/cycle) on 64 4×4 chiplets.
 func Fig14(s Scale, offChipBWFlits int) ([]Point, error) {
-	var pts []Point
+	var jobs []job
 	for _, topo := range fig11Topologies() {
 		cfg := baseConfig(s)
 		cfg.Topology = topo
 		cfg.OffChipBW = offChipBWFlits
 		exp := fmt.Sprintf("fig14-bw%dbits", offChipBWFlits*cfg.FlitBits)
-		sw, err := sweep(s, cfg, exp, seriesName(topo))
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, sw...)
+		jobs = append(jobs, sweepJobs(s, cfg, exp, seriesName(topo))...)
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // Fig14Bandwidths lists the swept off-chip bandwidths in flits/cycle.
@@ -331,15 +347,10 @@ func Fig14Bandwidths() []int { return []int{1, 2, 4, 8} }
 // of 5/10/15 cycles and interface buffers of 1024/2048/4096 bits, against
 // the 2D-mesh baseline at 5 cycles / 2048 bits.
 func Fig15(s Scale) ([]Point, error) {
-	var pts []Point
 	// Baseline series.
 	base := baseConfig(s)
 	base.Topology = chipletnet.MeshTopology(8, 8)
-	sw, err := sweep(s, base, "fig15", "2D-mesh-delay5-buf2048")
-	if err != nil {
-		return nil, err
-	}
-	pts = append(pts, sw...)
+	jobs := sweepJobs(s, base, "fig15", "2D-mesh-delay5-buf2048")
 	for _, delay := range []int{5, 10, 15} {
 		for _, bufBits := range []int{1024, 2048, 4096} {
 			if delay != 5 && bufBits != 2048 {
@@ -350,21 +361,17 @@ func Fig15(s Scale) ([]Point, error) {
 			cfg.OffChipLatency = delay
 			cfg.InterfaceBufFlits = bufBits / cfg.FlitBits
 			series := fmt.Sprintf("hypercube-delay%d-buf%d", delay, bufBits)
-			sw, err := sweep(s, cfg, "fig15", series)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, sw...)
+			jobs = append(jobs, sweepJobs(s, cfg, "fig15", series)...)
 		}
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // Fig16 reproduces Fig. 16: interleaving granularity (none, message-level,
 // packet-level) on the 64-chiplet hypercube at 64 and 128 bits/cycle
 // chiplet-to-chiplet bandwidth.
 func Fig16(s Scale) ([]Point, error) {
-	var pts []Point
+	var jobs []job
 	for _, bw := range []int{2, 4} { // 64 and 128 bits/cycle
 		for _, il := range []string{"none", "message", "packet"} {
 			cfg := baseConfig(s)
@@ -372,14 +379,10 @@ func Fig16(s Scale) ([]Point, error) {
 			cfg.OffChipBW = bw
 			cfg.Interleave = il
 			exp := fmt.Sprintf("fig16-bw%dbits", bw*cfg.FlitBits)
-			sw, err := sweep(s, cfg, exp, "interleave-"+il)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, sw...)
+			jobs = append(jobs, sweepJobs(s, cfg, exp, "interleave-"+il)...)
 		}
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // AblationRouting compares Duato-escape routing against safe/unsafe flow
@@ -387,7 +390,7 @@ func Fig16(s Scale) ([]Point, error) {
 // deadlock-avoidance schemes of §IV (a design-choice ablation flagged in
 // DESIGN.md; no figure in the paper).
 func AblationRouting(s Scale) ([]Point, error) {
-	var pts []Point
+	var jobs []job
 	for _, topo := range []chipletnet.Topology{
 		chipletnet.HypercubeTopology(6),
 		chipletnet.TreeTopology(15, 2),
@@ -396,14 +399,10 @@ func AblationRouting(s Scale) ([]Point, error) {
 			cfg := baseConfig(s)
 			cfg.Topology = topo
 			cfg.Routing = mode
-			sw, err := sweep(s, cfg, "ablation-routing-"+seriesName(topo), string(mode))
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, sw...)
+			jobs = append(jobs, sweepJobs(s, cfg, "ablation-routing-"+seriesName(topo), string(mode))...)
 		}
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // FaultTolerance measures graceful degradation on the 64-chiplet
@@ -413,19 +412,15 @@ func AblationRouting(s Scale) ([]Point, error) {
 // capability the paper's introduction calls for (an extension experiment;
 // no figure in the paper).
 func FaultTolerance(s Scale) ([]Point, error) {
-	var pts []Point
+	var jobs []job
 	for _, frac := range []float64{0, 0.1, 0.2} {
 		cfg := baseConfig(s)
 		cfg.Topology = chipletnet.HypercubeTopology(6)
 		cfg.CrossLinkFaultFraction = frac
 		series := fmt.Sprintf("faults-%d%%", int(frac*100))
-		sw, err := sweep(s, cfg, "ext-fault-tolerance", series)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, sw...)
+		jobs = append(jobs, sweepJobs(s, cfg, "ext-fault-tolerance", series)...)
 	}
-	return pts, nil
+	return runJobs(jobs)
 }
 
 // CollectiveStudy measures collective-operation completion time across

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSaturationPointEdgeCases pins the estimator's behavior on the
+// degenerate sweeps a campaign can produce: fully saturated series,
+// single-point series, non-monotone saturation flags (a mid-sweep
+// saturated run between stable ones — latency noise near the knee), and
+// series absent from the point set.
+func TestSaturationPointEdgeCases(t *testing.T) {
+	pts := []Point{
+		// all-saturated: every probe over the knee
+		{Series: "sat", X: 0.05, Saturated: true},
+		{Series: "sat", X: 0.1, Saturated: true},
+		// single stable point
+		{Series: "one", X: 0.2, Saturated: false},
+		// single saturated point
+		{Series: "one-sat", X: 0.2, Saturated: true},
+		// non-monotone: saturated at 0.3 but stable again at 0.5 — the
+		// estimator takes the largest stable rate, not the first knee
+		{Series: "bump", X: 0.1, Saturated: false},
+		{Series: "bump", X: 0.3, Saturated: true},
+		{Series: "bump", X: 0.5, Saturated: false},
+		{Series: "bump", X: 0.7, Saturated: true},
+		// deadlocked runs arrive with Saturated set by pointFrom
+		{Series: "dead", X: 0.1, Saturated: true, Deadlock: true},
+	}
+	cases := []struct {
+		series string
+		want   float64
+	}{
+		{"sat", 0},
+		{"one", 0.2},
+		{"one-sat", 0},
+		{"bump", 0.5},
+		{"dead", 0},
+		{"missing", 0},
+	}
+	for _, c := range cases {
+		if got := SaturationPoint(pts, c.series); got != c.want {
+			t.Errorf("SaturationPoint(%q) = %g, want %g", c.series, got, c.want)
+		}
+	}
+
+	if got := SaturationPoint(nil, "sat"); got != 0 {
+		t.Errorf("SaturationPoint on empty point set = %g, want 0", got)
+	}
+
+	want := []string{"bump", "dead", "one", "one-sat", "sat"}
+	if got := Series(pts); !reflect.DeepEqual(got, want) {
+		t.Errorf("Series = %v, want %v", got, want)
+	}
+	if got := Series(nil); got != nil {
+		t.Errorf("Series(nil) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,31 @@
+package packet
+
+// Pool recycles Packet objects so a steady-state simulation allocates no
+// new packets: the traffic generator draws from the pool and the runner
+// returns every delivered packet once the statistics sink has consumed
+// it. Not safe for concurrent use — like the Fabric, one Pool belongs to
+// one simulation.
+//
+// Recycling is only sound when nothing can observe a packet after
+// delivery: no Tracer retaining pointers and no fault schedule whose
+// post-mortem accounting (stranded-packet reports) reads replay-buffer
+// packets. The runner gates pooling on those conditions.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a packet to initialize. The caller must overwrite every
+// field (recycled packets carry stale contents).
+func (pl *Pool) Get() *Packet {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return new(Packet)
+}
+
+// Put recycles a packet. The caller guarantees no live reference to p
+// remains.
+func (pl *Pool) Put(p *Packet) { pl.free = append(pl.free, p) }

@@ -1,0 +1,67 @@
+// Package router implements the cycle-accurate interconnect model: an
+// input-queued virtual-channel router microarchitecture (4-stage
+// pipeline: routing computation, VC allocation, switch allocation,
+// transmission), virtual cut-through switching, credit-based flow
+// control with the safe/unsafe policy of the paper's Algorithm 5, links
+// with bandwidth/latency and an optional go-back-N reliability
+// protocol, and the Fabric cycle engine that advances everything in
+// lockstep.
+//
+// # Cycle engines and the equivalence contract
+//
+// Fabric.Step has two implementations:
+//
+//   - stepReference: the naive engine. Every cycle it calls deliver on
+//     every link, then vcAllocate on every router, then switchAllocate
+//     on every router. It is deliberately simple and is retained,
+//     unoptimised, as the oracle.
+//   - stepActive (the default): the active-set engine. It visits only
+//     links and routers whose bit is set in the fabric's active-set
+//     bitmaps, in ascending index order.
+//
+// The contract is that the two engines are OBSERVATIONALLY IDENTICAL:
+// started from the same state and fed the same injections, they produce
+// bit-identical fabric state, delivery sequences (order included —
+// the statistics collector accumulates floating-point sums, so delivery
+// order is observable), fault logs, and checkpoint snapshots. The
+// differential-equivalence suite (engine_equiv_test.go and
+// FuzzEngineEquivalence at the module root) enforces the contract;
+// Fabric.UseReference selects the reference engine.
+//
+// The equivalence rests on two facts, which any future change to the
+// pipeline must preserve:
+//
+//  1. Skipping an idle component is a no-op in the reference engine
+//     too. A router leaves the active set only when waiting == 0 and
+//     grants == 0, which means every VC is vcIdle with an empty queue;
+//     vcAllocate early-returns without touching vaOffset (the fairness
+//     rotation must NOT advance for skipped routers) and
+//     switchAllocate scans empty grant lists and does nothing. A link
+//     leaves the active set only when pendingWork() is false (no
+//     flits, credits, acks, or replay entries), making deliver a
+//     guaranteed no-op.
+//  2. Every transition that creates work wakes the component before
+//     the work can be observed, and phases only wake components in
+//     ways the iteration tolerates: flit arrival wakes the receiving
+//     router via VC.startHead (a freshly started head is not eligible
+//     for VA until now+2, so waking it this cycle or next is
+//     equivalent); push/returnCredit wake the link (its cargo is due
+//     no earlier than now+1); phase 1 never wakes links, phase 2 never
+//     wakes routers, and phase 3 wakes only the processed router
+//     itself — so each phase iterates a stable set.
+//
+// The active sets are derived state: Snapshot does not record them and
+// Restore/Reset rebuild them (rebuildActive), so checkpoint files are
+// byte-identical regardless of the engine that produced or consumes
+// them.
+//
+// # Zero-alloc policy
+//
+// The steady-state cycle loop (Step on a warmed-up fabric, audits
+// included) must not allocate: per-cycle scratch lives on the Fabric
+// (AuditCredits buffers) or the VC (routing-candidate buffers), queues
+// are ring-style fifos that reach a stable capacity, and sorting inside
+// routing algorithms must use in-place insertion sorts (sort.Slice
+// allocates). TestStepSteadyStateZeroAlloc in this package enforces the
+// policy with testing.AllocsPerRun.
+package router

@@ -1,0 +1,190 @@
+package router
+
+import "math/bits"
+
+// This file is the active-set cycle engine: the throughput-oriented
+// counterpart of stepReference. Instead of walking every link and router
+// each cycle, the fabric keeps two bitmaps (routerActive, linkActive)
+// naming the components that may have work. The bitmaps are maintained
+// eagerly — every state transition that creates future work sets the
+// bit — and lazily pruned by the engine once a component is provably
+// idle. Iterating set bits with bits.TrailingZeros64 visits components
+// in strictly ascending index order, i.e. in exactly the order the
+// reference stepper uses, which is what makes the two engines
+// bit-identical (the delivery order into the statistics collector's
+// floating-point accumulators is part of the observable behaviour).
+//
+// The invariants, and why skipping a clear bit is sound, are spelled
+// out in doc.go.
+
+// wakeRouter marks r live for the cycle engine (idempotent, O(1)).
+// Called by VC.startHead whenever a head packet enters the pipeline.
+func (f *Fabric) wakeRouter(r *Router) {
+	f.routerActive[r.idx>>6] |= 1 << uint(r.idx&63)
+}
+
+// wakeLink marks l live for the cycle engine (idempotent, O(1)).
+// Called by Link.push and Link.returnCredit whenever traffic enters the
+// link's pipelines.
+func (f *Fabric) wakeLink(l *Link) {
+	f.linkActive[l.ID>>6] |= 1 << uint(l.ID&63)
+}
+
+// stepActive advances the fabric by one cycle visiting only active
+// components. The phase structure is identical to stepReference:
+// link delivery, then VC allocation, then switch allocation, then the
+// watchdog/audit tail.
+func (f *Fabric) stepActive() {
+	f.Now++
+	now := f.Now
+	moved := false
+
+	// Phase 1: link delivery, ascending link index. Delivering can wake
+	// routers (flit arrival starts a head pipeline) but never another
+	// link, so a snapshot of each word is safe to iterate. A link whose
+	// pipelines drained completely leaves the active set; push and
+	// returnCredit re-add it.
+	for wi, w := range f.linkActive {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			l := f.Links[wi<<6|b]
+			if l.deliver(now) {
+				moved = true
+			}
+			if !l.pendingWork() {
+				f.linkActive[wi] &^= 1 << uint(b)
+			}
+		}
+	}
+
+	// Phase 2: VC allocation, ascending router index. Granting a VC
+	// never wakes another router, so the phase sees a stable active set.
+	// Routers stay in the set here even if only grants remain — phase 3
+	// decides departure.
+	for wi, w := range f.routerActive {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			f.Routers[wi<<6|b].vcAllocate(now)
+		}
+	}
+
+	// Phase 3: switch allocation + transmission, ascending router index
+	// (delivery order feeds float accumulators in the stats collector —
+	// order is observable). Transfers wake links and possibly the
+	// router's own next head, never a different router. A router with no
+	// waiting heads and no grants left has every VC idle and departs.
+	for wi, w := range f.routerActive {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			r := f.Routers[wi<<6|b]
+			if r.switchAllocate(now) {
+				moved = true
+			}
+			if !r.busy() {
+				f.routerActive[wi] &^= 1 << uint(b)
+			}
+		}
+	}
+
+	f.finishStep(now, moved)
+}
+
+// rebuildActive reconstructs the active sets and the per-router grants
+// counters from the fabric's current state. The active sets are derived
+// state — they are deliberately not checkpointed; Restore calls this
+// after laying snapshot state onto the fabric.
+func (f *Fabric) rebuildActive() {
+	for i := range f.routerActive {
+		f.routerActive[i] = 0
+	}
+	for i := range f.linkActive {
+		f.linkActive[i] = 0
+	}
+	for _, r := range f.Routers {
+		r.grants = 0
+		for _, o := range r.Out {
+			r.grants += len(o.granted)
+		}
+		if r.busy() {
+			f.wakeRouter(r)
+		}
+	}
+	for _, l := range f.Links {
+		if l.pendingWork() {
+			f.wakeLink(l)
+		}
+	}
+}
+
+// Reset returns the fabric to its freshly built state, keeping the
+// structural configuration (routers, ports, links, routing algorithm,
+// thresholds) and all buffer capacity, so a topology built once can run
+// many simulations without re-allocating — e.g. the bisection probes of
+// a saturation search.
+//
+// Reset restores only dynamic state. It does NOT undo structural
+// mutations made by fault events: degraded link bandwidth/latency and
+// condemned or decommissioned interface-group membership persist.
+// Callers reusing a fabric across runs must therefore not schedule Kill
+// or Degrade events (per-flit BER is fine — the reliability protocol is
+// re-attached fresh each run). Reset detaches any LinkRel; Sink is
+// cleared and must be re-set by the runner.
+func (f *Fabric) Reset() {
+	for _, r := range f.Routers {
+		r.vaOffset = r.Node
+		r.waiting = 0
+		r.grants = 0
+		for _, ip := range r.In {
+			for _, vc := range ip.VCs {
+				vc.q.Reset()
+				vc.flits = 0
+				vc.state = vcIdle
+				vc.readyAt = 0
+				vc.grantedAt = 0
+				vc.outPort = nil
+				vc.outVC = 0
+			}
+		}
+		for _, o := range r.Out {
+			for i := range o.Owner {
+				o.Owner[i] = nil
+			}
+			for i := range o.granted {
+				o.granted[i] = nil
+			}
+			o.granted = o.granted[:0]
+			switch {
+			case o.Link != nil:
+				for i, vc := range o.Link.Dst.In[o.Link.DstPort].VCs {
+					o.Credits[i] = vc.Cap
+				}
+			default:
+				for i := range o.Credits {
+					o.Credits[i] = ejectCredits
+				}
+			}
+		}
+	}
+	for _, l := range f.Links {
+		l.flits.Reset()
+		l.credits.Reset()
+		l.acks.Reset()
+		l.Carried = 0
+		l.Rel = nil
+	}
+	for i := range f.routerActive {
+		f.routerActive[i] = 0
+	}
+	for i := range f.linkActive {
+		f.linkActive[i] = 0
+	}
+	f.Sink = nil
+	f.Now = 0
+	f.inFlight = 0
+	f.lastProgress = 0
+	f.Deadlocked = false
+	f.Deadlock = nil
+}

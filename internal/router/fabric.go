@@ -56,8 +56,27 @@ type Fabric struct {
 	// oldest waiting packet. Nil while the fabric is live.
 	Deadlock *DeadlockReport
 
+	// UseReference selects the naive reference stepper (stepReference)
+	// instead of the active-set engine. The two are observationally
+	// identical (see doc.go); the reference exists as the oracle for the
+	// differential-equivalence suite and for bisecting engine bugs.
+	UseReference bool
+
 	inFlight     int
 	lastProgress int64
+
+	// routerActive and linkActive are the engine's active sets: bit i set
+	// means Routers[i] (resp. Links[i]) may have work this cycle. Bits are
+	// set by wakeRouter/wakeLink at every state transition that creates
+	// work and cleared by the engine once a component is provably idle.
+	// Iteration is always in ascending index order, so the active-set
+	// engine visits live components in exactly the reference order.
+	routerActive []uint64
+	linkActive   []uint64
+
+	// auditCharged/auditReturning are AuditCredits scratch buffers, kept
+	// on the fabric so a per-cycle audit (-checkcredits) does not allocate.
+	auditCharged, auditReturning []int
 }
 
 // NewFabric returns an empty fabric with deadlock detection enabled.
@@ -67,8 +86,11 @@ func NewFabric() *Fabric {
 
 // NewRouter appends a router implementing global node id and returns it.
 func (f *Fabric) NewRouter(node int) *Router {
-	r := &Router{Node: node, Fabric: f, vaOffset: node}
+	r := &Router{Node: node, Fabric: f, idx: len(f.Routers), vaOffset: node}
 	f.Routers = append(f.Routers, r)
+	for len(f.routerActive)*64 < len(f.Routers) {
+		f.routerActive = append(f.routerActive, 0)
+	}
 	return r
 }
 
@@ -107,6 +129,9 @@ func (f *Fabric) ConnectPorts(src *Router, srcPort int, dst *Router, dstPort, ba
 	}
 	ip.Link = l
 	f.Links = append(f.Links, l)
+	for len(f.linkActive)*64 < len(f.Links) {
+		f.linkActive = append(f.linkActive, 0)
+	}
 	return l
 }
 
@@ -142,7 +167,25 @@ func (f *Fabric) deliver(p *packet.Packet, now int64) {
 //
 // Injection (traffic generation) is the caller's responsibility and should
 // happen before Step for the same cycle via Router.Inject.
+//
+// By default Step runs the active-set engine (stepActive), which visits
+// only components that may have work; UseReference selects the naive
+// reference stepper. Both produce bit-identical state trajectories — see
+// the package documentation for the equivalence argument.
 func (f *Fabric) Step() {
+	if f.UseReference {
+		f.stepReference()
+	} else {
+		f.stepActive()
+	}
+}
+
+// stepReference is the pre-optimisation cycle engine: it visits every
+// link and every router unconditionally. It is retained verbatim as the
+// oracle for the differential-equivalence suite (engine_equiv_test.go at
+// the module root) and must not be "optimised" — its value is being
+// obviously correct.
+func (f *Fabric) stepReference() {
 	f.Now++
 	now := f.Now
 
@@ -161,6 +204,12 @@ func (f *Fabric) Step() {
 		}
 	}
 
+	f.finishStep(now, moved)
+}
+
+// finishStep runs the common per-cycle tail: the deadlock watchdog and
+// the optional credit-conservation audit.
+func (f *Fabric) finishStep(now int64, moved bool) {
 	if moved {
 		f.lastProgress = now
 	} else if f.DeadlockThreshold > 0 && f.inFlight > 0 &&
@@ -186,7 +235,8 @@ func (f *Fabric) Step() {
 // retransmissions included — a violation means a credit was leaked or
 // double-returned.
 func (f *Fabric) AuditCredits() error {
-	var charged, returning []int
+	charged, returning := f.auditCharged, f.auditReturning
+	defer func() { f.auditCharged, f.auditReturning = charged, returning }()
 	for _, l := range f.Links {
 		ip := l.Dst.In[l.DstPort]
 		op := l.Src.Out[l.SrcPort]
@@ -280,31 +330,34 @@ func (d *DeadlockReport) String() string {
 
 // snapshotDeadlock walks every router's input VCs in deterministic index
 // order and records the occupied ones — with no flit moving anywhere, every
-// buffered packet is by definition stalled.
+// buffered packet is by definition stalled. It reads VC heads directly
+// (no per-VC HeadInfo allocation) and allocates only the report itself
+// and one witness slice of bounded capacity.
 func (f *Fabric) snapshotDeadlock(now int64) *DeadlockReport {
 	d := &DeadlockReport{
 		Cycle:       now,
 		StallCycles: now - f.lastProgress,
 		InFlight:    f.inFlight,
+		Blocked:     make([]BlockedVC, 0, maxBlockedWitnesses),
 	}
 	for _, r := range f.Routers {
 		routerBlocked := false
 		for pi, ip := range r.In {
 			for vi, vc := range ip.VCs {
-				h := vc.HeadInfo()
+				h := vc.head()
 				if h == nil {
 					continue
 				}
 				routerBlocked = true
 				d.BlockedVCs++
-				age := now - h.P.CreatedAt
+				age := now - h.p.CreatedAt
 				if d.Oldest == nil || age > d.OldestAge {
-					d.Oldest, d.OldestAge = h.P, age
+					d.Oldest, d.OldestAge = h.p, age
 				}
 				if len(d.Blocked) < maxBlockedWitnesses {
 					d.Blocked = append(d.Blocked, BlockedVC{
 						Node: r.Node, Port: pi, VC: vi,
-						Packet: h.P, Age: age, Buffered: vc.Occupied(),
+						Packet: h.p, Age: age, Buffered: vc.Occupied(),
 					})
 				}
 			}

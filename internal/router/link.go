@@ -77,6 +77,7 @@ type creditBundle struct {
 // downstream credits for the flits — exactly once, retransmissions never
 // re-charge.
 func (l *Link) push(p *packet.Packet, n, vc int, now int64) {
+	l.Src.Fabric.wakeLink(l)
 	if l.Rel != nil {
 		l.Rel.send(l, p, n, vc, now)
 		return
@@ -87,7 +88,18 @@ func (l *Link) push(p *packet.Packet, n, vc int, now int64) {
 
 // returnCredit sends n credits for VC vc back to the link source.
 func (l *Link) returnCredit(vc, n int, now int64) {
+	l.Src.Fabric.wakeLink(l)
 	l.credits.Push(creditBundle{vc: vc, n: n, arriveAt: now + int64(l.Latency)})
+}
+
+// pendingWork reports whether the link could still do anything on a
+// future cycle: flits, credits, or acks in flight, or unacknowledged
+// replay bundles whose timeout may fire. A link with no pending work is
+// removed from the engine's active set; any push or returnCredit re-adds
+// it (wakeLink). deliver on such a link is a guaranteed no-op.
+func (l *Link) pendingWork() bool {
+	return l.flits.Len() > 0 || l.credits.Len() > 0 || l.acks.Len() > 0 ||
+		(l.Rel != nil && l.Rel.replay.Len() > 0)
 }
 
 // deliver moves all due flit bundles into Dst's input buffers and all due

@@ -48,11 +48,11 @@ type LinkRel struct {
 	Retransmissions  int64
 	Nacks            int64
 
-	nextSeq uint64             // sender: next sequence number to assign
-	expect  uint64             // receiver: next sequence number accepted
-	replay  fifo[replayEntry]  // sender: sent but unacknowledged bundles
-	backoff int64              // current retransmission backoff (cycles)
-	retryAt int64              // earliest cycle the window may resend again
+	nextSeq uint64            // sender: next sequence number to assign
+	expect  uint64            // receiver: next sequence number accepted
+	replay  fifo[replayEntry] // sender: sent but unacknowledged bundles
+	backoff int64             // current retransmission backoff (cycles)
+	retryAt int64             // earliest cycle the window may resend again
 }
 
 // replayEntry is one bundle held in the sender's retransmission buffer

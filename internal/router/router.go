@@ -200,12 +200,24 @@ type Router struct {
 	In     []*InPort
 	Out    []*OutPort
 
+	// idx is the router's position in Fabric.Routers (the active-set
+	// bitmap index).
+	idx int
 	// vaOffset rotates the VC-allocation scan start for fairness.
 	vaOffset int
 	// waiting counts VCs in the vcRouting state, letting the engine skip
 	// routers with no pending VC allocation.
 	waiting int
+	// grants counts VCs in the vcActive state (holding a VA grant on one
+	// of this router's output ports). A router with waiting == 0 and
+	// grants == 0 has every VC idle and can safely be skipped by the
+	// cycle engine: vcAllocate and switchAllocate are both no-ops then.
+	grants int
 }
+
+// busy reports whether the router has any non-idle VC, i.e. whether the
+// engine must visit it this cycle.
+func (r *Router) busy() bool { return r.waiting > 0 || r.grants > 0 }
 
 // AddInPort appends an input port with the given VC count and per-VC
 // capacity and returns it.
@@ -273,7 +285,9 @@ func (v *VC) startHead(now int64) {
 	v.state = vcRouting
 	v.readyAt = now + 2 // RC at now+1, VA eligible from now+2
 	v.outPort = nil
-	v.Port.Router.waiting++
+	r := v.Port.Router
+	r.waiting++
+	r.Fabric.wakeRouter(r)
 }
 
 // vcAllocate runs the VC-allocation stage for every waiting head packet of
@@ -336,6 +350,7 @@ func (r *Router) tryAllocate(v *VC, h *pktInst, now int64) {
 			v.grantedAt = now
 			v.readyAt = now + 1 // switch allocation from the next cycle
 			r.waiting--
+			r.grants++
 			return
 		}
 	}
@@ -472,6 +487,7 @@ func (r *Router) transferOut(o *OutPort, now int64) bool {
 				break
 			}
 		}
+		r.grants--
 		win.q.Pop()
 		win.outPort = nil
 		if win.q.Len() > 0 {

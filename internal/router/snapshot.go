@@ -169,6 +169,9 @@ func (f *Fabric) Restore(st *checkpoint.FabricState, pkts []*packet.Packet) erro
 	f.Now = st.Now
 	f.lastProgress = st.LastProgress
 	f.inFlight = st.InFlight
+	// The active sets and grants counters are derived state, not part of
+	// the snapshot format; reconstruct them from what was just laid down.
+	f.rebuildActive()
 	return nil
 }
 

@@ -1,8 +1,6 @@
 package routing
 
 import (
-	"sort"
-
 	"chipletnet/internal/packet"
 	"chipletnet/internal/router"
 	"chipletnet/internal/topology"
@@ -90,9 +88,7 @@ func (f *flatMesh) Candidates(r *router.Router, inPort int, p *packet.Packet, bu
 			buf = append(buf, router.Candidate{Port: f.sys.MeshPort(v, d), VCMask: f.adaptiveMask})
 		}
 		if len(buf) > 1 {
-			sort.SliceStable(buf, func(i, j int) bool {
-				return creditScore(r, buf[i]) > creditScore(r, buf[j])
-			})
+			sortByCreditScore(r, buf)
 		}
 	}
 	esc := f.escapeDir(v, p.Dst)

@@ -79,6 +79,11 @@ func (n *ndmeshLogic) incomingMinusAllowed() bool { return true }
 // reachable state.
 type torusLogic struct {
 	ndmeshLogic
+
+	// planBuf backs the single-element slice extraExits returns; the
+	// caller consumes it before the next routing call, so reusing the
+	// array keeps the per-VA-stage torus wrap check allocation-free.
+	planBuf [1]exitPlan
 }
 
 // extraExits returns the wrap-direction exit plan for the packet's current
@@ -112,7 +117,8 @@ func (t *torusLogic) extraExits(cv int, p *packet.Packet) []exitPlan {
 		if t.separate && plus {
 			plan.vcClass = 1
 		}
-		return []exitPlan{plan}
+		t.planBuf[0] = plan
+		return t.planBuf[:1]
 	}
 	return nil
 }

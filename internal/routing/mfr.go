@@ -2,7 +2,6 @@ package routing
 
 import (
 	"fmt"
-	"sort"
 
 	"chipletnet/internal/interleave"
 	"chipletnet/internal/packet"
@@ -652,6 +651,25 @@ func creditScore(r *router.Router, c router.Candidate) int {
 	return s
 }
 
+// sortByCreditScore stably sorts candidates in place by descending
+// creditScore: the same permutation sort.SliceStable with a greater-than
+// comparator produces, but allocation-free (sort.SliceStable goes
+// through reflect.Swapper, which allocates in the per-cycle VA hot
+// path). Candidate lists are a handful of entries, so the insertion
+// sort's quadratic worst case is irrelevant.
+func sortByCreditScore(r *router.Router, buf []router.Candidate) {
+	for i := 1; i < len(buf); i++ {
+		c := buf[i]
+		s := creditScore(r, c)
+		j := i - 1
+		for j >= 0 && creditScore(r, buf[j]) < s {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = c
+	}
+}
+
 // Candidates implements router.Routing.
 func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
 	v := r.Node
@@ -712,9 +730,7 @@ func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []r
 		buf = m.productiveMoves(r, v, p, m.adaptiveMask, true, buf)
 	}
 	if len(buf) > 1 {
-		sort.SliceStable(buf, func(i, j int) bool {
-			return creditScore(r, buf[i]) > creditScore(r, buf[j])
-		})
+		sortByCreditScore(r, buf)
 	}
 	next, vc := m.escapeStep(v, p)
 	port := m.sys.PortTo(v, next)

@@ -28,6 +28,7 @@ type Generator struct {
 	nextID   uint64
 	nextMsg  uint64
 	measured bool
+	pool     *packet.Pool
 
 	// OfferedPackets counts packets created while measurement is on.
 	OfferedPackets int
@@ -65,6 +66,12 @@ func NewGenerator(endpoints []int, p Pattern, rate float64, packetLen, msgPacket
 // SetMeasured turns measurement marking on or off (warm-up control).
 func (g *Generator) SetMeasured(on bool) { g.measured = on }
 
+// SetPool makes the generator draw packets from pool instead of
+// allocating. Injection is otherwise bit-identical: every field of a
+// recycled packet is reassigned. The runner owns the recycle side (and
+// the safety gate for enabling pooling at all).
+func (g *Generator) SetPool(pool *packet.Pool) { g.pool = pool }
+
 // TotalPackets returns the number of packets created over the whole run,
 // warm-up included — the injected total that delivery-completeness checks
 // compare against.
@@ -83,7 +90,13 @@ func (g *Generator) Tick(f *router.Fabric, now int64) {
 		msg := g.nextMsg
 		g.nextMsg++
 		for seq := 0; seq < g.msgPackets; seq++ {
-			p := &packet.Packet{
+			var p *packet.Packet
+			if g.pool != nil {
+				p = g.pool.Get()
+			} else {
+				p = new(packet.Packet)
+			}
+			*p = packet.Packet{
 				ID:        g.nextID,
 				MsgID:     msg,
 				SeqInMsg:  seq,

@@ -21,6 +21,27 @@ type System struct {
 	Topo *topology.System
 }
 
+// UseReferenceEngine makes every subsequently built System run the naive
+// reference cycle stepper instead of the active-set engine. The two are
+// bit-identical (enforced by engine_equiv_test.go); the reference exists
+// as the oracle for that suite and for bisecting engine bugs. This is
+// deliberately a package variable rather than a Config field: Config is
+// embedded verbatim in checkpoint files, and the engine choice must not
+// leak into them (snapshots are engine-independent).
+var UseReferenceEngine bool
+
+// Reset returns a built, already-simulated system to its pre-simulation
+// state — buffers, credits, links, counters and engine scheduling as
+// freshly built, with all allocated capacity retained — so the same
+// topology and routing can host another run without rebuilding (e.g.
+// SaturationRate's bisection probes). A reset run is bit-identical to a
+// run on a fresh Build of the same Config. Not legal after runs whose
+// fault schedule mutates structure (Kill or Degrade events): degraded
+// bandwidth and condemned group membership are not restored.
+func (s *System) Reset() {
+	s.Topo.Fabric.Reset()
+}
+
 // Build constructs the system described by cfg: routers, links, labels,
 // groups, chiplet interconnection and routing algorithm.
 func Build(cfg Config) (*System, error) {
@@ -83,6 +104,7 @@ func Build(cfg Config) (*System, error) {
 	sys.Fabric.SafeUnsafe = cfg.Routing == RoutingSafeUnsafe
 	sys.Fabric.OffChipVAExtra = cfg.OffChipVAExtra
 	sys.Fabric.DeadlockThreshold = cfg.DeadlockThreshold
+	sys.Fabric.UseReference = UseReferenceEngine
 	return &System{Cfg: cfg, Topo: sys}, nil
 }
 
@@ -164,6 +186,60 @@ func (s *System) Simulate() (Result, error) {
 	return s.SimulateControlled(RunControl{})
 }
 
+// runMany is the shared parallel executor: it simulates every
+// configuration on a GOMAXPROCS-bounded worker pool and returns
+// per-configuration results and errors in input order (a panic in one
+// run is recovered into that run's error). Each configuration gets its
+// own Build, so no mutable state is shared between workers; output
+// ordering is positional and therefore schedule-independent.
+func runMany(cfgs []Config) ([]Result, []error) {
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("panic: %v", p)
+				}
+			}()
+			results[i], errs[i] = Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// RunMany builds and simulates every configuration, in parallel across
+// CPUs, and returns the results in input order: results[i] belongs to
+// cfgs[i] regardless of scheduling. On failure the partial results are
+// returned alongside the joined per-configuration errors; results[i] is
+// valid exactly when cfgs[i]'s run produced no error. This is the
+// parallelism entry point for experiment campaigns — internal packages
+// must not spawn goroutines (see cmd/chipletlint), so they hand their
+// job lists here.
+func RunMany(cfgs []Config) ([]Result, error) {
+	results, errs := runMany(cfgs)
+	for i, e := range errs {
+		if e != nil {
+			errs[i] = fmt.Errorf("chipletnet: config %d: %w", i, e)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// RunEach is RunMany with per-configuration error reporting instead of a
+// joined error: errs[i] is nil exactly when results[i] is valid, letting
+// callers attach their own labels to failures.
+func RunEach(cfgs []Config) (results []Result, errs []error) {
+	return runMany(cfgs)
+}
+
 // Sweep runs cfg at every injection rate, in parallel across CPUs, and
 // returns the results in rate order. A panic in one run is recovered into
 // that rate's error instead of crashing the sweep. On failure the partial
@@ -174,31 +250,17 @@ func Sweep(cfg Config, rates []float64) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(rates))
-	errs := make([]error, len(rates))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	cfgs := make([]Config, len(rates))
 	for i, r := range rates {
-		wg.Add(1)
-		go func(i int, rate float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("chipletnet: rate %g: panic: %v", rate, p)
-				}
-			}()
-			c := cfg
-			c.InjectionRate = rate
-			var err error
-			results[i], err = Run(c)
-			if err != nil {
-				errs[i] = fmt.Errorf("chipletnet: rate %g: %w", rate, err)
-			}
-		}(i, r)
+		cfgs[i] = cfg
+		cfgs[i].InjectionRate = r
 	}
-	wg.Wait()
+	results, errs := runMany(cfgs)
+	for i, e := range errs {
+		if e != nil {
+			errs[i] = fmt.Errorf("chipletnet: rate %g: %w", rates[i], e)
+		}
+	}
 	if err := errors.Join(errs...); err != nil {
 		return results, err
 	}
@@ -207,14 +269,39 @@ func Sweep(cfg Config, rates []float64) ([]Result, error) {
 
 // SaturationRate binary-searches the maximum injection rate (flits/node/
 // cycle) the configuration sustains without saturating, within tol.
+//
+// Bisection probes differ only in injection rate, so when the fault
+// schedule contains no structure-mutating events (Kill, Degrade) the
+// search builds the system once and reuses it across probes via Reset —
+// each probe still bit-identical to a fresh Run at that rate.
 func SaturationRate(cfg Config, lo, hi, tol float64) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
+	reuse := len(cfg.Fault.Kill) == 0 && len(cfg.Fault.Degrade) == 0
+	var sys *System
+	if reuse {
+		var err error
+		if sys, err = Build(cfg); err != nil {
+			return 0, err
+		}
+	}
+	ran := false
 	stable := func(rate float64) (bool, error) {
 		c := cfg
 		c.InjectionRate = rate
-		res, err := Run(c)
+		var res Result
+		var err error
+		if reuse {
+			if ran {
+				sys.Reset()
+			}
+			ran = true
+			sys.Cfg = c
+			res, err = sys.Simulate()
+		} else {
+			res, err = Run(c)
+		}
 		if err != nil {
 			return false, err
 		}
