@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault test-checkpoint test-equiv bench-json vet lint check figures
+.PHONY: build test test-fault test-checkpoint test-equiv test-dse bench-json bench-dse-json vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,21 @@ test-equiv:
 	$(GO) test -run 'ZeroAlloc|ActiveSet|DrainedFabric|ResetRestores|AuditCredits' ./internal/router
 	$(GO) test -fuzz FuzzEngineEquivalence -fuzztime 30s -run FuzzEngineEquivalence .
 
+# test-dse runs the design-space-exploration matrix under the race
+# detector — enumeration/pruning determinism, the verify pre-flight
+# rejections, cache round-trip and crash tolerance, the cold-then-warm
+# byte-identical-report gate, the chipletdse flag parsers — plus the
+# Pareto-frontier invariant fuzz seed corpus.
+test-dse:
+	$(GO) test -race ./internal/dse ./cmd/chipletdse
+	$(GO) test -race -run FuzzParetoFrontier ./internal/dse
+
+# bench-dse-json regenerates the committed design-space-exploration
+# benchmark baseline (BENCH_dse.json): cache-cold exploration, cache-warm
+# exploration (zero simulations), and the cache-hit micro path.
+bench-dse-json:
+	$(GO) run ./cmd/chipletbench -suite dse -count 2 -out BENCH_dse.json
+
 # bench-json regenerates the committed hot-path benchmark baseline
 # (BENCH_hotpath.json): every workload under both cycle engines.
 bench-json:
@@ -52,7 +67,7 @@ bench-json:
 # detector, the determinism linter, and the hot-path benchmark gate
 # (active-set engine must hold its speedup over the reference stepper and
 # its allocs/op against the committed baseline).
-check: vet build test-fault test-checkpoint test-equiv
+check: vet build test-fault test-checkpoint test-equiv test-dse
 	$(GO) test -race ./...
 	$(GO) run ./cmd/chipletlint ./...
 	$(GO) run ./cmd/chipletbench -check BENCH_hotpath.json

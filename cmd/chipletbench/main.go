@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	chipletbench [-count N] [-tol 0.10] [-out FILE]     # measure, write JSON
-//	chipletbench [-count N] [-tol 0.10] -check FILE     # measure, gate, exit 1 on regression
+//	chipletbench [-suite S] [-count N] [-tol 0.10] [-out FILE]  # measure, write JSON
+//	chipletbench [-suite S] [-count N] [-tol 0.10] -check FILE  # measure, gate, exit 1 on regression
 //
-// The JSON file (BENCH_hotpath.json at the repository root) records
-// ns/op, bytes/op and allocs/op per workload per engine — the committed
-// before/after evidence for the hot-path overhaul.
+// Two suites exist: "hotpath" (the default) exercises the cycle engine
+// itself, and "dse" exercises the design-space-exploration pipeline —
+// a cache-cold exploration that simulates every candidate, a cache-warm
+// exploration that must touch the simulator zero times, and the
+// per-candidate content-hash + cache-lookup micro path.
+//
+// The JSON file (BENCH_hotpath.json / BENCH_dse.json at the repository
+// root) records ns/op, bytes/op and allocs/op per workload per engine —
+// the committed before/after evidence for the hot-path overhaul.
 //
 // Gating is deliberately split by what is portable across machines:
 //
@@ -35,6 +41,7 @@ import (
 	"testing"
 
 	"chipletnet"
+	"chipletnet/internal/dse"
 	"chipletnet/internal/experiments"
 )
 
@@ -140,13 +147,117 @@ func workloads() []workload {
 	}
 }
 
+// dseSpace is the benchmark exploration: small enough that a cold run
+// takes fractions of a second, wide enough to exercise enumeration,
+// verification, simulation and frontier extraction.
+func dseSpace() (dse.Space, dse.Params) {
+	s := dse.Space{
+		Chiplets:      8,
+		Topologies:    []string{"mesh", "hypercube", "tree"},
+		Routings:      []string{dse.RoutingMFR, dse.RoutingAdaptive},
+		Interleavings: []string{"none"},
+	}
+	p := dse.DefaultParams()
+	p.WarmupCycles = 100
+	p.MeasureCycles = 300
+	p.Rates = []float64{0.1, 0.4}
+	return s, p
+}
+
+// dseWorkloads benchmarks the design-space-exploration pipeline. The
+// cache-warm and cache-hit paths never reach the simulator, so the
+// engine-speedup gate is disabled (minSpeedup 0) everywhere except the
+// cold exploration, which is simulation-bound and must hold parity.
+func dseWorkloads() []workload {
+	return []workload{
+		{
+			name: "dse-explore-cold", minSpeedup: 0.9,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				s, p := dseSpace()
+				for i := 0; i < b.N; i++ {
+					cache, err := dse.OpenCache("")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := dse.Explore(s, p, cache); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// A warmed cache must eliminate simulation entirely; what is
+			// left is enumeration, the verify pre-flight, cache lookups
+			// and frontier extraction.
+			name: "dse-explore-warm", minSpeedup: 0,
+			fn: func(b *testing.B) {
+				s, p := dseSpace()
+				cache, err := dse.OpenCache("")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dse.Explore(s, p, cache); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					o, err := dse.Explore(s, p, cache)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if o.Simulated != 0 {
+						b.Fatalf("warm exploration simulated %d candidates", o.Simulated)
+					}
+				}
+			},
+		},
+		{
+			// The per-candidate cache-hit path: content-hash the resolved
+			// config, look it up, find the record.
+			name: "dse-cache-hit", minSpeedup: 0,
+			fn: func(b *testing.B) {
+				cfg := chipletnet.DefaultConfig()
+				p := dse.DefaultParams()
+				cache, err := dse.OpenCache("")
+				if err != nil {
+					b.Fatal(err)
+				}
+				key := dse.Key(cfg, p)
+				if err := cache.Put(dse.Record{Key: key, Name: "bench", Cfg: cfg}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := cache.Lookup(dse.Key(cfg, p)); !ok {
+						b.Fatal("cache miss on a warmed key")
+					}
+				}
+			},
+		},
+	}
+}
+
+// suiteWorkloads returns the selected suite's workloads.
+func suiteWorkloads(suite string) ([]workload, error) {
+	switch suite {
+	case "hotpath":
+		return workloads(), nil
+	case "dse":
+		return dseWorkloads(), nil
+	}
+	return nil, fmt.Errorf("unknown suite %q: want hotpath or dse", suite)
+}
+
 // measure runs every workload count times under the selected engine and
 // keeps each workload's fastest run (minimum ns/op).
-func measure(useRef bool, count int) []measurement {
+func measure(ws []workload, useRef bool, count int) []measurement {
 	chipletnet.UseReferenceEngine = useRef
 	defer func() { chipletnet.UseReferenceEngine = false }()
 	var out []measurement
-	for _, w := range workloads() {
+	for _, w := range ws {
 		var best testing.BenchmarkResult
 		for c := 0; c < count; c++ {
 			r := testing.Benchmark(w.fn)
@@ -186,17 +297,22 @@ func main() {
 	check := flag.String("check", "", "gate against this committed baseline JSON; exit 1 on regression")
 	count := flag.Int("count", 1, "runs per workload per engine; the fastest is kept")
 	tol := flag.Float64("tol", 0.10, "relative tolerance for the gates")
+	suite := flag.String("suite", "hotpath", "workload suite: hotpath | dse")
 	flag.Parse()
 
+	ws, err := suiteWorkloads(*suite)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	fmt.Println("reference engine:")
-	ref := measure(true, *count)
+	ref := measure(ws, true, *count)
 	fmt.Println("active-set engine:")
-	act := measure(false, *count)
+	act := measure(ws, false, *count)
 
 	refBy, actBy := byName(ref), byName(act)
 	failed := false
 	fmt.Println("speedup (reference / active):")
-	for _, w := range workloads() {
+	for _, w := range ws {
 		r, a := refBy[w.name], actBy[w.name]
 		speedup := r.NsPerOp / a.NsPerOp
 		verdict := "ok"
@@ -218,7 +334,7 @@ func main() {
 		}
 		baseAct := byName(base.Engines["active"])
 		fmt.Printf("against baseline %s:\n", *check)
-		for _, w := range workloads() {
+		for _, w := range ws {
 			b, ok := baseAct[w.name]
 			if !ok {
 				fmt.Printf("  %-28s not in baseline; re-run with -out to record it\n", w.name)
@@ -240,8 +356,12 @@ func main() {
 	}
 
 	if *out != "" {
+		note := "hot-path benchmark baseline; regenerate with `make bench-json`"
+		if *suite == "dse" {
+			note = "design-space-exploration benchmark baseline; regenerate with `make bench-dse-json`"
+		}
 		f := benchFile{
-			Note:    "hot-path benchmark baseline; regenerate with `make bench-json`",
+			Note:    note,
 			GoArch:  runtime.GOOS + "/" + runtime.GOARCH,
 			Engines: map[string][]measurement{"reference": ref, "active": act},
 		}

@@ -1,0 +1,306 @@
+// Command chipletdse explores the chiplet-interconnect design space:
+// it enumerates every candidate design meeting the declared constraints
+// (chiplet budget, NoC sizes, topology families, routing modes,
+// interleaving grains, port/pin budgets), statically rejects
+// deadlock-prone routing with the internal/verify pre-flight, evaluates
+// the survivors in parallel on the cycle engine, and reports the exact
+// Pareto frontier over (saturation rate, zero-load latency, transport
+// energy).
+//
+// Evaluations are content-addressed: -cache FILE persists every
+// measured candidate keyed by the hash of its fully-resolved
+// configuration, so overlapping sweeps and re-runs skip simulation
+// entirely (a repeated run is 100% cache hits and reproduces the
+// reports byte for byte), and a killed exploration resumes where it
+// stopped.
+//
+// Examples:
+//
+//	chipletdse -chiplets 16 -cache dse.jsonl -out results/dse
+//	chipletdse -chiplets 16 -pin-budget 1024 -min-group-width 2 -json
+//	chipletdse -chiplets 64 -topologies hypercube,ndmesh -rates 0.05,0.2,0.4
+//
+// Exit status: 0 on success, 1 on usage or evaluation errors, 2 when a
+// verified candidate deadlocked at runtime (a cross-validation failure
+// of the static pre-flight; the diagnostic snapshot is printed, like
+// chipletsim -json).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"chipletnet"
+	"chipletnet/internal/dse"
+)
+
+func main() {
+	chiplets := flag.Int("chiplets", 16, "chiplet budget (every candidate uses exactly this many)")
+	nocs := flag.String("noc", "4x4", "candidate on-chiplet NoC sizes, comma separated (e.g. 4x4,8x8)")
+	topologies := flag.String("topologies", "", "topology families to search, comma separated (default all: "+strings.Join(dse.TopologyKinds(), ",")+")")
+	routing := flag.String("routing", "", "routing modes to search, comma separated (default all: "+strings.Join(dse.RoutingModes(), ",")+")")
+	interleave := flag.String("interleave", "", "interleaving grains to search, comma separated (default none,message,packet)")
+	offBW := flag.String("offchip-bw", "", "chiplet-to-chiplet bandwidths in flits/cycle, comma separated (default 2)")
+	fanouts := flag.String("tree-fanouts", "", "tree fan-outs to search, comma separated (default 2,3,4)")
+	maxPorts := flag.Int("max-ports", 0, "per-chiplet interface port cap (0 = unconstrained)")
+	pinBudget := flag.Int("pin-budget", 0, "per-chiplet off-chip pin budget in bits/cycle per direction (0 = unconstrained)")
+	minGroupWidth := flag.Int("min-group-width", 0, "minimum interface nodes per group (link redundancy; 0 = unconstrained)")
+	pattern := flag.String("pattern", "uniform", "traffic pattern candidates are evaluated under")
+	rates := flag.String("rates", "", "injection-rate ladder, comma separated (default 0.05,0.15,0.3,0.5,0.8)")
+	zeroLoad := flag.Float64("zero-load-rate", 0, "light-load probe rate for latency/energy (default 0.02)")
+	warmup := flag.Int64("warmup", 0, "warm-up cycles per run (default 300)")
+	measure := flag.Int64("measure", 0, "measured cycles per run (default 1500)")
+	seed := flag.Uint64("seed", 1, "random seed (part of the evaluation cache key)")
+	cachePath := flag.String("cache", "", "content-addressed evaluation cache (JSONL); re-runs skip cached candidates")
+	outDir := flag.String("out", "", "directory for the report set (candidates.csv, frontier.csv, frontier.json, topoviz script, per-design configs)")
+	asJSON := flag.Bool("json", false, "emit the full report as JSON on stdout")
+	engine := flag.String("engine", "active", "cycle engine: active | reference (bit-identical results; reference is the slow oracle)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate evaluations")
+	verbose := flag.Bool("v", false, "list pruned and rejected candidates on stderr")
+	flag.Parse()
+
+	switch *engine {
+	case "active":
+	case "reference":
+		chipletnet.UseReferenceEngine = true
+	default:
+		fatalf("bad -engine %q: want active or reference", *engine)
+	}
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %v", flag.Args())
+	}
+
+	space := dse.Space{
+		Chiplets:      *chiplets,
+		Topologies:    splitList(*topologies),
+		Routings:      splitList(*routing),
+		Interleavings: splitList(*interleave),
+		MaxPorts:      *maxPorts,
+		PinBudgetBits: *pinBudget,
+		MinGroupWidth: *minGroupWidth,
+		Pattern:       *pattern,
+	}
+	var err error
+	if space.NoCs, err = parseNoCs(*nocs); err != nil {
+		fatalf("bad -noc: %v", err)
+	}
+	if space.OffChipBWs, err = parseInts(*offBW); err != nil {
+		fatalf("bad -offchip-bw: %v", err)
+	}
+	if space.TreeFanouts, err = parseInts(*fanouts); err != nil {
+		fatalf("bad -tree-fanouts: %v", err)
+	}
+
+	params := dse.DefaultParams()
+	params.Seed = *seed
+	if *warmup > 0 {
+		params.WarmupCycles = *warmup
+	}
+	if *measure > 0 {
+		params.MeasureCycles = *measure
+	}
+	if *zeroLoad > 0 {
+		params.ZeroLoadRate = *zeroLoad
+	}
+	if params.Rates, err = parseFloats(*rates); err != nil {
+		fatalf("bad -rates: %v", err)
+	}
+
+	cache, err := dse.OpenCache(*cachePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cache.Close()
+
+	plan, err := dse.NewPlan(space, params, cache)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logf("%d candidates enumerated: %d statically pruned, %d rejected by verify pre-flight, %d verified",
+		len(plan.Candidates)+len(plan.Rejected), len(plan.Pruned), len(plan.Rejected), len(plan.Candidates))
+	logf("%d cache hits, %d to simulate (workers=%d)", len(plan.Hits), len(plan.Pending), *workers)
+	if *verbose {
+		for _, p := range plan.Pruned {
+			logf("  pruned   %s: %s", p.Name, p.Reason)
+		}
+		for _, r := range plan.Rejected {
+			logf("  rejected %s: %s", r.Name, r.Reason)
+		}
+	}
+
+	recs, err := evaluate(plan, cache, *workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	outcome, err := dse.Collect(plan, recs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *outDir != "" {
+		written, err := dse.WriteFiles(*outDir, outcome)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, w := range written {
+			logf("wrote %s", w)
+		}
+	}
+
+	if *asJSON {
+		if err := dse.WriteReportJSON(os.Stdout, outcome); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		printFrontier(outcome)
+	}
+
+	// A deadlock on a candidate the static pre-flight certified is a
+	// cross-validation failure: surface the watchdog's diagnostic and
+	// exit 2, the chipletsim -json convention.
+	exit := 0
+	for _, r := range outcome.Records {
+		if r.Deadlocked {
+			fmt.Fprintf(os.Stderr, "chipletdse: DEADLOCK on verified candidate %s\n%s\n", r.Name, r.Diag)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// evaluate runs the plan's pending candidates on a worker pool, caching
+// each record as it completes (so a killed exploration resumes from the
+// cache). Results are positional: recs[i] pairs with the i-th verified
+// candidate regardless of scheduling.
+func evaluate(plan *dse.Plan, cache *dse.Cache, workers int) ([]dse.Record, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	recs := append([]dse.Record(nil), plan.Hits...)
+	fresh := make([]dse.Record, len(plan.Pending))
+	errs := make([]error, len(plan.Pending))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rec, err := plan.Pending[i].Run()
+				if err == nil {
+					err = cache.Put(rec)
+				}
+				fresh[i], errs[i] = rec, err
+			}
+		}()
+	}
+	for i := range plan.Pending {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", plan.Pending[i].Candidate.Name, err)
+		}
+	}
+	return append(recs, fresh...), nil
+}
+
+// printFrontier writes the human-readable ranking: the Pareto frontier
+// first, then the dominated candidates. Only deterministic content goes
+// to stdout so repeated runs are comparable byte for byte.
+func printFrontier(o *dse.Outcome) {
+	fmt.Printf("design space: %d chiplets, %d verified candidates, %d on the Pareto frontier\n",
+		o.Plan.Space.Chiplets, len(o.Records), len(o.Frontier))
+	fmt.Println("\nPareto frontier (saturation max, zero-load latency min, energy min):")
+	for i, r := range o.Frontier {
+		fmt.Printf("  %2d. %-46s sat %.2f  zero-load %6.1f cyc  %6.2f pJ/bit\n",
+			i+1, r.Name, r.SatRate, r.ZeroLoadLatency, r.EnergyPJPerBit)
+	}
+	rows := dse.Rows(o.Records)
+	dominated := 0
+	for _, row := range rows {
+		if !row.Frontier {
+			dominated++
+		}
+	}
+	fmt.Printf("\n%d dominated candidates (full ranking in candidates.csv with -out)\n", dominated)
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chipletdse: "+format+"\n", args...)
+}
+
+// splitList splits a comma-separated flag, returning nil (the default
+// axis) for an empty value.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseNoCs parses "4x4,8x8" into NoC dimension pairs.
+func parseNoCs(s string) ([][2]int, error) {
+	var out [][2]int
+	for _, part := range splitList(s) {
+		wh := strings.Split(strings.ToLower(part), "x")
+		if len(wh) != 2 {
+			return nil, fmt.Errorf("want WxH, got %q", part)
+		}
+		w, err := strconv.Atoi(wh[0])
+		if err != nil {
+			return nil, err
+		}
+		h, err := strconv.Atoi(wh[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]int{w, h})
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated int list; empty means nil (default).
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list; empty means nil
+// (default).
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chipletdse: "+format+"\n", args...)
+	os.Exit(1)
+}

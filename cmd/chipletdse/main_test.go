@@ -1,0 +1,50 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseNoCs(t *testing.T) {
+	got, err := parseNoCs("4x4, 8X6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][2]int{{4, 4}, {8, 6}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseNoCs = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"4", "4x", "axb", "4x4x4"} {
+		if _, err := parseNoCs(bad); err == nil {
+			t.Errorf("parseNoCs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a, b ,,c "); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList("  "); got != nil {
+		t.Errorf("splitList on blank = %v, want nil (default axis)", got)
+	}
+}
+
+func TestParseIntsFloats(t *testing.T) {
+	ints, err := parseInts("2,4")
+	if err != nil || !reflect.DeepEqual(ints, []int{2, 4}) {
+		t.Errorf("parseInts = %v, %v", ints, err)
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Error("parseInts accepted a non-integer")
+	}
+	floats, err := parseFloats("0.05,0.8")
+	if err != nil || !reflect.DeepEqual(floats, []float64{0.05, 0.8}) {
+		t.Errorf("parseFloats = %v, %v", floats, err)
+	}
+	if _, err := parseFloats("0.05,?"); err == nil {
+		t.Error("parseFloats accepted a non-float")
+	}
+	if out, err := parseFloats(""); err != nil || out != nil {
+		t.Errorf("parseFloats(\"\") = %v, %v; want nil (default ladder)", out, err)
+	}
+}

@@ -1,0 +1,172 @@
+package dse
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"chipletnet"
+)
+
+// keyPayload is the canonical content of one candidate evaluation: the
+// fully-resolved configuration plus every evaluation parameter that
+// shapes the Record. The cycle-engine choice (chipletnet.
+// UseReferenceEngine) is deliberately absent — the engines are
+// bit-identical, so their results are interchangeable cache entries.
+type keyPayload struct {
+	Cfg          chipletnet.Config
+	Rates        []float64
+	ZeroLoadRate float64
+}
+
+// Key returns the content address of evaluating cfg under p: the hex
+// SHA-256 of the gob encoding of the fully-resolved payload. Gob writes
+// struct fields in declaration order and Config contains no maps, so the
+// byte stream — and therefore the key — is stable across runs.
+func Key(cfg chipletnet.Config, p Params) string {
+	p = p.normalize()
+	h := sha256.New()
+	if err := gob.NewEncoder(h).Encode(keyPayload{
+		Cfg:          cfg,
+		Rates:        p.Rates,
+		ZeroLoadRate: p.ZeroLoadRate,
+	}); err != nil {
+		// Config and Params are plain data; gob cannot fail on them.
+		panic(fmt.Sprintf("dse: hashing candidate: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheLine is the JSONL envelope of one cache entry: the content key
+// and the gob-encoded Record (json marshals []byte as base64). Gob preserves float64 results
+// exactly, so a Record read back from the cache is bit-identical to the
+// freshly measured one — the property behind byte-identical re-run
+// reports.
+type cacheLine struct {
+	K string
+	G []byte
+}
+
+// Cache is the content-addressed evaluation store: a map from candidate
+// key to Record, persisted as an append-only JSONL file fsynced after
+// every record (the campaign-journal idiom; see internal/experiments).
+// A process killed mid-append leaves at most one torn final line, which
+// OpenCache drops from the file before appending resumes; a later entry
+// for a key overrides an earlier one. With an empty path the cache is
+// memory-only.
+//
+// Cache is safe for concurrent use; cmd/chipletdse records from its
+// worker pool.
+type Cache struct {
+	mu   sync.Mutex
+	f    *os.File // nil when memory-only
+	recs map[string]Record
+}
+
+// OpenCache opens (creating if needed) the cache at path and loads its
+// entries. An empty path returns a memory-only cache.
+func OpenCache(path string) (*Cache, error) {
+	c := &Cache{recs: map[string]Record{}}
+	if path == "" {
+		return c, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		// A crash mid-append left a torn final line. Drop it from the
+		// file as well as from the load, so later appends start on a
+		// fresh line instead of gluing onto the garbage.
+		valid := bytes.LastIndexByte(data, '\n') + 1
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("dse: cache %s: dropping torn final line: %w", path, err)
+		}
+		data = data[:valid]
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var cl cacheLine
+		if err := json.Unmarshal(line, &cl); err != nil {
+			return nil, fmt.Errorf("dse: cache %s line %d: %w", path, i+1, err)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(cl.G)).Decode(&rec); err != nil {
+			return nil, fmt.Errorf("dse: cache %s line %d: decoding record: %w", path, i+1, err)
+		}
+		if rec.Key != cl.K {
+			return nil, fmt.Errorf("dse: cache %s line %d: record key %.12s does not match envelope key %.12s", path, i+1, rec.Key, cl.K)
+		}
+		c.recs[cl.K] = rec
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.f = f
+	return c, nil
+}
+
+// Lookup returns the cached record for key.
+func (c *Cache) Lookup(key string) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.recs[key]
+	return rec, ok
+}
+
+// Put stores rec under rec.Key and, for a file-backed cache, appends and
+// fsyncs the entry before returning, so a finished evaluation survives
+// any crash that follows it.
+func (c *Cache) Put(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("dse: refusing to cache a record with no key")
+	}
+	var g bytes.Buffer
+	if err := gob.NewEncoder(&g).Encode(rec); err != nil {
+		return fmt.Errorf("dse: encoding record: %w", err)
+	}
+	line, err := json.Marshal(cacheLine{K: rec.Key, G: g.Bytes()})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		if _, err := c.f.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		if err := c.f.Sync(); err != nil {
+			return err
+		}
+	}
+	c.recs[rec.Key] = rec
+	return nil
+}
+
+// Len returns the number of cached records.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Close closes the underlying file (a no-op for memory-only caches).
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

@@ -1,0 +1,203 @@
+package dse
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chipletnet"
+)
+
+func testRecord(key, name string) Record {
+	cfg := chipletnet.DefaultConfig()
+	return Record{
+		Key:             key,
+		Name:            name,
+		Cfg:             cfg,
+		Routing:         RoutingAdaptive,
+		Groups:          4,
+		GroupWidth:      3,
+		Ports:           12,
+		PinBits:         768,
+		SatRate:         0.3,
+		ZeroLoadLatency: 83.19047619047619, // exercise exact float round-trips
+		EnergyPJPerBit:  20.034582384,
+		Ladder: []LadderPoint{
+			{Rate: 0.05, AvgLatency: 84.2, Accepted: 0.05},
+			{Rate: 0.5, AvgLatency: 412.8, Accepted: 0.31, Saturated: true},
+		},
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecord("key-1", "cand-1")
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, ok := c2.Lookup("key-1")
+	if !ok {
+		t.Fatal("record not found after reopen")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if c2.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c2.Len())
+	}
+}
+
+func TestCacheMemoryOnly(t *testing.T) {
+	c, err := OpenCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testRecord("k", "n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup("k"); !ok {
+		t.Error("memory-only cache lost its record")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close on memory-only cache: %v", err)
+	}
+}
+
+func TestCacheRejectsKeylessRecord(t *testing.T) {
+	c, _ := OpenCache("")
+	if err := c.Put(Record{Name: "keyless"}); err == nil {
+		t.Error("Put accepted a record with no key")
+	}
+}
+
+func TestCacheToleratesTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testRecord("key-1", "cand-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testRecord("key-2", "cand-2")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Simulate a crash mid-append: chop the tail of the final line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache on truncated file: %v", err)
+	}
+	if _, ok := c2.Lookup("key-1"); !ok {
+		t.Error("intact first record lost after truncation")
+	}
+	if _, ok := c2.Lookup("key-2"); ok {
+		t.Error("truncated record should not load")
+	}
+	// The cache stays usable: re-put the lost record and reopen.
+	if err := c2.Put(testRecord("key-2", "cand-2")); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	c3, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if c3.Len() != 2 {
+		t.Errorf("after repair Len = %d, want 2", c3.Len())
+	}
+}
+
+func TestCacheRejectsCorruptInterior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n{\"K\":\"x\",\"G\":\"\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Error("OpenCache accepted a corrupt interior line")
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	cfg := chipletnet.DefaultConfig()
+	p := DefaultParams()
+	k1 := Key(cfg, p)
+	k2 := Key(cfg, p)
+	if k1 != k2 {
+		t.Error("Key is not deterministic")
+	}
+	if len(k1) != 64 {
+		t.Errorf("Key length %d, want 64 hex chars", len(k1))
+	}
+
+	// Any change to the resolved config or measurement parameters must
+	// move the key.
+	variants := map[string]string{}
+	add := func(name, key string) {
+		if prev, dup := variants[key]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		variants[key] = name
+	}
+	add("base", k1)
+
+	c := cfg
+	c.Seed = 99
+	add("seed", Key(c, p))
+	c = cfg
+	c.Interleave = "packet"
+	add("interleave", Key(c, p))
+	c = cfg
+	c.OffChipBW = 4
+	add("bandwidth", Key(c, p))
+	c = cfg
+	c.Topology = chipletnet.HypercubeTopology(2)
+	add("topology", Key(c, p))
+
+	p2 := p
+	p2.Rates = []float64{0.1, 0.2}
+	add("rates", Key(cfg, p2))
+	p2 = p
+	p2.ZeroLoadRate = 0.01
+	add("zero-load rate", Key(cfg, p2))
+}
+
+// TestKeyIgnoresEngineChoice pins the deliberate design decision that
+// the cycle-engine selection is not part of the content address: both
+// engines are bit-identical, so their records are interchangeable.
+func TestKeyIgnoresEngineChoice(t *testing.T) {
+	cfg := chipletnet.DefaultConfig()
+	p := DefaultParams()
+	before := Key(cfg, p)
+	prev := chipletnet.UseReferenceEngine
+	chipletnet.UseReferenceEngine = !prev
+	after := Key(cfg, p)
+	chipletnet.UseReferenceEngine = prev
+	if before != after {
+		t.Error("engine choice leaked into the cache key")
+	}
+}

@@ -1,0 +1,347 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chipletnet"
+	"chipletnet/internal/verify"
+)
+
+// Params fixes how every candidate is measured. Candidates resolved
+// under different Params hash to different cache keys.
+type Params struct {
+	// Base supplies the non-searched configuration fields (Table II
+	// values from chipletnet.DefaultConfig unless overridden). The
+	// search axes (topology, NoC, routing, interleave, off-chip BW,
+	// pattern) and the fields below overwrite it per candidate.
+	Base chipletnet.Config
+
+	// WarmupCycles / MeasureCycles size every evaluation run.
+	WarmupCycles  int64
+	MeasureCycles int64
+
+	// Rates is the ascending injection-rate ladder the sustainable load
+	// is read from: the saturation rate of a candidate is the largest
+	// ladder rate whose run did not saturate. The ladder replaces
+	// per-candidate bisection so a whole exploration batches into
+	// independent, cacheable, parallel runs.
+	Rates []float64
+
+	// ZeroLoadRate is the light-load probe rate for zero-load latency
+	// and transport energy (a hop-count property).
+	ZeroLoadRate float64
+
+	// Seed makes every run reproducible (and is part of the cache key).
+	Seed uint64
+}
+
+// DefaultParams returns an evaluation setup sized like the experiment
+// suite's quick scale: minutes for a whole 16-chiplet exploration.
+func DefaultParams() Params {
+	return Params{
+		WarmupCycles:  300,
+		MeasureCycles: 1500,
+		Rates:         []float64{0.05, 0.15, 0.3, 0.5, 0.8},
+		ZeroLoadRate:  0.02,
+		Seed:          1,
+	}
+}
+
+// normalize fills zero fields from DefaultParams and DefaultConfig.
+func (p Params) normalize() Params {
+	def := DefaultParams()
+	if p.Base.ChipletW == 0 {
+		p.Base = chipletnet.DefaultConfig()
+	}
+	if p.WarmupCycles == 0 {
+		p.WarmupCycles = def.WarmupCycles
+	}
+	if p.MeasureCycles == 0 {
+		p.MeasureCycles = def.MeasureCycles
+	}
+	if len(p.Rates) == 0 {
+		p.Rates = def.Rates
+	} else {
+		// Canonicalize the ladder: ascending order, so permuted rate
+		// lists hash to the same cache key and results.
+		p.Rates = append([]float64(nil), p.Rates...)
+		sort.Float64s(p.Rates)
+	}
+	if p.ZeroLoadRate == 0 {
+		p.ZeroLoadRate = def.ZeroLoadRate
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	return p
+}
+
+// LadderPoint is one rate of a candidate's evaluation ladder.
+type LadderPoint struct {
+	Rate       float64
+	AvgLatency float64
+	Accepted   float64 // flits/node/cycle
+	Saturated  bool
+}
+
+// Record is the cached outcome of one candidate evaluation — everything
+// a report or frontier extraction needs, with no wall-clock or
+// machine-dependent content, so re-run reports are byte-identical.
+type Record struct {
+	// Key is the content address (Key(Cfg, Params)).
+	Key  string
+	Name string
+	// Cfg is the fully-resolved configuration (InjectionRate 0).
+	Cfg chipletnet.Config
+	// Routing/Groups/GroupWidth/Ports/PinBits echo the Candidate.
+	Routing    string
+	Groups     int
+	GroupWidth int
+	Ports      int
+	PinBits    int
+
+	// SatRate is the largest ladder rate that did not saturate
+	// (0 when even the lowest rate saturated).
+	SatRate float64
+	// ZeroLoadLatency is the average latency of the light-load probe.
+	ZeroLoadLatency float64
+	// EnergyPJPerBit is the transport energy estimate of the light-load
+	// probe (internal/energy's §VII-A model over measured hop counts).
+	EnergyPJPerBit float64
+	// ZeroLoadOffChipHops is the mean off-chip hops at light load (the
+	// pin-crossing count behind the energy figure).
+	ZeroLoadOffChipHops float64
+	// Ladder holds the per-rate measurements.
+	Ladder []LadderPoint
+
+	// Deadlocked reports that the runtime watchdog fired on a candidate
+	// the static pre-flight had certified — a cross-validation failure
+	// that cmd/chipletdse surfaces with exit status 2. Diag carries the
+	// watchdog's diagnostic snapshot as text.
+	Deadlocked bool
+	Diag       string `json:",omitempty"`
+}
+
+// Rejected records a candidate the verify pre-flight refused: the
+// routing function's extended channel dependency graph has a cycle (or
+// another structural defect), so simulating it risks deadlock.
+type Rejected struct {
+	Name   string
+	Reason string
+}
+
+// Eval is one pending candidate evaluation.
+type Eval struct {
+	Candidate Candidate
+	Params    Params
+	Key       string
+}
+
+// Run measures the candidate: the zero-load probe plus the rate ladder,
+// executed in parallel through chipletnet.RunMany (the module root owns
+// all goroutines; see cmd/chipletlint). The returned Record is
+// independent of GOMAXPROCS and of the cycle-engine choice.
+func (e Eval) Run() (Record, error) {
+	p := e.Params
+	cfgs := make([]chipletnet.Config, 0, 1+len(p.Rates))
+	zero := e.Candidate.Cfg
+	zero.InjectionRate = p.ZeroLoadRate
+	cfgs = append(cfgs, zero)
+	for _, r := range p.Rates {
+		c := e.Candidate.Cfg
+		c.InjectionRate = r
+		cfgs = append(cfgs, c)
+	}
+	results, err := chipletnet.RunMany(cfgs)
+	if err != nil {
+		return Record{}, fmt.Errorf("dse: evaluating %s: %w", e.Candidate.Name, err)
+	}
+	// A very light probe on a tiny network can deliver nothing inside the
+	// measurement window (AvgLatency NaN); fall back to the lightest
+	// ladder rate — the next-best zero-load estimate — so records stay
+	// NaN-free (NaN breaks JSON reports and compares unequal to itself).
+	probe := results[0]
+	for i := 1; i < len(results) && math.IsNaN(probe.AvgLatency); i++ {
+		probe = results[i]
+	}
+	if math.IsNaN(probe.AvgLatency) {
+		probe.AvgLatency = 0
+	}
+	rec := Record{
+		Key:        e.Key,
+		Name:       e.Candidate.Name,
+		Cfg:        e.Candidate.Cfg,
+		Routing:    e.Candidate.Routing,
+		Groups:     e.Candidate.Groups,
+		GroupWidth: e.Candidate.GroupWidth,
+		Ports:      e.Candidate.Ports,
+		PinBits:    e.Candidate.PinBits,
+
+		ZeroLoadLatency:     probe.AvgLatency,
+		EnergyPJPerBit:      probe.EnergyPJPerBit,
+		ZeroLoadOffChipHops: probe.AvgOffChipHops,
+	}
+	for i, r := range p.Rates {
+		res := results[1+i]
+		lat := res.AvgLatency
+		if math.IsNaN(lat) {
+			lat = 0 // nothing delivered at this rate; see probe fallback
+		}
+		rec.Ladder = append(rec.Ladder, LadderPoint{
+			Rate:       r,
+			AvgLatency: lat,
+			Accepted:   res.AcceptedFlitsPerNodeCycle,
+			Saturated:  res.Saturated(),
+		})
+		if !res.Saturated() && r > rec.SatRate {
+			rec.SatRate = r
+		}
+	}
+	for _, res := range results {
+		if res.Deadlocked {
+			rec.Deadlocked = true
+			if res.DeadlockReport != nil {
+				rec.Diag = res.DeadlockReport.String()
+			}
+			break
+		}
+	}
+	return rec, nil
+}
+
+// Plan is a resolved exploration: what was pruned, what verification
+// rejected, what the cache already knows, and what still needs
+// simulation.
+type Plan struct {
+	Space  Space
+	Params Params
+
+	// Candidates are the verified, statically feasible design points.
+	Candidates []Candidate
+	// Pruned are the statically infeasible combinations.
+	Pruned []Pruned
+	// Rejected are the candidates the verify pre-flight refused.
+	Rejected []Rejected
+	// Hits are the cached records of verified candidates.
+	Hits []Record
+	// Pending are the verified candidates with no cache entry.
+	Pending []Eval
+}
+
+// preflightOptions bounds the static analysis. Design-space systems are
+// small (tens of chiplets), so the sampled analysis is effectively
+// exhaustive while staying cheap per distinct routing structure.
+var preflightOptions = verify.Options{MaxDests: 16, MaxSources: 8}
+
+// routingKey identifies the routing-relevant part of a config: verify
+// verdicts are shared across candidates that differ only in interleave,
+// bandwidth or workload.
+func routingKey(cfg chipletnet.Config) string {
+	return fmt.Sprintf("%s%v|%dx%d|vc%d|%s|sep%v|unsafe%v",
+		cfg.Topology.Kind, cfg.Topology.Dims, cfg.ChipletW, cfg.ChipletH,
+		cfg.VCs, cfg.Routing, cfg.DisableNDMeshVCSeparation, cfg.AllowUnsafeRouting)
+}
+
+// NewPlan enumerates the space, statically verifies every feasible
+// candidate's routing (rejecting deadlock-prone designs with the
+// verifier's witness), and partitions the survivors into cache hits and
+// pending evaluations. NewPlan itself runs no simulation.
+func NewPlan(s Space, p Params, cache *Cache) (*Plan, error) {
+	p = p.normalize()
+	cands, pruned, err := s.Enumerate(p)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Space: norm, Params: p, Pruned: pruned}
+
+	verdicts := map[string]string{} // routingKey -> "" (ok) or reason
+	for _, cand := range cands {
+		rk := routingKey(cand.Cfg)
+		reason, seen := verdicts[rk]
+		if !seen {
+			rep, err := chipletnet.VerifyConfig(cand.Cfg, preflightOptions)
+			switch {
+			case err != nil:
+				reason = fmt.Sprintf("build failed: %v", err)
+			case rep.Err() != nil:
+				reason = rep.Err().Error()
+			default:
+				reason = ""
+			}
+			verdicts[rk] = reason
+		}
+		if reason != "" {
+			plan.Rejected = append(plan.Rejected, Rejected{Name: cand.Name, Reason: reason})
+			continue
+		}
+		plan.Candidates = append(plan.Candidates, cand)
+		key := Key(cand.Cfg, p)
+		if rec, ok := cache.Lookup(key); ok {
+			plan.Hits = append(plan.Hits, rec)
+			continue
+		}
+		plan.Pending = append(plan.Pending, Eval{Candidate: cand, Params: p, Key: key})
+	}
+	return plan, nil
+}
+
+// Outcome is a completed exploration: every record (cached + freshly
+// measured) plus the extracted Pareto frontier.
+type Outcome struct {
+	Plan *Plan
+	// Records holds one record per verified candidate, sorted by Name.
+	Records []Record
+	// Frontier is the exact Pareto frontier over (SatRate max,
+	// ZeroLoadLatency min, EnergyPJPerBit min), ranked deterministically.
+	Frontier []Record
+	// Simulated / CacheHits count how the records were obtained.
+	Simulated int
+	CacheHits int
+}
+
+// Explore runs the whole pipeline sequentially: plan, evaluate every
+// pending candidate (each evaluation's runs execute in parallel through
+// the module root), cache the results, and extract the frontier.
+// cmd/chipletdse replaces the sequential loop with a worker pool; the
+// records and frontier are identical either way.
+func Explore(s Space, p Params, cache *Cache) (*Outcome, error) {
+	plan, err := NewPlan(s, p, cache)
+	if err != nil {
+		return nil, err
+	}
+	recs := append([]Record(nil), plan.Hits...)
+	for _, e := range plan.Pending {
+		rec, err := e.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := cache.Put(rec); err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return Collect(plan, recs)
+}
+
+// Collect assembles an Outcome from a plan and the full record set
+// (cache hits plus evaluated pending candidates, in any order).
+func Collect(plan *Plan, recs []Record) (*Outcome, error) {
+	if len(recs) != len(plan.Candidates) {
+		return nil, fmt.Errorf("dse: %d records for %d verified candidates", len(recs), len(plan.Candidates))
+	}
+	sorted := append([]Record(nil), recs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return &Outcome{
+		Plan:      plan,
+		Records:   sorted,
+		Frontier:  Frontier(sorted),
+		Simulated: len(plan.Pending),
+		CacheHits: len(plan.Hits),
+	}, nil
+}

@@ -1,0 +1,224 @@
+package dse
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Everything written here is deterministic — stable ordering, no
+// wall-clock, shortest-round-trip float formatting — so re-running an
+// exploration against a warm cache reproduces every report byte for
+// byte (the property the acceptance gate checks).
+
+// Row is one report line of a ranked record set.
+type Row struct {
+	Rank       int
+	Name       string
+	Key        string
+	Topology   string
+	NoC        string
+	Routing    string
+	Interleave string
+	OffChipBW  int
+	Groups     int
+	GroupWidth int
+	Ports      int
+	PinBits    int
+
+	SatRate         float64
+	ZeroLoadLatency float64
+	EnergyPJPerBit  float64
+	Frontier        bool
+	Deadlocked      bool
+}
+
+func rowFrom(rank int, r Record, frontier bool) Row {
+	return Row{
+		Rank:       rank,
+		Name:       r.Name,
+		Key:        r.Key,
+		Topology:   r.Cfg.Topology.String(),
+		NoC:        fmt.Sprintf("%dx%d", r.Cfg.ChipletW, r.Cfg.ChipletH),
+		Routing:    r.Routing,
+		Interleave: r.Cfg.Interleave,
+		OffChipBW:  r.Cfg.OffChipBW,
+		Groups:     r.Groups,
+		GroupWidth: r.GroupWidth,
+		Ports:      r.Ports,
+		PinBits:    r.PinBits,
+
+		SatRate:         r.SatRate,
+		ZeroLoadLatency: r.ZeroLoadLatency,
+		EnergyPJPerBit:  r.EnergyPJPerBit,
+		Frontier:        frontier,
+		Deadlocked:      r.Deadlocked,
+	}
+}
+
+// Rows ranks every record (frontierLess order) and marks frontier
+// membership.
+func Rows(recs []Record) []Row {
+	ranked, on := RankAll(recs)
+	rows := make([]Row, len(ranked))
+	for i, r := range ranked {
+		rows[i] = rowFrom(i+1, r, on[i])
+	}
+	return rows
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes the ranked rows as CSV.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"rank", "name", "topology", "noc", "routing", "interleave",
+		"offchip_bw_flits", "groups", "group_width", "ports", "pin_bits",
+		"sat_rate", "zero_load_latency", "energy_pj_bit",
+		"frontier", "deadlocked", "key",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Rank), r.Name, r.Topology, r.NoC, r.Routing, r.Interleave,
+			strconv.Itoa(r.OffChipBW), strconv.Itoa(r.Groups), strconv.Itoa(r.GroupWidth),
+			strconv.Itoa(r.Ports), strconv.Itoa(r.PinBits),
+			ftoa(r.SatRate), ftoa(r.ZeroLoadLatency), ftoa(r.EnergyPJPerBit),
+			strconv.FormatBool(r.Frontier), strconv.FormatBool(r.Deadlocked), r.Key,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report is the JSON report: the resolved exploration and its frontier.
+// Volatile run statistics (cache hits, simulations performed, wall
+// clock) are deliberately absent — a warm re-run must produce the same
+// bytes.
+type Report struct {
+	Space    Space
+	Params   Params
+	Pruned   []Pruned   `json:",omitempty"`
+	Rejected []Rejected `json:",omitempty"`
+	// Candidates are all verified candidates, ranked, frontier marked.
+	Candidates []Row
+	// Frontier is the ranked Pareto frontier with full records (the
+	// resolved Config of each frontier design rides along for direct
+	// use with chipletsim -config).
+	Frontier []Record
+}
+
+// NewReport assembles the deterministic report of an outcome.
+func NewReport(o *Outcome) Report {
+	return Report{
+		Space:      o.Plan.Space,
+		Params:     o.Plan.Params,
+		Pruned:     o.Plan.Pruned,
+		Rejected:   o.Plan.Rejected,
+		Candidates: Rows(o.Records),
+		Frontier:   o.Frontier,
+	}
+}
+
+// WriteReportJSON writes the report as indented JSON.
+func WriteReportJSON(w io.Writer, o *Outcome) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewReport(o))
+}
+
+// topovizDims renders a topology's Dims as the comma-separated -dims
+// flag value.
+func topovizDims(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}
+
+// WriteTopovizScript writes a shell script inspecting every frontier
+// design with cmd/topoviz — the paper's Fig. 3/5/7 companion views of
+// the winning interconnects.
+func WriteTopovizScript(w io.Writer, frontier []Record) error {
+	if _, err := fmt.Fprintf(w, "#!/bin/sh\n# Pareto-frontier designs; regenerate with cmd/chipletdse.\nset -e\n"); err != nil {
+		return err
+	}
+	for i, r := range frontier {
+		_, err := fmt.Fprintf(w, "# rank %d: %s  (sat %s, zero-load %s cycles, %s pJ/bit)\ngo run ./cmd/topoviz -topology %s -dims %s -noc %dx%d\n",
+			i+1, r.Name, ftoa(r.SatRate), ftoa(r.ZeroLoadLatency), ftoa(r.EnergyPJPerBit),
+			r.Cfg.Topology.Kind, topovizDims(r.Cfg.Topology.Dims), r.Cfg.ChipletW, r.Cfg.ChipletH)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFiles writes the full report set into dir: candidates.csv (every
+// verified candidate, ranked), frontier.csv, frontier.json, the topoviz
+// inspection script, and one chipletsim-loadable config per frontier
+// design (injection rate pre-set to the design's sustainable load).
+// It returns the written paths in creation order.
+func WriteFiles(dir string, o *Outcome) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	emit := func(name string, fill func(io.Writer) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	rows := Rows(o.Records)
+	if err := emit("candidates.csv", func(w io.Writer) error { return WriteCSV(w, rows) }); err != nil {
+		return written, err
+	}
+	var frontierRows []Row
+	for _, r := range rows {
+		if r.Frontier {
+			frontierRows = append(frontierRows, r)
+		}
+	}
+	for i := range frontierRows {
+		frontierRows[i].Rank = i + 1
+	}
+	if err := emit("frontier.csv", func(w io.Writer) error { return WriteCSV(w, frontierRows) }); err != nil {
+		return written, err
+	}
+	if err := emit("frontier.json", func(w io.Writer) error { return WriteReportJSON(w, o) }); err != nil {
+		return written, err
+	}
+	if err := emit("frontier-topoviz.sh", func(w io.Writer) error { return WriteTopovizScript(w, o.Frontier) }); err != nil {
+		return written, err
+	}
+	for i, r := range o.Frontier {
+		cfg := r.Cfg
+		cfg.InjectionRate = r.SatRate
+		if err := emit(fmt.Sprintf("frontier-%d.config.json", i+1), cfg.WriteJSON); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,91 @@
+package dse
+
+import "sort"
+
+// The frontier objectives: maximize the sustainable injection rate,
+// minimize the zero-load latency, minimize the transport energy — the
+// three axes of the paper's §VII evaluation.
+
+// Dominates reports whether a is at least as good as b on every
+// objective and strictly better on at least one. Deadlocked records
+// never dominate anything and are dominated by any live record (a
+// deadlocked design is not a design).
+func Dominates(a, b Record) bool {
+	if a.Deadlocked {
+		return false
+	}
+	if b.Deadlocked {
+		return true
+	}
+	if a.SatRate < b.SatRate || a.ZeroLoadLatency > b.ZeroLoadLatency || a.EnergyPJPerBit > b.EnergyPJPerBit {
+		return false
+	}
+	return a.SatRate > b.SatRate || a.ZeroLoadLatency < b.ZeroLoadLatency || a.EnergyPJPerBit < b.EnergyPJPerBit
+}
+
+// frontierLess is the deterministic frontier ranking: best saturation
+// first, then lowest zero-load latency, then lowest energy, with the
+// candidate name and content key as final tie-breakers so the order —
+// and therefore every report — is independent of input permutation.
+func frontierLess(a, b Record) bool {
+	if a.SatRate != b.SatRate {
+		return a.SatRate > b.SatRate
+	}
+	if a.ZeroLoadLatency != b.ZeroLoadLatency {
+		return a.ZeroLoadLatency < b.ZeroLoadLatency
+	}
+	if a.EnergyPJPerBit != b.EnergyPJPerBit {
+		return a.EnergyPJPerBit < b.EnergyPJPerBit
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Key < b.Key
+}
+
+// Frontier returns the exact Pareto frontier of the records: every
+// record no other record dominates, ranked by frontierLess. Records
+// with identical objective vectors do not dominate each other, so ties
+// all stay on the frontier. Deadlocked records are excluded (they are
+// failures, not designs). The result is a fresh slice; the input is
+// left untouched, and permuting it does not change the output.
+func Frontier(recs []Record) []Record {
+	live := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if !r.Deadlocked {
+			live = append(live, r)
+		}
+	}
+	var out []Record
+	for i, r := range live {
+		dominated := false
+		for j, other := range live {
+			if i != j && Dominates(other, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return frontierLess(out[i], out[j]) })
+	return out
+}
+
+// RankAll returns every live record ranked by frontierLess with frontier
+// membership marked — the candidates.csv ordering.
+func RankAll(recs []Record) (ranked []Record, onFrontier []bool) {
+	frontier := Frontier(recs)
+	inFrontier := map[string]bool{}
+	for _, r := range frontier {
+		inFrontier[r.Key] = true
+	}
+	ranked = append([]Record(nil), recs...)
+	sort.SliceStable(ranked, func(i, j int) bool { return frontierLess(ranked[i], ranked[j]) })
+	onFrontier = make([]bool, len(ranked))
+	for i, r := range ranked {
+		onFrontier[i] = inFrontier[r.Key]
+	}
+	return ranked, onFrontier
+}

@@ -1,0 +1,236 @@
+package dse
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// rec builds a minimal record for frontier tests. Name doubles as the
+// key so the tie-break order is exercised.
+func rec(name string, sat, zl, energy float64) Record {
+	return Record{Key: name, Name: name, SatRate: sat, ZeroLoadLatency: zl, EnergyPJPerBit: energy}
+}
+
+func deadRec(name string, sat, zl, energy float64) Record {
+	r := rec(name, sat, zl, energy)
+	r.Deadlocked = true
+	return r
+}
+
+func names(recs []Record) []string {
+	out := []string{}
+	for _, r := range recs {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+func TestDominates(t *testing.T) {
+	a := rec("a", 0.5, 40, 10)
+	for _, tc := range []struct {
+		name string
+		b    Record
+		aDb  bool // Dominates(a, b)
+		bDa  bool // Dominates(b, a)
+	}{
+		{"identical vectors never dominate", rec("b", 0.5, 40, 10), false, false},
+		{"strictly worse on all", rec("b", 0.3, 50, 12), true, false},
+		{"worse on one, equal elsewhere", rec("b", 0.5, 41, 10), true, false},
+		{"better on one, equal elsewhere", rec("b", 0.5, 39, 10), false, true},
+		{"incomparable trade-off", rec("b", 0.8, 60, 10), false, false},
+		{"deadlocked is dominated", deadRec("b", 0.9, 10, 1), true, false},
+	} {
+		if got := Dominates(a, tc.b); got != tc.aDb {
+			t.Errorf("%s: Dominates(a, b) = %v, want %v", tc.name, got, tc.aDb)
+		}
+		if got := Dominates(tc.b, a); got != tc.bDa {
+			t.Errorf("%s: Dominates(b, a) = %v, want %v", tc.name, got, tc.bDa)
+		}
+	}
+	dead := deadRec("d", 0.9, 10, 1)
+	if Dominates(dead, rec("x", 0.0, 999, 999)) {
+		t.Error("a deadlocked record must not dominate anything")
+	}
+}
+
+func TestFrontierTable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []Record
+		want []string // frontier names in rank order
+	}{
+		{"empty", nil, []string{}},
+		{"single", []Record{rec("a", 0.5, 40, 10)}, []string{"a"}},
+		{
+			"dominated point excluded",
+			[]Record{rec("worse", 0.3, 50, 12), rec("best", 0.5, 40, 10)},
+			[]string{"best"},
+		},
+		{
+			"incomparable trade-offs all kept, ranked by saturation first",
+			[]Record{rec("low-lat", 0.3, 20, 12), rec("high-sat", 0.8, 60, 15), rec("low-energy", 0.3, 30, 5)},
+			[]string{"high-sat", "low-lat", "low-energy"},
+		},
+		{
+			"identical vectors tie and both stay, name-ordered",
+			[]Record{rec("twin-b", 0.5, 40, 10), rec("twin-a", 0.5, 40, 10)},
+			[]string{"twin-a", "twin-b"},
+		},
+		{
+			"deadlocked record excluded even with the best vector",
+			[]Record{deadRec("dead", 0.9, 10, 1), rec("live", 0.1, 90, 50)},
+			[]string{"live"},
+		},
+		{
+			"chain of dominance keeps only the top",
+			[]Record{rec("c", 0.2, 60, 30), rec("b", 0.4, 50, 20), rec("a", 0.6, 40, 10)},
+			[]string{"a"},
+		},
+	} {
+		got := Frontier(tc.in)
+		if !reflect.DeepEqual(names(got), tc.want) {
+			t.Errorf("%s: frontier = %v, want %v", tc.name, names(got), tc.want)
+		}
+		checkFrontierInvariants(t, tc.name, tc.in, got)
+	}
+}
+
+// checkFrontierInvariants asserts the defining properties of an exact
+// Pareto frontier over the input records.
+func checkFrontierInvariants(t *testing.T, name string, in, frontier []Record) {
+	t.Helper()
+	// 1. No record dominates any frontier point, and no frontier point is
+	//    deadlocked.
+	for _, f := range frontier {
+		if f.Deadlocked {
+			t.Errorf("%s: deadlocked record %s on the frontier", name, f.Name)
+		}
+		for _, r := range in {
+			if Dominates(r, f) {
+				t.Errorf("%s: frontier point %s is dominated by %s", name, f.Name, r.Name)
+			}
+		}
+	}
+	// 2. Every live off-frontier record is dominated by some frontier point.
+	on := map[string]bool{}
+	for _, f := range frontier {
+		on[f.Key] = true
+	}
+	for _, r := range in {
+		if r.Deadlocked || on[r.Key] {
+			continue
+		}
+		dominated := false
+		for _, f := range frontier {
+			if Dominates(f, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("%s: off-frontier record %s is not dominated by any frontier point", name, r.Name)
+		}
+	}
+	// 3. The ranking is consistent: no later point orders before an
+	//    earlier one.
+	for i := 1; i < len(frontier); i++ {
+		if frontierLess(frontier[i], frontier[i-1]) {
+			t.Errorf("%s: frontier rank %d (%s) orders before rank %d (%s)",
+				name, i+1, frontier[i].Name, i, frontier[i-1].Name)
+		}
+	}
+}
+
+// permutations of small slices for the determinism check.
+func permute(recs []Record, k int) []Record {
+	out := append([]Record(nil), recs...)
+	// k selects one of len! permutations via the factorial number system.
+	for i := range out {
+		j := i + k%(len(out)-i)
+		k /= max(1, len(out)-i)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func TestFrontierPermutationDeterminism(t *testing.T) {
+	in := []Record{
+		rec("a", 0.6, 40, 10),
+		rec("b", 0.6, 40, 10), // tie with a
+		rec("c", 0.8, 60, 15),
+		rec("d", 0.2, 70, 30), // dominated
+		deadRec("e", 0.9, 10, 1),
+		rec("f", 0.6, 30, 20),
+	}
+	want := Frontier(in)
+	for k := 0; k < 720; k++ {
+		p := permute(in, k)
+		if got := Frontier(p); !reflect.DeepEqual(got, want) {
+			t.Fatalf("permutation %d: frontier %v, want %v", k, names(got), names(want))
+		}
+	}
+}
+
+func TestRankAllMarksFrontier(t *testing.T) {
+	in := []Record{
+		rec("dominated", 0.2, 60, 30),
+		rec("best", 0.6, 40, 10),
+		rec("trade-off", 0.8, 60, 15),
+	}
+	ranked, on := RankAll(in)
+	if len(ranked) != len(in) || len(on) != len(in) {
+		t.Fatalf("RankAll returned %d/%d entries for %d records", len(ranked), len(on), len(in))
+	}
+	wantOrder := []string{"trade-off", "best", "dominated"}
+	if !reflect.DeepEqual(names(ranked), wantOrder) {
+		t.Errorf("ranking = %v, want %v", names(ranked), wantOrder)
+	}
+	wantOn := []bool{true, true, false}
+	if !reflect.DeepEqual(on, wantOn) {
+		t.Errorf("frontier marks = %v, want %v", on, wantOn)
+	}
+}
+
+// FuzzParetoFrontier decodes arbitrary bytes into a record set and
+// checks the frontier invariants hold for every input: no dominated
+// point on the frontier, every off-frontier point dominated by a
+// frontier point, and permutation-independence of the result.
+func FuzzParetoFrontier(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{7, 3, 1, 9, 7, 3, 1, 9, 2, 8, 0, 4, 5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Four bytes per record, quantized to small grids so dominance
+		// and exact ties are both common.
+		var in []Record
+		for i := 0; i+4 <= len(data) && len(in) < 64; i += 4 {
+			r := rec(fmt.Sprintf("r%02d", len(in)),
+				float64(data[i]%5)*0.2,
+				float64(data[i+1]%4)*10,
+				float64(data[i+2]%4)*5)
+			r.Deadlocked = data[i+3]%8 == 0
+			in = append(in, r)
+		}
+		frontier := Frontier(in)
+		checkFrontierInvariants(t, "fuzz", in, frontier)
+
+		if len(in) > 1 {
+			// Deterministic permutations derived from the input bytes.
+			for _, k := range []int{1, int(data[0]) + 1, len(in)*7 + 3} {
+				if got := Frontier(permute(in, k)); !reflect.DeepEqual(got, frontier) {
+					t.Fatalf("permutation %d changed the frontier: %v vs %v", k, names(got), names(frontier))
+				}
+			}
+		}
+
+		// The input must be left untouched.
+		for i, r := range in {
+			want := fmt.Sprintf("r%02d", i)
+			if r.Name != want {
+				t.Fatalf("Frontier mutated its input: record %d is %q", i, r.Name)
+			}
+		}
+	})
+}
