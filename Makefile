@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault test-checkpoint test-equiv test-dse bench-json bench-dse-json vet lint check figures
+.PHONY: build test test-fault test-checkpoint test-equiv test-dse bench-json bench-dse-json bench-compiled vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -32,14 +32,17 @@ test-checkpoint:
 	$(GO) test -race -run FuzzCheckpointRoundTrip .
 	$(GO) test -race -run 'Journal|Campaign' ./internal/experiments ./cmd/chipletfig
 
-# test-equiv runs the engine-equivalence gate: the differential matrix
-# (active-set engine vs reference stepper, all topology kinds x routing
-# modes x interleavings x fault schedules) and cross-engine checkpoint
-# interchange under the race detector, the zero-alloc and active-set
-# invariant tests without it (AllocsPerRun is meaningless under -race),
-# and a 30-second run of the engine-equivalence fuzz target.
+# test-equiv runs the engine-equivalence gates: the differential matrices
+# (active-set engine vs reference stepper, and compiled routing tables vs
+# the per-hop interpreter — all topology kinds x routing modes x
+# interleavings x fault schedules) and cross-engine checkpoint interchange
+# under the race detector, the zero-alloc and active-set invariant tests
+# without it (AllocsPerRun is meaningless under -race), and a 30-second
+# run of the engine-equivalence fuzz target. The CompiledEngineEquivalence
+# and CompiledRefusesUncertified tests match the EngineEquivalence pattern
+# by substring.
 test-equiv:
-	$(GO) test -race -run 'EngineEquivalence|EngineCheckpoint|ResetBitIdentical|ActiveSetMatchesReference' . ./internal/router
+	$(GO) test -race -run 'EngineEquivalence|EngineCheckpoint|ResetBitIdentical|ActiveSetMatchesReference|CompiledRefusesUncertified' . ./internal/router
 	$(GO) test -run 'ZeroAlloc|ActiveSet|DrainedFabric|ResetRestores|AuditCredits' ./internal/router
 	$(GO) test -fuzz FuzzEngineEquivalence -fuzztime 30s -run FuzzEngineEquivalence .
 
@@ -63,14 +66,23 @@ bench-dse-json:
 bench-json:
 	$(GO) run ./cmd/chipletbench -count 2 -out BENCH_hotpath.json
 
-# check is the pre-PR gate: vet, build, the full test suite under the race
-# detector, the determinism linter, and the hot-path benchmark gate
-# (active-set engine must hold its speedup over the reference stepper and
-# its allocs/op against the committed baseline).
+# bench-compiled regenerates the committed compiled-routing benchmark
+# baseline (BENCH_compiled.json): steady-state simulation on certified
+# flat-array tables vs the per-hop interpreter, plus the Build-time
+# certification + compilation cost.
+bench-compiled:
+	$(GO) run ./cmd/chipletbench -suite compiled -count 2 -out BENCH_compiled.json
+
+# check is the pre-PR gate: go vet, build, the full test suite under the
+# race detector (including the -race equivalence matrices of test-equiv),
+# the determinism linter over ./..., and the benchmark gates (the
+# active-set engine must hold its speedup over the reference stepper, and
+# both suites their allocs/op against the committed baselines).
 check: vet build test-fault test-checkpoint test-equiv test-dse
 	$(GO) test -race ./...
 	$(GO) run ./cmd/chipletlint ./...
 	$(GO) run ./cmd/chipletbench -check BENCH_hotpath.json
+	$(GO) run ./cmd/chipletbench -suite compiled -check BENCH_compiled.json
 
 figures:
 	$(GO) run ./cmd/chipletfig -scale quick -out results all

@@ -8,15 +8,19 @@
 //	chipletbench [-suite S] [-count N] [-tol 0.10] [-out FILE]  # measure, write JSON
 //	chipletbench [-suite S] [-count N] [-tol 0.10] -check FILE  # measure, gate, exit 1 on regression
 //
-// Two suites exist: "hotpath" (the default) exercises the cycle engine
-// itself, and "dse" exercises the design-space-exploration pipeline —
+// Three suites exist: "hotpath" (the default) exercises the cycle engine
+// itself, "dse" exercises the design-space-exploration pipeline —
 // a cache-cold exploration that simulates every candidate, a cache-warm
 // exploration that must touch the simulator zero times, and the
-// per-candidate content-hash + cache-lookup micro path.
+// per-candidate content-hash + cache-lookup micro path — and "compiled"
+// exercises the certified flat-array routing tables: the same mid-load
+// run under compiled and interpreted routing (side by side in the JSON),
+// plus the Build-time certification + table-compilation cost.
 //
-// The JSON file (BENCH_hotpath.json / BENCH_dse.json at the repository
-// root) records ns/op, bytes/op and allocs/op per workload per engine —
-// the committed before/after evidence for the hot-path overhaul.
+// The JSON file (BENCH_hotpath.json / BENCH_dse.json / BENCH_compiled.json
+// at the repository root) records ns/op, bytes/op and allocs/op per
+// workload per engine — the committed before/after evidence for the
+// hot-path overhaul.
 //
 // Gating is deliberately split by what is portable across machines:
 //
@@ -240,6 +244,70 @@ func dseWorkloads() []workload {
 	}
 }
 
+// compiledCfg is the compiled-routing benchmark shape: moderate load on a
+// 16-chiplet hypercube, so routing lookups are a visible fraction of the
+// cycle work and the table-vs-interpreter difference shows.
+func compiledCfg() chipletnet.Config {
+	cfg := chipletnet.DefaultConfig()
+	cfg.Topology = chipletnet.HypercubeTopology(4)
+	cfg.InjectionRate = 0.3
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	return cfg
+}
+
+// compiledWorkloads benchmarks the certified flat-array routing tables:
+// the identical run under compiled and interpreted routing (their ns/op
+// sit side by side in BENCH_compiled.json), and the one-off Build cost of
+// the certifying traversal + table compilation. Results are bit-identical
+// between the two routings (TestCompiledEngineEquivalence), so only cost
+// is at stake here; the committed allocs/op baseline is the -check gate.
+func compiledWorkloads() []workload {
+	simLoop := func(compiled bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := compiledCfg()
+			cfg.CompiledRouting = compiled
+			sys, err := chipletnet.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 {
+					sys.Reset()
+				}
+				if _, err := sys.Simulate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return []workload{
+		// The certifying traversal is a Build-time one-off, so the two
+		// simulation workloads Build outside the timer and Reset between
+		// iterations: what is measured is the steady-state per-cycle cost
+		// with table lookups vs per-hop MFR/Duato evaluation.
+		{name: "sim-mid-compiled-hc4", minSpeedup: 0.9, fn: simLoop(true)},
+		{name: "sim-mid-interpreted-hc4", minSpeedup: 0.9, fn: simLoop(false)},
+		{
+			// Certification + compilation is a Build-time one-off; the
+			// cycle engine never runs, so the engine-speedup gate is off.
+			name: "compile-build-hc4", minSpeedup: 0,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := compiledCfg()
+				cfg.CompiledRouting = true
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.Build(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}
+
 // suiteWorkloads returns the selected suite's workloads.
 func suiteWorkloads(suite string) ([]workload, error) {
 	switch suite {
@@ -247,8 +315,10 @@ func suiteWorkloads(suite string) ([]workload, error) {
 		return workloads(), nil
 	case "dse":
 		return dseWorkloads(), nil
+	case "compiled":
+		return compiledWorkloads(), nil
 	}
-	return nil, fmt.Errorf("unknown suite %q: want hotpath or dse", suite)
+	return nil, fmt.Errorf("unknown suite %q: want hotpath, dse or compiled", suite)
 }
 
 // measure runs every workload count times under the selected engine and
@@ -357,8 +427,11 @@ func main() {
 
 	if *out != "" {
 		note := "hot-path benchmark baseline; regenerate with `make bench-json`"
-		if *suite == "dse" {
+		switch *suite {
+		case "dse":
 			note = "design-space-exploration benchmark baseline; regenerate with `make bench-dse-json`"
+		case "compiled":
+			note = "compiled routing-table benchmark baseline; regenerate with `make bench-compiled`"
 		}
 		f := benchFile{
 			Note:    note,

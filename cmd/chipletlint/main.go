@@ -1,42 +1,41 @@
 // Command chipletlint enforces the repository's determinism invariants on
 // simulator packages (the module root and internal/...). A cycle-accurate
-// simulator must produce bit-identical results for a given seed, so:
+// simulator must produce bit-identical results for a given seed, so the
+// driver runs four analyzers over every matched package:
 //
-//  1. no package may import math/rand except internal/rng — all randomness
-//     flows through the seeded, stable generator;
-//  2. simulator packages must not read wall-clock time (time.Now,
-//     time.Since, time.Sleep) — simulated time is the only clock;
-//  3. internal packages must not spawn goroutines — the cycle loop is
-//     strictly serial; parallelism lives at the sweep layer (module root);
-//  4. map iteration must not produce order-dependent effects: a
-//     range-over-map body may not append to or assign outer variables, or
-//     call methods on them, unless the function later sorts the collected
-//     values (the collect-then-sort idiom).
+//	rngsource  no package may import math/rand except internal/rng — all
+//	           randomness flows through the seeded, stable generator
+//	           (test files included);
+//	wallclock  simulator packages must not read wall-clock time
+//	           (time.Now/Since/Sleep/Until) or construct timers
+//	           (time.After/Tick/NewTimer/NewTicker/AfterFunc) —
+//	           simulated time is the only clock;
+//	goroutine  internal packages must not spawn goroutines — the cycle
+//	           loop is strictly serial; parallelism lives at the sweep
+//	           layer (module root);
+//	mapiter    map iteration must not produce order-dependent effects: a
+//	           range-over-map body may not append to or assign outer
+//	           variables, or call methods on them, unless the function
+//	           later sorts the collected values (collect-then-sort).
 //
-// The linter is purely syntactic (go/ast, go/parser) and has no
-// dependencies outside the standard library. Usage:
+// The analyzers are written against internal/analysis, a dependency-free
+// mirror of the golang.org/x/tools/go/analysis framework (the repository
+// vendors no third-party modules); the analysis is purely syntactic
+// (go/ast, go/parser). Usage:
 //
 //	chipletlint ./...
 //
-// Exit status is 1 when any finding is reported.
+// Findings print as file:line:col: message in deterministic sorted order.
+// Exit status is 1 when any finding is reported (or on a parse error).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
-)
 
-type finding struct {
-	pos token.Position
-	msg string
-}
+	"chipletnet/internal/analysis"
+)
 
 func main() {
 	flag.Parse()
@@ -44,342 +43,20 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	dirs, err := resolveDirs(patterns)
+	findings, err := analysis.Run(patterns, []*analysis.Analyzer{
+		rngsourceAnalyzer,
+		wallclockAnalyzer,
+		goroutineAnalyzer,
+		mapiterAnalyzer,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chipletlint: %v\n", err)
 		os.Exit(1)
 	}
-
-	fset := token.NewFileSet()
-	var findings []finding
-	for _, dir := range dirs {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chipletlint: %v\n", err)
-			os.Exit(1)
-		}
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-				continue
-			}
-			path := filepath.Join(dir, e.Name())
-			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "chipletlint: %v\n", err)
-				os.Exit(1)
-			}
-			findings = append(findings, lintFile(fset, file, filepath.ToSlash(dir), e.Name())...)
-		}
-	}
-
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].pos, findings[j].pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		return a.Offset < b.Offset
-	})
 	for _, f := range findings {
-		fmt.Printf("%s: %s\n", f.pos, f.msg)
+		fmt.Println(f)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }
-
-// resolveDirs expands ./... patterns into the directories containing Go
-// files, skipping hidden directories and testdata.
-func resolveDirs(patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var out []string
-	add := func(dir string) {
-		dir = filepath.Clean(dir)
-		if !seen[dir] {
-			seen[dir] = true
-			out = append(out, dir)
-		}
-	}
-	for _, p := range patterns {
-		root, recursive := p, false
-		if strings.HasSuffix(p, "/...") {
-			root, recursive = strings.TrimSuffix(p, "/..."), true
-		}
-		if !recursive {
-			add(root)
-			continue
-		}
-		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				name := d.Name()
-				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if strings.HasSuffix(d.Name(), ".go") {
-				add(filepath.Dir(path))
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// simulatorScope reports whether dir holds simulator code: the module root
-// package or anything under internal/. Commands and examples read the
-// wall clock and parallelize freely.
-func simulatorScope(dir string) bool {
-	return dir == "." || dir == "internal" || strings.HasPrefix(dir, "internal/")
-}
-
-// lintFile runs every rule applicable to one parsed file and returns the
-// findings. dir is the slash-separated directory relative to the module
-// root; name the bare file name.
-func lintFile(fset *token.FileSet, file *ast.File, dir, name string) []finding {
-	var out []finding
-	report := func(pos token.Pos, format string, args ...any) {
-		out = append(out, finding{pos: fset.Position(pos), msg: fmt.Sprintf(format, args...)})
-	}
-	isTest := strings.HasSuffix(name, "_test.go")
-	sim := simulatorScope(dir)
-
-	// Rule 1: math/rand stays behind internal/rng.
-	timeAlias := ""
-	for _, imp := range file.Imports {
-		p := strings.Trim(imp.Path.Value, `"`)
-		if (p == "math/rand" || p == "math/rand/v2") && dir != "internal/rng" {
-			report(imp.Pos(), "import of %s outside internal/rng: use the seeded internal/rng generator", p)
-		}
-		if p == "time" {
-			timeAlias = "time"
-			if imp.Name != nil {
-				timeAlias = imp.Name.Name
-			}
-		}
-	}
-
-	if !sim || isTest {
-		return out
-	}
-
-	for _, decl := range file.Decls {
-		fn, ok := decl.(*ast.FuncDecl)
-		if !ok || fn.Body == nil {
-			continue
-		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				// Rule 2: no wall-clock reads in simulator packages.
-				if id, ok := n.X.(*ast.Ident); ok && timeAlias != "" && id.Name == timeAlias {
-					switch n.Sel.Name {
-					case "Now", "Since", "Sleep", "Until":
-						report(n.Pos(), "wall-clock call time.%s in a simulator package: cycle count is the only clock", n.Sel.Name)
-					}
-				}
-			case *ast.GoStmt:
-				// Rule 3: the simulator core is strictly serial.
-				if dir != "." {
-					report(n.Pos(), "goroutine spawned in %s: the cycle engine is serial; parallelize at the sweep layer", dir)
-				}
-			}
-			return true
-		})
-		out = append(out, lintMapRanges(fset, fn, importNames(file))...)
-	}
-	return out
-}
-
-// importNames returns the package identifiers the file's imports bind, so
-// pkg.Func calls are not mistaken for method calls on variables.
-func importNames(file *ast.File) map[string]bool {
-	names := map[string]bool{}
-	for _, imp := range file.Imports {
-		if imp.Name != nil {
-			names[imp.Name.Name] = true
-			continue
-		}
-		p := strings.Trim(imp.Path.Value, `"`)
-		if i := strings.LastIndex(p, "/"); i >= 0 {
-			p = p[i+1:]
-		}
-		names[p] = true
-	}
-	return names
-}
-
-// lintMapRanges implements rule 4 on one function: bodies of range
-// statements over maps (parameters or locally declared) must not have
-// iteration-order-dependent effects, unless the function sorts afterwards.
-func lintMapRanges(fset *token.FileSet, fn *ast.FuncDecl, imports map[string]bool) []finding {
-	var out []finding
-
-	// Map variables visible in the function: parameters and receivers of
-	// map type, plus local declarations (make(map...), map literals, var
-	// declarations with a map type).
-	maps := map[string]bool{}
-	if fn.Type.Params != nil {
-		for _, field := range fn.Type.Params.List {
-			if _, ok := field.Type.(*ast.MapType); ok {
-				for _, id := range field.Names {
-					maps[id.Name] = true
-				}
-			}
-		}
-	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || i >= len(n.Rhs) {
-					continue
-				}
-				if isMapExpr(n.Rhs[i]) {
-					maps[id.Name] = true
-				}
-			}
-		case *ast.ValueSpec:
-			if _, ok := n.Type.(*ast.MapType); ok {
-				for _, id := range n.Names {
-					maps[id.Name] = true
-				}
-			}
-			for i, v := range n.Values {
-				if i < len(n.Names) && isMapExpr(v) {
-					maps[n.Names[i].Name] = true
-				}
-			}
-		}
-		return true
-	})
-	if len(maps) == 0 {
-		return nil
-	}
-
-	// Positions of sort.* calls, for the collect-then-sort suppression.
-	var sortCalls []token.Pos
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sort" {
-					sortCalls = append(sortCalls, call.Pos())
-				}
-			}
-		}
-		return true
-	})
-	sortedLater := func(pos token.Pos) bool {
-		for _, p := range sortCalls {
-			if p > pos {
-				return true
-			}
-		}
-		return false
-	}
-
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		rng, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		id, ok := rng.X.(*ast.Ident)
-		if !ok || !maps[id.Name] {
-			return true
-		}
-		// Variables declared inside the loop body (plus the range vars)
-		// are per-iteration state; effects on anything else depend on
-		// iteration order.
-		local := map[string]bool{}
-		for _, v := range []ast.Expr{rng.Key, rng.Value} {
-			if vid, ok := v.(*ast.Ident); ok && v != nil {
-				local[vid.Name] = true
-			}
-		}
-		ast.Inspect(rng.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				if n.Tok == token.DEFINE {
-					for _, lhs := range n.Lhs {
-						if lid, ok := lhs.(*ast.Ident); ok {
-							local[lid.Name] = true
-						}
-					}
-					return true
-				}
-				if n.Tok != token.ASSIGN {
-					return true // compound ops (+=, |=, ...) commute
-				}
-				for i, lhs := range n.Lhs {
-					lid, ok := lhs.(*ast.Ident)
-					if !ok || local[lid.Name] || lid.Name == "_" {
-						continue // index writes are keyed; loop-locals are fine
-					}
-					if i < len(n.Rhs) && isAppendCall(n.Rhs[i]) {
-						continue // the append rule below reports this one
-					}
-					if !sortedLater(rng.Pos()) {
-						out = append(out, finding{
-							pos: fset.Position(n.Pos()),
-							msg: fmt.Sprintf("iteration over map %q assigns %q: last-writer-wins depends on map order (sort the keys first)", id.Name, lid.Name),
-						})
-					}
-				}
-			case *ast.CallExpr:
-				if fid, ok := n.Fun.(*ast.Ident); ok && fid.Name == "append" && len(n.Args) > 0 && !sortedLater(rng.Pos()) {
-					if arg, ok := n.Args[0].(*ast.Ident); ok && !local[arg.Name] {
-						out = append(out, finding{
-							pos: fset.Position(n.Pos()),
-							msg: fmt.Sprintf("iteration over map %q appends to %q in map order: sort before use (collect-then-sort)", id.Name, arg.Name),
-						})
-					}
-				}
-				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && !sortedLater(rng.Pos()) {
-					if recv, ok := sel.X.(*ast.Ident); ok && !local[recv.Name] && !imports[recv.Name] {
-						out = append(out, finding{
-							pos: fset.Position(n.Pos()),
-							msg: fmt.Sprintf("iteration over map %q calls %s.%s: side effects ordered by map iteration (sort the keys first)", id.Name, recv.Name, sel.Sel.Name),
-						})
-					}
-				}
-			}
-			return true
-		})
-		return true
-	})
-	return out
-}
-
-// isAppendCall reports whether e is a call to the append builtin.
-func isAppendCall(e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	id, ok := call.Fun.(*ast.Ident)
-	return ok && id.Name == "append"
-}
-
-// isMapExpr reports whether e syntactically constructs a map: make(map...)
-// or a map composite literal. (Slices of maps are not maps.)
-func isMapExpr(e ast.Expr) bool {
-	switch e := e.(type) {
-	case *ast.CallExpr:
-		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
-			_, isMap := e.Args[0].(*ast.MapType)
-			return isMap
-		}
-	case *ast.CompositeLit:
-		_, isMap := e.Type.(*ast.MapType)
-		return isMap
-	}
-	return false
-}
-

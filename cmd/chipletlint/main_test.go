@@ -1,26 +1,46 @@
 package main
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"strings"
 	"testing"
+
+	"chipletnet/internal/analysis"
 )
 
-func lintSource(t *testing.T, dir, name, src string) []finding {
+// lintSource runs every registered analyzer over one source file placed in
+// the given package directory and returns the findings.
+func lintSource(t *testing.T, dir, name, src string) []analysis.Finding {
 	t.Helper()
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lintFile(fset, file, dir, name)
+	var out []analysis.Finding
+	for _, a := range []*analysis.Analyzer{rngsourceAnalyzer, wallclockAnalyzer, goroutineAnalyzer, mapiterAnalyzer} {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    []*ast.File{file},
+			Dir:      dir,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, analysis.Finding{Pos: fset.Position(d.Pos), Analyzer: pass.Analyzer.Name, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
 }
 
-func assertFinding(t *testing.T, fs []finding, substr string) {
+func assertFinding(t *testing.T, fs []analysis.Finding, substr string) {
 	t.Helper()
 	for _, f := range fs {
-		if strings.Contains(f.msg, substr) {
+		if strings.Contains(f.Message, substr) {
 			return
 		}
 	}
@@ -32,6 +52,9 @@ func TestMathRandForbiddenOutsideRNG(t *testing.T) {
 import "math/rand"
 var _ = rand.Int`
 	assertFinding(t, lintSource(t, "internal/traffic", "gen.go", src), "math/rand")
+	// The rule covers test files too: a test seeding its own rand.Rand
+	// would not reproduce across Go releases.
+	assertFinding(t, lintSource(t, "internal/traffic", "gen_test.go", src), "math/rand")
 	if fs := lintSource(t, "internal/rng", "rng.go", src); len(fs) != 0 {
 		t.Errorf("internal/rng flagged: %v", fs)
 	}
@@ -48,6 +71,21 @@ func f() time.Time { return time.Now() }`
 	if fs := lintSource(t, "internal/router", "r_test.go", src); len(fs) != 0 {
 		t.Errorf("test file flagged: %v", fs)
 	}
+}
+
+func TestTimerConstructionForbiddenInSimulator(t *testing.T) {
+	src := `package x
+import "time"
+func f() <-chan time.Time { return time.After(time.Second) }`
+	assertFinding(t, lintSource(t, "internal/router", "r.go", src), "timer construction")
+	if fs := lintSource(t, "cmd/chipletsim", "main.go", src); len(fs) != 0 {
+		t.Errorf("command package flagged: %v", fs)
+	}
+
+	src = `package x
+import "time"
+var tk = time.NewTicker(time.Second)`
+	assertFinding(t, lintSource(t, "internal/fault", "f.go", src), "time.NewTicker")
 }
 
 func TestGoroutineForbiddenInInternal(t *testing.T) {

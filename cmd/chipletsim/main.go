@@ -38,7 +38,7 @@ func main() {
 	pattern := flag.String("pattern", cfg.Pattern, "uniform | hotspot | bit-complement | bit-reverse | bit-shuffle | bit-transpose")
 	rate := flag.Float64("rate", cfg.InjectionRate, "injection rate in flits/node/cycle")
 	interleave := flag.String("interleave", cfg.Interleave, "none | message | packet")
-	routing := flag.String("routing", string(cfg.Routing), "duato | safe-unsafe")
+	routing := flag.String("routing", string(cfg.Routing), "duato | safe-unsafe | compiled (duato on certified tables)")
 	offBW := flag.Int("offchip-bw", cfg.OffChipBW, "chiplet-to-chiplet bandwidth in flits/cycle")
 	offLat := flag.Int("offchip-latency", cfg.OffChipLatency, "chiplet-to-chiplet link latency in cycles")
 	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per port")
@@ -116,7 +116,12 @@ func main() {
 		cfg.Interleave = *interleave
 	}
 	if use("routing") {
-		cfg.Routing = chipletnet.RoutingMode(*routing)
+		if *routing == "compiled" {
+			cfg.Routing = chipletnet.RoutingDuato
+			cfg.CompiledRouting = true
+		} else {
+			cfg.Routing = chipletnet.RoutingMode(*routing)
+		}
 	}
 	if use("offchip-bw") {
 		cfg.OffChipBW = *offBW

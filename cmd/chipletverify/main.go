@@ -1,18 +1,23 @@
-// Command chipletverify statically verifies routing-level deadlock freedom
-// of a configuration without simulating a single cycle: it enumerates the
-// routing function's channel transitions, builds the channel dependency
-// graph of the escape sub-network, and checks Duato's criterion (acyclic
-// extended CDG), full reachability and VC discipline. Failures come with a
-// concrete dependency-cycle witness.
+// Command chipletverify statically certifies a configuration's routing
+// without simulating a single cycle: one traversal of the (node,
+// destination, tag-class) state space proves deadlock freedom (Duato's
+// criterion, acyclic extended CDG), total reachability, livelock freedom
+// (bounded adaptive runs, terminating escape walks) and VC discipline
+// (Theorem 1's monotone escape classes), and prints the resulting
+// certificate — obligations, verdicts, hop bounds and content address.
+// Failures come with concrete witnesses in deterministic sorted order.
 //
 // Examples:
 //
 //	chipletverify -topology hypercube -dims 6
 //	chipletverify -topology ndmesh -dims 4,4,4 -equal-channels -allow-unsafe
+//	chipletverify -routing compiled -topology dragonfly -dims 6
 //	chipletverify -config sweep.json -json
 //
-// Exit status: 0 verified (or structurally sound under safe/unsafe flow
-// control), 1 usage or build error, 2 verification failure.
+// Exit status: 0 certified (or structurally sound under safe/unsafe flow
+// control), 1 usage or build error, 2 verification failure (unsafe
+// configuration with witnesses), 3 analysis unsupported or aborted (the
+// routing cannot be analyzed; nothing was proved either way).
 package main
 
 import (
@@ -33,7 +38,7 @@ func main() {
 	topoKind := flag.String("topology", "hypercube", "mesh | ndmesh | ndtorus | hypercube | dragonfly | tree | custom")
 	dims := flag.String("dims", "6", "topology dimensions, comma separated (custom: n,a0,b0,a1,b1,... edge list)")
 	noc := flag.String("noc", "4x4", "on-chiplet NoC size WxH")
-	routing := flag.String("routing", string(cfg.Routing), "duato | safe-unsafe")
+	routing := flag.String("routing", string(cfg.Routing), "duato | safe-unsafe | compiled (duato on certified tables)")
 	vcs := flag.Int("vcs", cfg.VCs, "virtual channels per port")
 	equalChannels := flag.Bool("equal-channels", false, "disable the Theorem-1 d+/d- VC separation (known deadlock-prone)")
 	allowUnsafe := flag.Bool("allow-unsafe", false, "build configurations the factory would reject as unsafe")
@@ -77,7 +82,12 @@ func main() {
 		}
 	}
 	if use("routing") {
-		cfg.Routing = chipletnet.RoutingMode(*routing)
+		if *routing == "compiled" {
+			cfg.Routing = chipletnet.RoutingDuato
+			cfg.CompiledRouting = true
+		} else {
+			cfg.Routing = chipletnet.RoutingMode(*routing)
+		}
 	}
 	if use("vcs") {
 		cfg.VCs = *vcs
@@ -99,17 +109,27 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	cert := rep.Certificate()
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		out := struct {
+			Report          *verify.Report
+			Certificate     *verify.Certificate
+			CertificateHash string
+		}{rep, cert, cert.Hash()}
+		if err := enc.Encode(out); err != nil {
 			fatalf("%v", err)
 		}
 	} else {
 		fmt.Print(rep)
+		fmt.Print(cert)
 	}
-	if rep.Err() != nil {
+	switch {
+	case rep.Unsupported != "" || rep.Panic != "":
+		os.Exit(3)
+	case rep.Err() != nil:
 		os.Exit(2)
 	}
 }

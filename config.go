@@ -202,6 +202,15 @@ type Config struct {
 	// verifier (internal/verify, cmd/chipletverify) reports the offending
 	// channel-dependency cycle either way.
 	AllowUnsafeRouting bool
+	// CompiledRouting makes Build run the static certifier over the full
+	// (node, destination, tag-class) space and install the certified
+	// flat-array routing tables it compiles (routing.Compiled) in place of
+	// the per-hop MFR/Duato interpreter. Build fails if certification
+	// fails — a compiled system is always a certified one. Results are
+	// bit-identical to interpreted routing (enforced by the differential
+	// equivalence matrix); lookups under fault reconfiguration
+	// transparently fall back to the interpreter.
+	CompiledRouting bool
 
 	// CrossLinkFaultFraction disables this fraction of chiplet-to-chiplet
 	// channels (deterministically from Seed) before simulation, modeling

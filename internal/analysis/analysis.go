@@ -1,0 +1,64 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis framework: the Analyzer / Pass /
+// Diagnostic vocabulary, plus a purely syntactic driver (Run) that loads
+// packages from ./... patterns with go/parser. The repository vendors no
+// third-party modules, so cmd/chipletlint's analyzers are written against
+// this shim; each analyzer is a self-contained unit that ports to the
+// upstream framework by swapping the import path and registering with
+// multichecker.
+//
+// Deliberate differences from upstream: packages are loaded syntactically
+// (no type information, so analyzers must reason from the AST alone, which
+// is all the determinism rules need), test files are included in
+// Pass.Files (analyzers that exempt tests check the file name), and the
+// driver returns resolved findings instead of printing them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Analyzer describes one analysis: its stable name (used as the finding
+// category), a doc string stating what it reports, and the Run function
+// applied once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass carries one analyzer's view of one package to its Run function.
+type Pass struct {
+	// Analyzer is the analysis being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file of the pass.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax trees, test files included,
+	// in file-name order.
+	Files []*ast.File
+	// Dir is the slash-separated package directory relative to the
+	// working directory ("." for the root package).
+	Dir string
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the name of the file containing pos, relative to the
+// working directory as loaded.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

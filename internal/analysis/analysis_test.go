@@ -1,0 +1,138 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"chipletnet/internal/analysis"
+)
+
+// writeTree lays out a throwaway source tree and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// funcCounter reports every function declaration it sees, prefixed with
+// the package directory — enough surface to exercise Pass wiring, Reportf
+// and the driver's ordering guarantees.
+var funcCounter = &analysis.Analyzer{
+	Name: "funccounter",
+	Doc:  "reports every function declaration (test analyzer)",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fn.Pos(), "func %s in %s", fn.Name.Name, pass.Dir)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestDriverRunsAnalyzersOverTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go":             "package a\n\nfunc A() {}\n",
+		"a/a_test.go":        "package a\n\nfunc TestA() {}\n",
+		"b/b.go":             "package b\n\nfunc B1() {}\n\nfunc B2() {}\n",
+		"b/testdata/skip.go": "package skip\n\nfunc Hidden() {}\n",
+		".hidden/h.go":       "package h\n\nfunc Hidden() {}\n",
+		"README.md":          "not go\n",
+	})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	findings, err := analysis.Run([]string{"./..."}, []*analysis.Analyzer{funcCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+		if f.Analyzer != "funccounter" {
+			t.Errorf("finding attributed to %q", f.Analyzer)
+		}
+	}
+	want := []string{"func A in a", "func TestA in a", "func B1 in b", "func B2 in b"}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("findings %v, want %v (testdata and hidden dirs skipped, tests included)", got, want)
+	}
+}
+
+func TestDriverDeterministicOrder(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/z.go": "package p\n\nfunc Z() {}\n",
+		"p/a.go": "package p\n\nfunc A1() {}\n\nfunc A2() {}\n",
+	})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var prev []string
+	for i := 0; i < 3; i++ {
+		findings, err := analysis.Run([]string{"p"}, []*analysis.Analyzer{funcCounter})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msgs []string
+		for j, f := range findings {
+			msgs = append(msgs, f.String())
+			if j > 0 {
+				p, q := findings[j-1].Pos, f.Pos
+				if p.Filename > q.Filename || (p.Filename == q.Filename && p.Offset > q.Offset) {
+					t.Errorf("findings out of order: %v before %v", findings[j-1], f)
+				}
+			}
+		}
+		if prev != nil && strings.Join(prev, ";") != strings.Join(msgs, ";") {
+			t.Errorf("run %d differs: %v vs %v", i, prev, msgs)
+		}
+		prev = msgs
+	}
+}
+
+func TestDriverParseErrorAborts(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/bad.go": "package p\n\nfunc {\n",
+	})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	if _, err := analysis.Run([]string{"p"}, []*analysis.Analyzer{funcCounter}); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one resolved diagnostic: the position mapped through the
+// file set, the reporting analyzer's name, and the message.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s: %s", f.Pos, f.Message) }
+
+// Run loads every package matched by the patterns (a directory, or
+// dir/... for a recursive walk; hidden, underscore and testdata
+// directories are skipped) and applies each analyzer to each package.
+// Findings come back in deterministic (file name, offset) order. A parse
+// failure or an analyzer error aborts the run.
+func Run(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	dirs, err := resolveDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Finding
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				Dir:      filepath.ToSlash(dir),
+			}
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{Pos: fset.Position(d.Pos), Analyzer: pass.Analyzer.Name, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, dir, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Offset < out[j].Pos.Offset
+	})
+	return out, nil
+}
+
+// parseDir parses the .go files directly in dir, in name order (os.ReadDir
+// sorts), without type checking.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// resolveDirs expands the patterns into the directories containing Go
+// files, deduplicated and sorted.
+func resolveDirs(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, p := range patterns {
+		root, recursive := p, false
+		if strings.HasSuffix(p, "/...") {
+			root, recursive = strings.TrimSuffix(p, "/..."), true
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

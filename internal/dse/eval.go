@@ -122,14 +122,24 @@ type Record struct {
 	// watchdog's diagnostic snapshot as text.
 	Deadlocked bool
 	Diag       string `json:",omitempty"`
+
+	// Cert is the content address of the pre-flight certificate
+	// (verify.Certificate.Hash) of the candidate's routing structure,
+	// recorded alongside the cache key: two candidates with the same Cert
+	// were proved safe by the same traversal verdict.
+	Cert string `json:",omitempty"`
 }
 
 // Rejected records a candidate the verify pre-flight refused: the
-// routing function's extended channel dependency graph has a cycle (or
-// another structural defect), so simulating it risks deadlock.
+// certifying traversal found a fatal defect — a cyclic escape channel
+// dependency graph, an unreachable pair, a livelock cycle, a dead-end
+// state or a VC-discipline violation — so simulating it risks deadlock or
+// non-termination. Reason carries the verifier's first concrete witness;
+// Cert content-addresses the full failing certificate.
 type Rejected struct {
 	Name   string
 	Reason string
+	Cert   string `json:",omitempty"`
 }
 
 // Eval is one pending candidate evaluation.
@@ -137,6 +147,8 @@ type Eval struct {
 	Candidate Candidate
 	Params    Params
 	Key       string
+	// Cert is the pre-flight certificate hash (see Record.Cert).
+	Cert string
 }
 
 // Run measures the candidate: the zero-load probe plus the rate ladder,
@@ -182,6 +194,7 @@ func (e Eval) Run() (Record, error) {
 		ZeroLoadLatency:     probe.AvgLatency,
 		EnergyPJPerBit:      probe.EnergyPJPerBit,
 		ZeroLoadOffChipHops: probe.AvgOffChipHops,
+		Cert:                e.Cert,
 	}
 	for i, r := range p.Rates {
 		res := results[1+i]
@@ -260,24 +273,28 @@ func NewPlan(s Space, p Params, cache *Cache) (*Plan, error) {
 	}
 	plan := &Plan{Space: norm, Params: p, Pruned: pruned}
 
-	verdicts := map[string]string{} // routingKey -> "" (ok) or reason
+	type verdict struct {
+		reason string // "" when the pre-flight certified the structure
+		cert   string // certificate content address (also for failures)
+	}
+	verdicts := map[string]verdict{} // per routingKey
 	for _, cand := range cands {
 		rk := routingKey(cand.Cfg)
-		reason, seen := verdicts[rk]
+		v, seen := verdicts[rk]
 		if !seen {
 			rep, err := chipletnet.VerifyConfig(cand.Cfg, preflightOptions)
 			switch {
 			case err != nil:
-				reason = fmt.Sprintf("build failed: %v", err)
+				v = verdict{reason: fmt.Sprintf("build failed: %v", err)}
 			case rep.Err() != nil:
-				reason = rep.Err().Error()
+				v = verdict{reason: rep.Err().Error(), cert: rep.Certificate().Hash()}
 			default:
-				reason = ""
+				v = verdict{cert: rep.Certificate().Hash()}
 			}
-			verdicts[rk] = reason
+			verdicts[rk] = v
 		}
-		if reason != "" {
-			plan.Rejected = append(plan.Rejected, Rejected{Name: cand.Name, Reason: reason})
+		if v.reason != "" {
+			plan.Rejected = append(plan.Rejected, Rejected{Name: cand.Name, Reason: v.reason, Cert: v.cert})
 			continue
 		}
 		plan.Candidates = append(plan.Candidates, cand)
@@ -286,7 +303,7 @@ func NewPlan(s Space, p Params, cache *Cache) (*Plan, error) {
 			plan.Hits = append(plan.Hits, rec)
 			continue
 		}
-		plan.Pending = append(plan.Pending, Eval{Candidate: cand, Params: p, Key: key})
+		plan.Pending = append(plan.Pending, Eval{Candidate: cand, Params: p, Key: key, Cert: v.cert})
 	}
 	return plan, nil
 }

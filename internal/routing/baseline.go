@@ -66,9 +66,21 @@ func (f *flatMesh) escapeDir(v, dst int) topology.Dir {
 }
 
 func (f *flatMesh) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
+	base := len(buf)
+	buf, nsort := f.RawCandidates(r, p, buf)
+	if nsort > 1 {
+		sortByCreditScore(r, buf[base:base+nsort])
+	}
+	return buf
+}
+
+// RawCandidates returns the candidate set before the credit-based adaptive
+// reordering plus the count of leading reorderable candidates; see
+// (*mfr).RawCandidates for the contract the static certifier relies on.
+func (f *flatMesh) RawCandidates(r *router.Router, p *packet.Packet, buf []router.Candidate) ([]router.Candidate, int) {
 	v := r.Node
 	if v == p.Dst {
-		return append(buf, router.Candidate{Port: 0, VCMask: router.VCMaskAll(len(r.Out[0].Credits))})
+		return append(buf, router.Candidate{Port: 0, VCMask: router.VCMaskAll(len(r.Out[0].Credits))}), 0
 	}
 	var dirBuf [4]topology.Dir
 	dirs := f.minimalDirs(v, p.Dst, dirBuf[:0])
@@ -80,19 +92,18 @@ func (f *flatMesh) Candidates(r *router.Router, inPort int, p *packet.Packet, bu
 		// The NFR escape direction is always among the candidates (it is
 		// minimal on a mesh), so safe packets can follow it; nothing to
 		// append.
-		return buf
+		return buf, 0
 	}
 
+	nsort := 0
 	if f.adaptiveMask != 0 {
 		for _, d := range dirs {
 			buf = append(buf, router.Candidate{Port: f.sys.MeshPort(v, d), VCMask: f.adaptiveMask})
 		}
-		if len(buf) > 1 {
-			sortByCreditScore(r, buf)
-		}
+		nsort = len(dirs)
 	}
 	esc := f.escapeDir(v, p.Dst)
-	return append(buf, router.Candidate{Port: f.sys.MeshPort(v, esc), VCMask: 1, Escape: true})
+	return append(buf, router.Candidate{Port: f.sys.MeshPort(v, esc), VCMask: 1, Escape: true}), nsort
 }
 
 // EscapeStep exposes the negative-first escape function for static

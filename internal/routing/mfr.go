@@ -670,11 +670,31 @@ func sortByCreditScore(r *router.Router, buf []router.Candidate) {
 	}
 }
 
-// Candidates implements router.Routing.
+// Candidates implements router.Routing: the raw candidate set with the
+// adaptive prefix reordered by live credit score (Duato's protocol prefers
+// the least congested admissible output).
 func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
+	base := len(buf)
+	buf, nsort := m.RawCandidates(r, p, buf)
+	if nsort > 1 {
+		sortByCreditScore(r, buf[base:base+nsort])
+	}
+	return buf
+}
+
+// RawCandidates returns the candidate set for packet p at router r before
+// the credit-based adaptive reordering: the same candidates Candidates
+// yields, in generation order, plus the count of leading candidates the
+// Duato adaptive stage reorders by credit score. The candidate SET depends
+// only on (node, destination, interleave tag) — never on the input port or
+// the credit state — which is what lets the static certifier
+// (internal/verify) walk it exhaustively and compile it into flat tables
+// (Compiled) whose lookups re-sort the stored prefix against live credits
+// and thereby reproduce Candidates bit-for-bit.
+func (m *mfr) RawCandidates(r *router.Router, p *packet.Packet, buf []router.Candidate) ([]router.Candidate, int) {
 	v := r.Node
 	if v == p.Dst {
-		return append(buf, router.Candidate{Port: 0, VCMask: router.VCMaskAll(len(r.Out[0].Credits))})
+		return append(buf, router.Candidate{Port: 0, VCMask: router.VCMaskAll(len(r.Out[0].Credits))}), 0
 	}
 
 	// When the topology offers extra adaptive-only exits (torus wrap
@@ -703,7 +723,7 @@ func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []r
 		}
 		next, _, okEsc := m.escapeStepOK(v, p)
 		if !okEsc {
-			return buf
+			return buf, 0
 		}
 		if port := m.sys.PortTo(v, next); port >= 0 {
 			dup := false
@@ -717,11 +737,12 @@ func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []r
 				buf = append(buf, router.Candidate{Port: port, VCMask: router.VCMaskAll(m.vcs), Escape: true})
 			}
 		}
-		return buf
+		return buf, 0
 	}
 
-	// Duato's protocol: adaptive candidates first (preferring free
-	// downstream space), escape last.
+	// Duato's protocol: adaptive candidates first (reordered by credit
+	// score at lookup time), escape last.
+	base := len(buf)
 	if len(extraPlans) > 0 {
 		for _, plan := range extraPlans {
 			buf = m.extraMoves(r, v, p, plan, true, buf)
@@ -729,15 +750,13 @@ func (m *mfr) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []r
 	} else {
 		buf = m.productiveMoves(r, v, p, m.adaptiveMask, true, buf)
 	}
-	if len(buf) > 1 {
-		sortByCreditScore(r, buf)
-	}
+	nsort := len(buf) - base
 	next, vc := m.escapeStep(v, p)
 	port := m.sys.PortTo(v, next)
 	if port < 0 {
 		panic(fmt.Sprintf("routing: escape step %d -> %d is not a link", v, next))
 	}
-	return append(buf, router.Candidate{Port: port, VCMask: 1 << uint(vc), Escape: true})
+	return append(buf, router.Candidate{Port: port, VCMask: 1 << uint(vc), Escape: true}), nsort
 }
 
 // EscapeStep exposes the minus-first escape function for static analysis

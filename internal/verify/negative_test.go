@@ -1,0 +1,282 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"chipletnet/internal/packet"
+	"chipletnet/internal/router"
+	"chipletnet/internal/routing"
+	"chipletnet/internal/topology"
+	"chipletnet/internal/verify"
+)
+
+// wrap replaces the installed routing with a defective wrapper around it.
+func wrap(t *testing.T, sys *topology.System, f func(inner verify.EscapeAnalyzer) router.Routing) {
+	t.Helper()
+	inner, ok := sys.Fabric.Routing.(verify.EscapeAnalyzer)
+	if !ok {
+		t.Fatalf("fixture routing %T is not analyzable", sys.Fabric.Routing)
+	}
+	sys.Fabric.Routing = f(inner)
+}
+
+// neighbor returns a neighbor of node v other than avoid (local ports and
+// self excluded), or -1.
+func neighbor(sys *topology.System, v, avoid int) int {
+	for _, pt := range sys.Nodes[v].Ports {
+		if pt.To >= 0 && pt.To != v && pt.To != avoid {
+			return pt.To
+		}
+	}
+	return -1
+}
+
+// unreachableRouting wraps a sound routing but refuses to forward anything
+// into its victim node: for rounds destined to the victim, candidates
+// targeting it are dropped, and a state left empty-handed gets a fallback
+// candidate pointing elsewhere (marked Escape so the adaptive-cycle check
+// ignores the detour). The candidate sets stay non-empty everywhere, so the
+// only defect the certifier can find is unreachability.
+type unreachableRouting struct {
+	verify.EscapeAnalyzer
+	sys    *topology.System
+	victim int
+}
+
+func (u *unreachableRouting) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
+	base := len(buf)
+	buf = u.EscapeAnalyzer.Candidates(r, inPort, p, buf)
+	if p.Dst != u.victim || r.Node == u.victim {
+		return buf
+	}
+	out := buf[:base]
+	for _, c := range buf[base:] {
+		if o := r.Out[c.Port]; o.Link != nil && o.Link.Dst.Node == u.victim {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) == base {
+		if w := neighbor(u.sys, r.Node, u.victim); w >= 0 {
+			out = append(out, router.Candidate{
+				Port:   u.sys.PortTo(r.Node, w),
+				VCMask: router.VCMaskAll(u.sys.LP.VCs),
+				Escape: true,
+			})
+		}
+	}
+	return out
+}
+
+// TestFlagsUnreachablePair: the seeded unreachable-pair stub must be
+// rejected with concrete src -> dst witnesses in deterministic sorted
+// order, and with no collateral findings in the other categories.
+func TestFlagsUnreachablePair(t *testing.T) {
+	sys := build(t, "mesh-3x3")
+	install(t, sys, routing.Options{Mode: routing.SafeUnsafe})
+	victim := sys.Cores[0]
+	wrap(t, sys, func(inner verify.EscapeAnalyzer) router.Routing {
+		return &unreachableRouting{EscapeAnalyzer: inner, sys: sys, victim: victim}
+	})
+
+	rep := verify.Run(sys, verify.Options{})
+	if rep.Certified() {
+		t.Fatalf("unreachable victim not flagged:\n%s", rep)
+	}
+	if len(rep.Unreachable) == 0 {
+		t.Fatalf("no unreachability witnesses:\n%s", rep)
+	}
+	for i, f := range rep.Unreachable {
+		if f.Dst != victim {
+			t.Errorf("witness %d blames dst %d, want victim %d", i, f.Dst, victim)
+		}
+		if f.Src == victim {
+			t.Errorf("witness %d names the victim as its own source", i)
+		}
+		if f.Reason != "no admissible candidate path" {
+			t.Errorf("witness %d reason %q", i, f.Reason)
+		}
+		if i > 0 {
+			prev := rep.Unreachable[i-1]
+			if prev.Tag > f.Tag || (prev.Tag == f.Tag && prev.Src >= f.Src) {
+				t.Errorf("witnesses not sorted: %v before %v", prev, f)
+			}
+		}
+	}
+	if len(rep.DeadEnds) != 0 || len(rep.Livelock) != 0 || len(rep.VCViolations) != 0 {
+		t.Errorf("collateral findings beyond unreachability:\n%s", rep)
+	}
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("Err() = %v, want an unreachable-pair error", err)
+	}
+
+	cert := rep.Certificate()
+	for _, o := range cert.Obligations {
+		switch o.Name {
+		case "reachability":
+			if o.Proved || len(o.Witnesses) == 0 {
+				t.Errorf("reachability obligation not failed with witnesses: %+v", o)
+			}
+		case "livelock-freedom", "vc-discipline", "deadlock-freedom":
+			if !o.Proved {
+				t.Errorf("obligation %s unexpectedly failed: %+v", o.Name, o)
+			}
+		}
+	}
+	if cert.Certified || cert.PreflightOK {
+		t.Errorf("certificate certified=%v preflight=%v for an unreachable system",
+			cert.Certified, cert.PreflightOK)
+	}
+}
+
+// pingPongRouting wraps a sound routing with a livelock-prone defect: at
+// the two adjacent nodes a and b it replaces every adaptive candidate with
+// one pointing at the other node, keeping only the escape continuation.
+// Packets bounce a -> b -> a forever on the adaptive network while
+// reachability, escape coverage and VC discipline all stay intact.
+type pingPongRouting struct {
+	verify.EscapeAnalyzer
+	sys  *topology.System
+	a, b int
+}
+
+func (g *pingPongRouting) Candidates(r *router.Router, inPort int, p *packet.Packet, buf []router.Candidate) []router.Candidate {
+	base := len(buf)
+	buf = g.EscapeAnalyzer.Candidates(r, inPort, p, buf)
+	v := r.Node
+	if p.Dst == g.a || p.Dst == g.b || (v != g.a && v != g.b) {
+		return buf
+	}
+	to := g.b
+	if v == g.b {
+		to = g.a
+	}
+	var esc []router.Candidate
+	for _, c := range buf[base:] {
+		if c.Escape {
+			esc = append(esc, c)
+		}
+	}
+	out := append(buf[:base], router.Candidate{
+		Port:   g.sys.PortTo(v, to),
+		VCMask: router.VCMaskAll(g.sys.LP.VCs) &^ 1,
+	})
+	return append(out, esc...)
+}
+
+// TestFlagsLivelockCycle: the seeded ping-pong stub must be rejected with
+// the exact two-node non-progress cycle as its witness, rotated to the
+// smaller node id, while every other obligation still holds.
+func TestFlagsLivelockCycle(t *testing.T) {
+	sys := build(t, "mesh-3x3")
+	install(t, sys, routing.Options{Mode: routing.DuatoEscape})
+	a := sys.Cores[0]
+	b := neighbor(sys, a, -1)
+	if b < 0 {
+		t.Fatalf("core %d has no neighbor", a)
+	}
+	if b < a {
+		a, b = b, a
+	}
+	wrap(t, sys, func(inner verify.EscapeAnalyzer) router.Routing {
+		return &pingPongRouting{EscapeAnalyzer: inner, sys: sys, a: a, b: b}
+	})
+
+	rep := verify.Run(sys, verify.Options{})
+	if rep.Certified() {
+		t.Fatalf("ping-pong candidates not flagged:\n%s", rep)
+	}
+	if len(rep.Livelock) == 0 {
+		t.Fatalf("no livelock witnesses:\n%s", rep)
+	}
+	for i, c := range rep.Livelock {
+		if len(c.Nodes) != 2 || c.Nodes[0] != a || c.Nodes[1] != b {
+			t.Errorf("witness %d cycle %v, want [%d %d]", i, c.Nodes, a, b)
+		}
+		if c.Dst == a || c.Dst == b {
+			t.Errorf("witness %d blames a round (dst %d) the stub leaves intact", i, c.Dst)
+		}
+		if i > 0 {
+			prev := rep.Livelock[i-1]
+			if prev.Dst > c.Dst || (prev.Dst == c.Dst && prev.Tag >= c.Tag) {
+				t.Errorf("witnesses not sorted: %v before %v", prev, c)
+			}
+		}
+	}
+	if len(rep.Unreachable) != 0 || len(rep.DeadEnds) != 0 ||
+		len(rep.MissingEscape) != 0 || len(rep.VCViolations) != 0 {
+		t.Errorf("collateral findings beyond livelock:\n%s", rep)
+	}
+	if !rep.Acyclic() {
+		t.Errorf("escape CDG unexpectedly cyclic:\n%s", rep)
+	}
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "non-progress") {
+		t.Errorf("Err() = %v, want a non-progress-cycle error", err)
+	}
+
+	cert := rep.Certificate()
+	for _, o := range cert.Obligations {
+		if o.Name == "livelock-freedom" {
+			if o.Proved || len(o.Witnesses) == 0 {
+				t.Errorf("livelock obligation not failed with witnesses: %+v", o)
+			}
+		} else if !o.Proved {
+			t.Errorf("obligation %s unexpectedly failed: %+v", o.Name, o)
+		}
+	}
+	if cert.Certified || cert.PreflightOK {
+		t.Errorf("certificate certified=%v preflight=%v for a livelock-prone system",
+			cert.Certified, cert.PreflightOK)
+	}
+}
+
+// TestReportErrPrecedence pins the Err() distillation order: aborted
+// analyses first, then structural breakage (dead ends, unreachability,
+// livelock, VC discipline), then the Duato-only escape findings — which
+// must be non-fatal under safe/unsafe flow control.
+func TestReportErrPrecedence(t *testing.T) {
+	state := []verify.StateRef{{Node: 1, Dst: 2, Tag: 0}}
+	unreach := []verify.ReachFailure{{Src: 1, Dst: 2, Tag: 0, Reason: "no admissible candidate path"}}
+	cycle := []verify.DepEdge{
+		{From: verify.Channel{From: 0, To: 1, VC: 0}, To: verify.Channel{From: 1, To: 0, VC: 0}},
+		{From: verify.Channel{From: 1, To: 0, VC: 0}, To: verify.Channel{From: 0, To: 1, VC: 0}},
+	}
+	lived := []verify.LivelockCycle{{Dst: 2, Tag: 0, Nodes: []int{0, 1}}}
+
+	cases := []struct {
+		name string
+		rep  verify.Report
+		want string // substring of Err(); "" means nil
+	}{
+		{"clean", verify.Report{}, ""},
+		{"panic-beats-everything", verify.Report{Panic: "boom", DeadEnds: state, Cycle: cycle}, "panicked"},
+		{"unsupported", verify.Report{Unsupported: "no escape step"}, "no escape step"},
+		{"dead-end-beats-unreachable", verify.Report{DeadEnds: state, Unreachable: unreach}, "no route candidate"},
+		{"unreachable-beats-livelock", verify.Report{Unreachable: unreach, Livelock: lived}, "unreachable"},
+		{"livelock-beats-vc", verify.Report{Livelock: lived, VCViolations: []string{"bad vc"}}, "non-progress"},
+		{"vc-beats-missing-escape", verify.Report{EscapeRequired: true, VCViolations: []string{"bad vc"}, MissingEscape: state}, "VC discipline"},
+		{"missing-escape-duato", verify.Report{EscapeRequired: true, MissingEscape: state}, "escape continuation"},
+		{"missing-escape-ignored-su", verify.Report{MissingEscape: state}, ""},
+		{"cycle-duato", verify.Report{EscapeRequired: true, Cycle: cycle}, "cycle"},
+		{"cycle-ignored-su", verify.Report{Cycle: cycle}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.rep.Err()
+			switch {
+			case tc.want == "" && err != nil:
+				t.Errorf("Err() = %v, want nil", err)
+			case tc.want != "" && err == nil:
+				t.Errorf("Err() = nil, want substring %q", tc.want)
+			case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+				t.Errorf("Err() = %v, want substring %q", err, tc.want)
+			}
+			if tc.want != "" && tc.rep.Certified() {
+				t.Error("report with a fatal finding reports Certified")
+			}
+		})
+	}
+}

@@ -48,6 +48,28 @@ func (f ReachFailure) String() string {
 	return fmt.Sprintf("%d -> %d (tag %d): %s", f.Src, f.Dst, f.Tag, f.Reason)
 }
 
+// LivelockCycle is a non-progress cycle witness: a cycle of nodes in the
+// adaptive candidate graph of one (destination, tag) round, around which a
+// packet could be forwarded forever without getting closer to delivery.
+// Nodes[i] offers an adaptive (non-escape) candidate toward Nodes[i+1],
+// wrapping around; the cycle is rotated so the smallest node id comes
+// first.
+type LivelockCycle struct {
+	Dst, Tag int
+	Nodes    []int
+}
+
+func (c LivelockCycle) String() string {
+	var b strings.Builder
+	for _, n := range c.Nodes {
+		fmt.Fprintf(&b, "%d -> ", n)
+	}
+	if len(c.Nodes) > 0 {
+		fmt.Fprintf(&b, "%d", c.Nodes[0])
+	}
+	return fmt.Sprintf("%s  [packet to %d, tag %d]", b.String(), c.Dst, c.Tag)
+}
+
 // Report is the structured verdict of one static analysis run.
 type Report struct {
 	// Topology names the analyzed topology kind.
@@ -78,12 +100,30 @@ type Report struct {
 	DeadEnds []StateRef
 	// Unreachable lists src -> dst pairs with no admissible path.
 	Unreachable []ReachFailure
+	// Livelock lists non-progress cycles of the adaptive candidate graph:
+	// adaptive (non-escape) candidates that could forward a packet in a
+	// cycle forever. Escape candidates are excluded — escape progress is
+	// certified separately by the walk-termination check, and mixed
+	// adaptive/escape alternation cannot persist (each hop re-offers the
+	// terminating escape continuation).
+	Livelock []LivelockCycle
 	// VCViolations lists VC-discipline inconsistencies: escape VCs or
 	// candidate masks outside the configured VC range, or ejection
 	// candidates away from the destination.
 	VCViolations []string
 	// Truncated counts findings dropped beyond Options.MaxWitnesses.
 	Truncated int
+
+	// EscapeHopBound is the longest escape walk observed from any analyzed
+	// source state: a certified upper bound on the hops a packet spends on
+	// the escape sub-network before delivery. Zero when no walks ran.
+	EscapeHopBound int
+	// AdaptiveHopBound is the longest path of the (acyclic) adaptive
+	// candidate graph across all rounds: a certified upper bound on the
+	// consecutive adaptive hops a packet can take before it must be at the
+	// destination or on the escape network. Meaningless when Livelock is
+	// non-empty.
+	AdaptiveHopBound int
 
 	// Panic is set when the routing function panicked during analysis
 	// (the panic is recovered; the report is otherwise incomplete).
@@ -104,7 +144,7 @@ func (r *Report) Acyclic() bool {
 // criterion for virtual cut-through switching.
 func (r *Report) Certified() bool {
 	return r.Acyclic() && len(r.MissingEscape) == 0 && len(r.DeadEnds) == 0 &&
-		len(r.Unreachable) == 0 && len(r.VCViolations) == 0
+		len(r.Unreachable) == 0 && len(r.Livelock) == 0 && len(r.VCViolations) == 0
 }
 
 // Err distills the report into an error for pre-flight gating: nil when
@@ -125,6 +165,9 @@ func (r *Report) Err() error {
 	case len(r.Unreachable) > 0:
 		return fmt.Errorf("verify: %d src->dst pairs unreachable (first: %v)",
 			len(r.Unreachable), r.Unreachable[0])
+	case len(r.Livelock) > 0:
+		return fmt.Errorf("verify: adaptive candidate graph has a %d-node non-progress cycle (%v)",
+			len(r.Livelock[0].Nodes), r.Livelock[0])
 	case len(r.VCViolations) > 0:
 		return fmt.Errorf("verify: VC discipline violated: %s", r.VCViolations[0])
 	case r.EscapeRequired && len(r.MissingEscape) > 0:
@@ -167,14 +210,21 @@ func (r *Report) String() string {
 	for _, f := range r.Unreachable {
 		fmt.Fprintf(&b, "UNREACHABLE: %v\n", f)
 	}
+	for _, c := range r.Livelock {
+		fmt.Fprintf(&b, "LIVELOCK: %v\n", c)
+	}
 	for _, v := range r.VCViolations {
 		fmt.Fprintf(&b, "VC DISCIPLINE: %s\n", v)
 	}
 	if r.Truncated > 0 {
 		fmt.Fprintf(&b, "... %d further findings truncated\n", r.Truncated)
 	}
+	if r.EscapeHopBound > 0 || r.AdaptiveHopBound > 0 {
+		fmt.Fprintf(&b, "hop bounds: escape walks <= %d hops, adaptive runs <= %d hops\n",
+			r.EscapeHopBound, r.AdaptiveHopBound)
+	}
 	if r.Certified() {
-		b.WriteString("PASS: escape sub-network acyclic, all pairs reachable, escape coverage complete\n")
+		b.WriteString("PASS: escape sub-network acyclic, all pairs reachable, livelock-free, escape coverage complete\n")
 	} else if err := r.Err(); err == nil {
 		b.WriteString("PASS (not certified): structure sound; deadlock freedom rests on the safe/unsafe flow control\n")
 	} else {

@@ -1,24 +1,38 @@
-// Package verify statically proves routing-level deadlock freedom of a
-// built system before a single cycle is simulated.
+// Package verify is the static routing certifier: one exhaustive traversal
+// of the (node, destination, tag) state space that proves, before a single
+// cycle is simulated, that the routing function installed on a built
+// system is deadlock-free, totally reachable, livelock-free and
+// VC-disciplined — and that, from the same traversal, feeds the compiled
+// per-router routing tables of internal/routing.
 //
-// The analysis implements Duato's criterion for virtual cut-through
-// switching: a routing function is deadlock-free if its escape sub-network
-// C1 — the channels supplied by the escape function — has an acyclic
-// extended channel dependency graph. "Extended" means the dependency
-// c -> c' is recorded whenever any packet can occupy c (however it got
-// there, including via adaptive hops) and its escape function supplies c'
-// next; under virtual cut-through a packet holds exactly one buffer while
-// requesting the next, so only these direct dependencies matter.
+// The deadlock obligation implements Duato's criterion for virtual
+// cut-through switching: a routing function is deadlock-free if its escape
+// sub-network C1 — the channels supplied by the escape function — has an
+// acyclic extended channel dependency graph. "Extended" means the
+// dependency c -> c' is recorded whenever any packet can occupy c (however
+// it got there, including via adaptive hops) and its escape function
+// supplies c' next; under virtual cut-through a packet holds exactly one
+// buffer while requesting the next, so only these direct dependencies
+// matter.
 //
 // The analyzer enumerates routing behavior exhaustively per (destination,
-// interleave tag) round in two global passes over all rounds:
+// interleave tag) round in two global passes over all rounds. Tags are
+// reduced to equivalence classes first: every tag use in the routing layer
+// goes through interleave.Index (tag modulo the group membership size, with
+// the core-reachability rule shrinking the modulus by one), so TagClasses
+// rounds cover every distinguishable behavior exactly.
 //
 //  1. a link-level BFS from every injection point over the routing
 //     function's candidate sets discovers the reachable states; the escape
 //     step of each reachable state contributes its target channel to C1.
 //     The same pass checks full reachability (every source reaches the
-//     destination in the candidate graph), escape completeness and
-//     termination (Duato mode), dead-end states, and VC-range discipline.
+//     destination in the candidate graph), escape completeness,
+//     termination and VC monotonicity of the escape walks (Duato mode),
+//     livelock freedom (the adaptive candidate sub-graph of each round
+//     must be acyclic, yielding a certified adaptive hop bound), dead-end
+//     states, and VC-range discipline. When Options.Sink is set, every
+//     visited state's raw candidate set is also streamed out — this is how
+//     routing.Compile obtains certified tables from the same traversal.
 //  2. dependency edges are emitted against the now-complete C1. Under
 //     Duato's protocol the extended rule applies: the BFS re-runs, and
 //     every candidate channel that lies in C1 can be occupied and depends
@@ -32,12 +46,14 @@
 // Injection channels belong to C1 but no link channel ever feeds them, so
 // they cannot participate in a cycle and are left out of the graph.
 //
-// The verdict is a structured Report carrying the offending dependency
-// cycle as a concrete witness when verification fails.
+// The verdict is a structured Report carrying concrete witnesses (in
+// deterministic sorted order) when any proof obligation fails, and an
+// exportable content-addressable Certificate when all of them hold.
 package verify
 
 import (
 	"fmt"
+	"sort"
 
 	"chipletnet/internal/packet"
 	"chipletnet/internal/router"
@@ -59,6 +75,27 @@ type EscapeAnalyzer interface {
 	EscapeRequired() bool
 }
 
+// RawCandidater exposes a routing function's candidate set before any
+// credit-based runtime reordering: the same candidates router.Routing's
+// Candidates yields, in generation order, plus the count of leading
+// candidates the lookup reorders by live credit score. A routing
+// implementation must expose it for its tables to be compilable
+// (routing.Compile): the stored set plus the re-sortable prefix length is
+// exactly what reproduces Candidates bit-for-bit at lookup time.
+type RawCandidater interface {
+	RawCandidates(r *router.Router, p *packet.Packet, buf []router.Candidate) ([]router.Candidate, int)
+}
+
+// StateSink receives every routing state the certifying traversal visits:
+// node holds a packet for destination dst with interleave-tag class tag
+// (in [0, TagClasses)), and the routing function offers the raw candidate
+// set cands of which the first nsort are credit-sortable. The cands slice
+// is reused across calls — implementations must copy what they keep.
+// Ejection states (node == dst) are not streamed.
+type StateSink interface {
+	State(node, dst, tag int, cands []router.Candidate, nsort int)
+}
+
 // Options tunes analysis cost. The zero value analyzes everything.
 type Options struct {
 	// MaxDests bounds the analyzed destination cores (0 = all).
@@ -70,6 +107,11 @@ type Options struct {
 	MaxSources int
 	// MaxWitnesses caps recorded findings per category (default 8).
 	MaxWitnesses int
+	// Sink, when non-nil, receives every visited routing state with its
+	// raw candidate set (see StateSink). Requires the routing to implement
+	// RawCandidater; the analysis reports Unsupported otherwise. Combine
+	// with zero MaxDests/MaxSources for complete tables.
+	Sink StateSink
 }
 
 // Run statically analyzes the routing installed on sys.Fabric and returns
@@ -95,9 +137,15 @@ func Run(sys *topology.System, opt Options) (rep *Report) {
 		rep.Unsupported = fmt.Sprintf("routing %T does not expose EscapeStep for static analysis", sys.Fabric.Routing)
 		return rep
 	}
+	raw, _ := sys.Fabric.Routing.(RawCandidater)
+	if opt.Sink != nil && raw == nil {
+		rep.Unsupported = fmt.Sprintf("routing %T does not expose RawCandidates for table compilation", sys.Fabric.Routing)
+		return rep
+	}
 	a := &analyzer{
 		sys:     sys,
 		rt:      rt,
+		raw:     raw,
 		opt:     opt,
 		rep:     rep,
 		routers: make([]*router.Router, len(sys.Nodes)),
@@ -134,12 +182,14 @@ func Run(sys *topology.System, opt Options) (rep *Report) {
 	rep.EscapeChannels = len(a.c1)
 	rep.DepEdges = len(a.seen)
 	a.findCycle()
+	a.finalize()
 	return rep
 }
 
 type analyzer struct {
 	sys     *topology.System
 	rt      EscapeAnalyzer
+	raw     RawCandidater // nil when the routing has no raw accessor
 	opt     Options
 	rep     *Report
 	routers []*router.Router // indexed by global node id
@@ -158,7 +208,10 @@ type analyzer struct {
 	// per-round scratch
 	visited []bool
 	mark    []bool
-	radj    [][]int
+	radj    [][]int // reverse candidate adjacency (reachability)
+	aadj    [][]int // forward adaptive-only adjacency (livelock)
+	acolor  []int8
+	adepth  []int32
 	cands   []router.Candidate
 }
 
@@ -172,10 +225,14 @@ func (a *analyzer) round(dst, tag int, emit bool) {
 		a.visited = make([]bool, n)
 		a.mark = make([]bool, n)
 		a.radj = make([][]int, n)
+		a.aadj = make([][]int, n)
+		a.acolor = make([]int8, n)
+		a.adepth = make([]int32, n)
 	}
 	for i := 0; i < n; i++ {
 		a.visited[i] = false
 		a.radj[i] = a.radj[i][:0]
+		a.aadj[i] = a.aadj[i][:0]
 	}
 	queue := make([]int, 0, n)
 	for _, src := range a.sys.Cores {
@@ -191,7 +248,12 @@ func (a *analyzer) round(dst, tag int, emit bool) {
 			continue // delivered: no further channel requests
 		}
 		r := a.routers[v]
-		a.cands = a.rt.Candidates(r, 0, p, a.cands[:0])
+		nsort := 0
+		if a.raw != nil {
+			a.cands, nsort = a.raw.RawCandidates(r, p, a.cands[:0])
+		} else {
+			a.cands = a.rt.Candidates(r, 0, p, a.cands[:0])
+		}
 		if len(a.cands) == 0 {
 			if !emit {
 				a.addDeadEnd(StateRef{v, dst, tag})
@@ -200,6 +262,9 @@ func (a *analyzer) round(dst, tag int, emit bool) {
 		}
 		if !emit {
 			a.rep.States++
+			if a.opt.Sink != nil {
+				a.opt.Sink.State(v, dst, tag, a.cands, nsort)
+			}
 			enext, evc, eok := a.rt.EscapeStep(v, p)
 			if eok {
 				if evc < 0 || evc >= vcs {
@@ -248,6 +313,9 @@ func (a *analyzer) round(dst, tag int, emit bool) {
 			}
 			if !emit {
 				a.radj[to] = append(a.radj[to], v)
+				if !c.Escape {
+					a.aadj[v] = append(a.aadj[v], to)
+				}
 			}
 			if !a.visited[to] {
 				a.visited[to] = true
@@ -259,6 +327,7 @@ func (a *analyzer) round(dst, tag int, emit bool) {
 		return
 	}
 	a.checkReach(dst, tag)
+	a.checkLivelock(dst, tag)
 	if a.rep.EscapeRequired {
 		a.checkEscapeWalk(dst, tag, p)
 	}
@@ -290,8 +359,88 @@ func (a *analyzer) checkReach(dst, tag int) {
 	}
 }
 
+// checkLivelock proves livelock freedom of one round: the adaptive
+// (non-escape) candidate sub-graph must be acyclic, so any run of
+// consecutive adaptive hops is bounded by its longest path. A cycle is a
+// non-progress witness — adaptive candidates could forward a packet around
+// it forever. Escape candidates are excluded: their progress is certified
+// by checkEscapeWalk's termination bound, and a packet alternating between
+// the two networks still terminates because every adaptive placement
+// re-offers the terminating escape continuation.
+func (a *analyzer) checkLivelock(dst, tag int) {
+	n := len(a.sys.Nodes)
+	for i := 0; i < n; i++ {
+		a.acolor[i] = 0
+		a.adepth[i] = 0
+	}
+	var stack []int
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		a.acolor[v] = 1
+		stack = append(stack, v)
+		best := int32(0)
+		for _, to := range a.aadj[v] {
+			switch a.acolor[to] {
+			case 1:
+				i := len(stack) - 1
+				for i > 0 && stack[i] != to {
+					i--
+				}
+				cycle = append(cycle, stack[i:]...)
+				return true
+			case 0:
+				if dfs(to) {
+					return true
+				}
+			}
+			if d := a.adepth[to] + 1; d > best {
+				best = d
+			}
+		}
+		stack = stack[:len(stack)-1]
+		a.acolor[v] = 2
+		a.adepth[v] = best
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if a.acolor[v] != 0 || len(a.aadj[v]) == 0 {
+			continue
+		}
+		if dfs(v) {
+			a.addLivelock(LivelockCycle{Dst: dst, Tag: tag, Nodes: rotateMin(cycle)})
+			return // one witness per round
+		}
+		if d := int(a.adepth[v]); d > a.rep.AdaptiveHopBound {
+			a.rep.AdaptiveHopBound = d
+		}
+	}
+}
+
+// rotateMin rotates a cycle in place so the smallest node id leads,
+// making witnesses independent of the DFS entry point.
+func rotateMin(cycle []int) []int {
+	if len(cycle) == 0 {
+		return cycle
+	}
+	min := 0
+	for i, v := range cycle {
+		if v < cycle[min] {
+			min = i
+		}
+	}
+	out := make([]int, 0, len(cycle))
+	out = append(out, cycle[min:]...)
+	return append(out, cycle[:min]...)
+}
+
 // checkEscapeWalk verifies the escape function alone delivers every packet
-// (termination, hence livelock freedom of the escape sub-network).
+// (termination, hence the escape sub-network's own livelock freedom),
+// records the longest walk as the certified escape hop bound, and checks
+// Theorem 1's VC discipline along the way: within one chiplet the escape
+// VC class must be non-decreasing (a packet may climb from the d- class to
+// the d+ class but never back), with the cross-chiplet hop resetting the
+// ordering for the next chiplet.
 func (a *analyzer) checkEscapeWalk(dst, tag int, p *packet.Packet) {
 	bound := 4 * len(a.sys.Nodes)
 	for _, src := range a.sources {
@@ -299,20 +448,34 @@ func (a *analyzer) checkEscapeWalk(dst, tag int, p *packet.Packet) {
 			continue
 		}
 		v, done := src, false
+		steps, prevVC, checkVC := 0, -1, true
 		for step := 0; step <= bound; step++ {
 			if v == dst {
 				done = true
 				break
 			}
-			next, _, ok := a.rt.EscapeStep(v, p)
+			next, vc, ok := a.rt.EscapeStep(v, p)
 			if !ok {
 				break
 			}
+			if checkVC && prevVC >= 0 && vc < prevVC {
+				a.addVCViolation(fmt.Sprintf("escape VC class not monotone within chiplet: vc%d after vc%d at %v",
+					vc, prevVC, StateRef{v, dst, tag}))
+				checkVC = false
+			}
+			if a.sys.Nodes[v].Chiplet != a.sys.Nodes[next].Chiplet {
+				prevVC = -1
+			} else {
+				prevVC = vc
+			}
 			v = next
+			steps++
 		}
 		if !done {
 			a.addUnreach(ReachFailure{Src: src, Dst: dst, Tag: tag,
 				Reason: fmt.Sprintf("escape walk does not terminate (stuck near node %d)", v)})
+		} else if steps > a.rep.EscapeHopBound {
+			a.rep.EscapeHopBound = steps
 		}
 	}
 }
@@ -334,10 +497,21 @@ func (a *analyzer) emitWalkDeps(dst, tag int) {
 		v := src
 		var prev Channel
 		havePrev := false
+		steps, prevVC, checkVC := 0, -1, true
 		for step := 0; step <= bound && v != dst; step++ {
 			next, vc, ok := a.rt.EscapeStep(v, p)
 			if !ok {
 				break
+			}
+			if checkVC && prevVC >= 0 && vc < prevVC {
+				a.addVCViolation(fmt.Sprintf("escape VC class not monotone within chiplet: vc%d after vc%d at %v",
+					vc, prevVC, StateRef{v, dst, tag}))
+				checkVC = false
+			}
+			if a.sys.Nodes[v].Chiplet != a.sys.Nodes[next].Chiplet {
+				prevVC = -1
+			} else {
+				prevVC = vc
 			}
 			cur := Channel{v, next, vc}
 			if havePrev {
@@ -345,6 +519,10 @@ func (a *analyzer) emitWalkDeps(dst, tag int) {
 			}
 			prev, havePrev = cur, true
 			v = next
+			steps++
+		}
+		if v == dst && steps > a.rep.EscapeHopBound {
+			a.rep.EscapeHopBound = steps
 		}
 	}
 }
@@ -442,21 +620,142 @@ func (a *analyzer) addVCViolation(msg string) {
 	}
 }
 
-// tagSet returns the interleave tags worth distinguishing: -1 (untagged)
-// plus one tag per distinct group slot. Exit selection only depends on
-// tag modulo the group size, so maxGroupSize tags cover every behavior.
-func tagSet(sys *topology.System) []int {
-	maxGroup := 0
-	for _, s := range sys.Grouping.Size {
-		if s > maxGroup {
-			maxGroup = s
+func (a *analyzer) addLivelock(c LivelockCycle) {
+	if a.room(len(a.rep.Livelock)) {
+		a.rep.Livelock = append(a.rep.Livelock, c)
+	}
+}
+
+// finalize puts every witness category into deterministic sorted order
+// (stable diffs across runs regardless of discovery order) and rotates the
+// CDG cycle witness to a canonical starting edge.
+func (a *analyzer) finalize() {
+	r := a.rep
+	byState := func(s []StateRef) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Dst != s[j].Dst {
+				return s[i].Dst < s[j].Dst
+			}
+			if s[i].Tag != s[j].Tag {
+				return s[i].Tag < s[j].Tag
+			}
+			return s[i].Node < s[j].Node
+		})
+	}
+	byState(r.MissingEscape)
+	byState(r.DeadEnds)
+	sort.Slice(r.Unreachable, func(i, j int) bool {
+		a, b := r.Unreachable[i], r.Unreachable[j]
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Reason < b.Reason
+	})
+	sort.Slice(r.Livelock, func(i, j int) bool {
+		a, b := r.Livelock[i], r.Livelock[j]
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		for k := 0; k < len(a.Nodes) && k < len(b.Nodes); k++ {
+			if a.Nodes[k] != b.Nodes[k] {
+				return a.Nodes[k] < b.Nodes[k]
+			}
+		}
+		return len(a.Nodes) < len(b.Nodes)
+	})
+	sort.Strings(r.VCViolations)
+	r.VCViolations = compactStrings(r.VCViolations)
+	if len(r.Cycle) > 1 {
+		min := 0
+		for i := range r.Cycle {
+			if depEdgeLess(r.Cycle[i], r.Cycle[min]) {
+				min = i
+			}
+		}
+		rotated := make([]DepEdge, 0, len(r.Cycle))
+		rotated = append(rotated, r.Cycle[min:]...)
+		r.Cycle = append(rotated, r.Cycle[:min]...)
+	}
+}
+
+func compactStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
 		}
 	}
-	tags := []int{-1}
-	if maxGroup >= 2 {
-		for t := 0; t < maxGroup; t++ {
-			tags = append(tags, t)
+	return out
+}
+
+func depEdgeLess(a, b DepEdge) bool {
+	ka := [8]int{a.From.From, a.From.To, a.From.VC, a.To.From, a.To.To, a.To.VC, a.Dst, a.Tag}
+	kb := [8]int{b.From.From, b.From.To, b.From.VC, b.To.From, b.To.To, b.To.VC, b.Dst, b.Tag}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return ka[i] < kb[i]
 		}
+	}
+	return false
+}
+
+// TagClasses returns the number L of interleave-tag equivalence classes of
+// sys: two tags t, t' with t ≡ t' (mod L) make identical routing decisions
+// everywhere, so the traversal's tag rounds [0, L) cover every
+// distinguishable behavior exactly (untagged packets, tag < 0, behave as
+// class 0). Every tag use in the routing layer reduces the tag modulo a
+// group membership size s (interleave.Index), except that the
+// core-reachability rule can drop a group's position-0 leader and reduce
+// modulo s-1 — so L is the lcm of s and s-1 over all current (and, under
+// fault injection, pre-fault) group memberships.
+func TagClasses(sys *topology.System) int {
+	l := 1
+	add := func(s int) {
+		if s >= 2 {
+			l = lcm(l, s)
+		}
+	}
+	for _, ch := range sys.Chiplets {
+		for _, g := range ch.Groups {
+			add(len(g))
+			add(len(g) - 1)
+		}
+	}
+	for _, groups := range sys.BaseGroups {
+		for _, g := range groups {
+			add(len(g))
+			add(len(g) - 1)
+		}
+	}
+	return l
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// tagSet returns one representative tag per equivalence class: [0, L).
+func tagSet(sys *topology.System) []int {
+	l := TagClasses(sys)
+	tags := make([]int, l)
+	for i := range tags {
+		tags[i] = i
 	}
 	return tags
 }

@@ -101,6 +101,13 @@ func Build(cfg Config) (*System, error) {
 		return nil, err
 	}
 	sys.Fabric.Routing = rt
+	if cfg.CompiledRouting {
+		comp, _, cerr := routing.Compile(sys)
+		if cerr != nil {
+			return nil, fmt.Errorf("chipletnet: %w", cerr)
+		}
+		sys.Fabric.Routing = comp
+	}
 	sys.Fabric.SafeUnsafe = cfg.Routing == RoutingSafeUnsafe
 	sys.Fabric.OffChipVAExtra = cfg.OffChipVAExtra
 	sys.Fabric.DeadlockThreshold = cfg.DeadlockThreshold
