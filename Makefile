@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault test-checkpoint test-equiv test-dse bench-json bench-dse-json bench-compiled vet lint check figures
+.PHONY: build test test-fault test-checkpoint test-equiv test-dse test-daemon bench-json bench-dse-json bench-compiled vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,17 @@ test-dse:
 	$(GO) test -race ./internal/dse ./cmd/chipletdse
 	$(GO) test -race -run FuzzParetoFrontier ./internal/dse
 
+# test-daemon runs the campaign-daemon matrix under the race detector:
+# the service core (journal replay, drain/requeue, deadline/retry/cancel
+# classification, HTTP endpoints), the backoff policy, the self-healing
+# JSONL loader, the sharded-cache merge gate, batch-cancellation through
+# the module root, and the chipletd process-level acceptance tests —
+# SIGKILL kill-resume and SIGTERM drain against a real daemon.
+test-daemon:
+	$(GO) test -race ./internal/service/... ./internal/jsonl ./cmd/chipletd
+	$(GO) test -race -run 'RunManyCtx|RunEachCtx' .
+	$(GO) test -race -run 'Shard|Merge|Quarantine' ./internal/dse
+
 # bench-dse-json regenerates the committed design-space-exploration
 # benchmark baseline (BENCH_dse.json): cache-cold exploration, cache-warm
 # exploration (zero simulations), and the cache-hit micro path.
@@ -78,7 +89,7 @@ bench-compiled:
 # the determinism linter over ./..., and the benchmark gates (the
 # active-set engine must hold its speedup over the reference stepper, and
 # both suites their allocs/op against the committed baselines).
-check: vet build test-fault test-checkpoint test-equiv test-dse
+check: vet build test-fault test-checkpoint test-equiv test-dse test-daemon
 	$(GO) test -race ./...
 	$(GO) run ./cmd/chipletlint ./...
 	$(GO) run ./cmd/chipletbench -check BENCH_hotpath.json

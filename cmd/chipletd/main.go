@@ -1,0 +1,135 @@
+// Command chipletd is the crash-safe campaign daemon: a long-running
+// HTTP+JSON service that accepts simulate, sweep and design-space
+// exploration jobs, schedules them on a bounded worker pool with per-job
+// deadlines and capped-exponential-backoff retries, and survives kill -9
+// without losing or duplicating work.
+//
+// All state lives under -dir:
+//
+//	jobs.jsonl    append-only, fsynced job journal (the queue included)
+//	cache/        sharded content-addressed evaluation cache (16 JSONL
+//	              shards by key prefix; mergeable across machines with
+//	              chipletdse -merge)
+//	checkpoints/  periodic snapshots of long simulate jobs
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: intake stops (/readyz
+// turns 503), in-flight simulate jobs snapshot a checkpoint, DSE jobs
+// finish their current candidate, everything interrupted is durably
+// requeued, and the process exits 0. On SIGKILL the same journal+cache
+// machinery replays at the next start: journaled-done work is never
+// redone, interrupted work resumes from its checkpoint or cache.
+//
+// API (see internal/service):
+//
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while draining)
+//	POST /jobs               submit {"Type":"simulate"|"sweep"|"dse", ...}
+//	GET  /jobs               all jobs, submission order
+//	GET  /jobs/{id}          one job's structured status
+//	POST /jobs/{id}/cancel   cancel a queued or running job
+//
+// Example:
+//
+//	chipletd -dir /var/lib/chipletd -addr :8080 -workers 4
+//	curl -s localhost:8080/jobs -d '{"Type":"dse","Space":{"Chiplets":[4]}}'
+//
+// Exit status: 0 on clean shutdown (including drain), 1 on startup or
+// serve errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chipletnet"
+	"chipletnet/internal/service"
+	"chipletnet/internal/service/backoff"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+// run is main without os.Exit, so tests drive the daemon in-process or
+// as a helper child. Flags live on a private FlagSet to avoid colliding
+// with the test binary's.
+func run(args []string) int {
+	fs := flag.NewFlagSet("chipletd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	dir := fs.String("dir", "chipletd-state", "state directory (job journal, sharded evaluation cache, checkpoints)")
+	workers := fs.Int("workers", 1, "concurrent jobs")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-job wall-clock deadline (0 = none; jobs may override)")
+	retries := fs.Int("retries", 2, "default extra attempts after a job failure")
+	backoffBase := fs.Duration("backoff-base", 100*time.Millisecond, "delay before the first retry (doubles per retry)")
+	backoffCap := fs.Duration("backoff-cap", 5*time.Second, "upper bound on the retry delay")
+	ckptEvery := fs.Int64("checkpoint-every", 2000, "snapshot simulate jobs every N cycles")
+	engine := fs.String("engine", "active", "cycle engine: active | reference (bit-identical results)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	logger := log.New(os.Stderr, "chipletd: ", 0)
+	switch *engine {
+	case "active":
+	case "reference":
+		chipletnet.UseReferenceEngine = true
+	default:
+		logger.Printf("bad -engine %q: want active or reference", *engine)
+		return 1
+	}
+
+	srv, err := service.Open(service.Config{
+		Dir:             *dir,
+		Workers:         *workers,
+		JobTimeout:      *jobTimeout,
+		Retries:         *retries,
+		Backoff:         backoff.Policy{Base: *backoffBase, Cap: *backoffCap},
+		CheckpointEvery: *ckptEvery,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Printf("open: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		srv.Close()
+		return 1
+	}
+	// The resolved address line is the startup handshake: supervisors
+	// (and the kill-resume test) parse it to find a port-0 listener.
+	logger.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	code := 0
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%v: draining (in-flight jobs checkpoint and requeue)", sig)
+		httpSrv.Close()
+		<-serveErr
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("serve: %v", err)
+			code = 1
+		}
+	}
+	srv.Drain()
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+		code = 1
+	}
+	logger.Printf("drained; state persisted under %s", *dir)
+	return code
+}

@@ -1,0 +1,356 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"chipletnet"
+	"chipletnet/internal/dse"
+	"chipletnet/internal/service"
+)
+
+// TestMain doubles the test binary as the daemon: when CHIPLETD_ARGS is
+// set the process runs the real daemon main loop instead of the tests,
+// so SIGKILL/SIGTERM behavior is exercised on an actual child process
+// (the only honest way to test crash-safety).
+func TestMain(m *testing.M) {
+	if args := os.Getenv("CHIPLETD_ARGS"); args != "" {
+		os.Exit(run(strings.Fields(args)))
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one spawned chipletd child.
+type daemon struct {
+	cmd  *exec.Cmd
+	url  string
+	logs *bytes.Buffer
+}
+
+// startDaemon launches the helper process on a free port and waits for
+// its "listening on" handshake line.
+func startDaemon(t *testing.T, dir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-dir", dir}, extra...)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "CHIPLETD_ARGS="+strings.Join(args, " "))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon child: %v", err)
+	}
+	d := &daemon{cmd: cmd, logs: &bytes.Buffer{}}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		d.logs.WriteString(line + "\n")
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			d.url = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if d.url == "" {
+		cmd.Wait()
+		t.Fatalf("daemon never announced its address; log:\n%s", d.logs)
+	}
+	go func() { // keep draining so the child never blocks on stderr
+		for sc.Scan() {
+			d.logs.WriteString(sc.Text() + "\n")
+		}
+	}()
+	return d
+}
+
+// wait reaps the child and returns its exit code.
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	err := d.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if ok := errorsAs(err, &ee); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("waiting for daemon: %v", err)
+	return -1
+}
+
+func errorsAs(err error, target *(*exec.ExitError)) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+func httpJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob fetches the job until pred is satisfied or the deadline hits.
+func pollJob(t *testing.T, url, id string, timeout time.Duration, pred func(service.Job) bool) service.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var job service.Job
+	for time.Now().Before(deadline) {
+		if code := httpJSON(t, "GET", url+"/jobs/"+id, nil, &job); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		if pred(job) {
+			return job
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never satisfied predicate; last state %q (error %q, progress %+v)",
+		id, job.Status, job.Error, job.Progress)
+	return service.Job{}
+}
+
+func quickSimSpec() service.JobSpec {
+	cfg := chipletnet.DefaultConfig()
+	cfg.Topology = chipletnet.Topology{Kind: "mesh", Dims: []int{2, 2}}
+	cfg.ChipletW, cfg.ChipletH = 3, 3
+	cfg.InjectionRate = 0.1
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	return service.JobSpec{Type: service.JobSimulate, Config: &cfg}
+}
+
+// slowDSESpec is an exploration long enough to SIGKILL mid-campaign:
+// several candidates, each taking a visible fraction of a second.
+func slowDSESpec() service.JobSpec {
+	p := dse.DefaultParams()
+	p.WarmupCycles = 500
+	p.MeasureCycles = 200000
+	p.Rates = []float64{0.05, 0.1}
+	// The long light-load window has quiet stretches the progress
+	// watchdog would misread as deadlock (its threshold assumes the
+	// short default windows); deadlocked records are excluded from the
+	// frontier this test asserts on, so disable the watchdog.
+	p.Base = chipletnet.DefaultConfig()
+	p.Base.DeadlockThreshold = 0
+	return service.JobSpec{
+		Type: service.JobDSE,
+		Space: &dse.Space{
+			Chiplets:      4,
+			NoCs:          [][2]int{{3, 3}, {4, 4}},
+			Topologies:    []string{"mesh"},
+			Routings:      []string{dse.RoutingMFR},
+			Interleavings: []string{"none", "message", "packet"},
+		},
+		Params: &p,
+	}
+}
+
+// cacheLines counts journaled evaluation records across all shards.
+func cacheLines(t *testing.T, dir string) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "cache", "shard-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range bytes.Split(b, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestKillResume is the acceptance test of the tentpole: SIGKILL the
+// daemon mid-campaign, restart it on the same state directory, and the
+// campaign resumes with journaled-done evaluations served 100% from the
+// sharded cache — zero lost jobs, zero duplicated jobs, no redone work.
+func TestKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child daemons")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, dir)
+
+	// A quick job that finishes before the kill: it must survive the
+	// crash as done and never re-run.
+	var preJob service.Job
+	if code := httpJSON(t, "POST", d.url+"/jobs", quickSimSpec(), &preJob); code != http.StatusAccepted {
+		t.Fatalf("submit pre-kill job = %d", code)
+	}
+	pollJob(t, d.url, preJob.ID, time.Minute, func(j service.Job) bool { return j.Status == service.StatusDone })
+
+	var dseJob service.Job
+	if code := httpJSON(t, "POST", d.url+"/jobs", slowDSESpec(), &dseJob); code != http.StatusAccepted {
+		t.Fatalf("submit dse job = %d", code)
+	}
+	// Let at least two candidate evaluations land in the cache, then
+	// kill -9 strictly mid-campaign.
+	mid := pollJob(t, d.url, dseJob.ID, 2*time.Minute, func(j service.Job) bool {
+		return j.Progress.Done >= 2 || j.Status == service.StatusDone
+	})
+	if mid.Status == service.StatusDone {
+		t.Fatal("DSE campaign finished before the kill; slowDSESpec is not slow enough to test crash-resume")
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d.wait(t)
+
+	persisted := cacheLines(t, dir)
+	if persisted < 2 {
+		t.Fatalf("only %d evaluations persisted before the kill, want >= 2", persisted)
+	}
+
+	// Restart on the same state directory: the journal replays, the
+	// half-done campaign requeues, and it completes using the cache.
+	d2 := startDaemon(t, dir)
+	done := pollJob(t, d2.url, dseJob.ID, 3*time.Minute, func(j service.Job) bool {
+		return j.Status == service.StatusDone || j.Status == service.StatusFailed
+	})
+	if done.Status != service.StatusDone {
+		t.Fatalf("resumed campaign failed: %s", done.Error)
+	}
+	if done.Attempts != 2 {
+		t.Errorf("resumed campaign Attempts = %d, want 2 (one per process)", done.Attempts)
+	}
+	var res service.DSEResult
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("DSE result payload: %v", err)
+	}
+	if res.CacheHits < persisted {
+		t.Errorf("resumed campaign re-simulated persisted work: CacheHits=%d, want >= %d", res.CacheHits, persisted)
+	}
+	if res.Simulated+res.CacheHits != res.Candidates {
+		t.Errorf("work accounting: Simulated(%d) + CacheHits(%d) != Candidates(%d)",
+			res.Simulated, res.CacheHits, res.Candidates)
+	}
+	if len(res.Frontier) == 0 {
+		t.Error("resumed campaign produced an empty frontier")
+	}
+
+	// Zero lost, zero duplicated: exactly the two submitted jobs exist,
+	// and the pre-kill job is still done on its single attempt.
+	var jobs []service.Job
+	if code := httpJSON(t, "GET", d2.url+"/jobs", nil, &jobs); code != http.StatusOK {
+		t.Fatalf("list jobs = %d", code)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want exactly 2: %+v", len(jobs), jobs)
+	}
+	pre := jobByID(jobs, preJob.ID)
+	if pre.Status != service.StatusDone || pre.Attempts != 1 {
+		t.Errorf("pre-kill job after restart: status %q attempts %d, want done on 1 attempt (not re-run)",
+			pre.Status, pre.Attempts)
+	}
+}
+
+func jobByID(jobs []service.Job, id string) service.Job {
+	for _, j := range jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	return service.Job{}
+}
+
+// TestSigtermDrains: SIGTERM mid-job exits 0 after snapshotting and
+// requeuing the in-flight work, and a restart finishes it.
+func TestSigtermDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child daemons")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, dir, "-checkpoint-every", "500")
+
+	spec := quickSimSpec()
+	spec.Config.MeasureCycles = 200000 // long enough to be mid-run
+	var job service.Job
+	if code := httpJSON(t, "POST", d.url+"/jobs", spec, &job); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	pollJob(t, d.url, job.ID, time.Minute, func(j service.Job) bool { return j.Status == service.StatusRunning })
+	time.Sleep(50 * time.Millisecond)
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d, want 0 (graceful drain); log:\n%s", code, d.logs)
+	}
+	if !strings.Contains(d.logs.String(), "draining") {
+		t.Errorf("daemon log does not mention draining:\n%s", d.logs)
+	}
+
+	d2 := startDaemon(t, dir)
+	done := pollJob(t, d2.url, job.ID, 2*time.Minute, func(j service.Job) bool {
+		return j.Status == service.StatusDone || j.Status == service.StatusFailed
+	})
+	if done.Status != service.StatusDone {
+		t.Fatalf("drained job did not finish after restart: %q %s", done.Status, done.Error)
+	}
+	var res chipletnet.Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if res.DeliveredPackets == 0 {
+		t.Error("resumed run delivered nothing")
+	}
+}
+
+// TestBadFlags: unparseable flags and a bad engine exit 1.
+func TestBadFlags(t *testing.T) {
+	if run([]string{"-definitely-not-a-flag"}) != 1 {
+		t.Error("unknown flag did not exit 1")
+	}
+	if run([]string{"-engine", "warp", "-dir", t.TempDir()}) != 1 {
+		t.Error("bad -engine did not exit 1")
+	}
+}

@@ -12,13 +12,17 @@
 // configuration, so overlapping sweeps and re-runs skip simulation
 // entirely (a repeated run is 100% cache hits and reproduces the
 // reports byte for byte), and a killed exploration resumes where it
-// stopped.
+// stopped. A -cache ending in / (or naming an existing directory) is a
+// 16-way sharded cache keyed by hash prefix; shard directories populated
+// on different machines merge losslessly with -merge, and the merged
+// cache reproduces the single-machine reports byte for byte.
 //
 // Examples:
 //
 //	chipletdse -chiplets 16 -cache dse.jsonl -out results/dse
 //	chipletdse -chiplets 16 -pin-budget 1024 -min-group-width 2 -json
 //	chipletdse -chiplets 64 -topologies hypercube,ndmesh -rates 0.05,0.2,0.4
+//	chipletdse -cache merged/ -merge hostA-cache/,hostB-cache/
 //
 // Exit status: 0 on success, 1 on usage or evaluation errors, 2 when a
 // verified candidate deadlocked at runtime (a cross-validation failure
@@ -56,7 +60,8 @@ func main() {
 	warmup := flag.Int64("warmup", 0, "warm-up cycles per run (default 300)")
 	measure := flag.Int64("measure", 0, "measured cycles per run (default 1500)")
 	seed := flag.Uint64("seed", 1, "random seed (part of the evaluation cache key)")
-	cachePath := flag.String("cache", "", "content-addressed evaluation cache (JSONL); re-runs skip cached candidates")
+	cachePath := flag.String("cache", "", "content-addressed evaluation cache: a JSONL file, or a directory for the 16-way sharded cache (trailing / or an existing directory; shards merge across machines with -merge)")
+	mergeSrcs := flag.String("merge", "", "comma-separated caches (files or shard directories) to merge into -cache, then exit")
 	outDir := flag.String("out", "", "directory for the report set (candidates.csv, frontier.csv, frontier.json, topoviz script, per-design configs)")
 	asJSON := flag.Bool("json", false, "emit the full report as JSON on stdout")
 	engine := flag.String("engine", "active", "cycle engine: active | reference (bit-identical results; reference is the slow oracle)")
@@ -111,11 +116,39 @@ func main() {
 		fatalf("bad -rates: %v", err)
 	}
 
-	cache, err := dse.OpenCache(*cachePath)
+	cache, err := dse.OpenStore(*cachePath)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer cache.Close()
+	if q := cache.Quarantined(); q > 0 {
+		logf("warning: quarantined %d corrupt cache lines to .rej sidecars (kept %d records)", q, cache.Len())
+	}
+
+	if *mergeSrcs != "" {
+		if *cachePath == "" {
+			fatalf("-merge needs -cache to merge into")
+		}
+		total := 0
+		for _, src := range splitList(*mergeSrcs) {
+			from, err := dse.OpenStore(src)
+			if err != nil {
+				fatalf("opening merge source %s: %v", src, err)
+			}
+			if q := from.Quarantined(); q > 0 {
+				logf("warning: merge source %s: quarantined %d corrupt lines", src, q)
+			}
+			added, err := dse.Merge(cache, from)
+			from.Close()
+			if err != nil {
+				fatalf("merging %s: %v", src, err)
+			}
+			logf("merged %s: %d new records (%d already present)", src, added, from.Len()-added)
+			total += added
+		}
+		logf("cache now holds %d records (+%d)", cache.Len(), total)
+		return
+	}
 
 	plan, err := dse.NewPlan(space, params, cache)
 	if err != nil {
@@ -177,7 +210,7 @@ func main() {
 // each record as it completes (so a killed exploration resumes from the
 // cache). Results are positional: recs[i] pairs with the i-th verified
 // candidate regardless of scheduling.
-func evaluate(plan *dse.Plan, cache *dse.Cache, workers int) ([]dse.Record, error) {
+func evaluate(plan *dse.Plan, cache dse.Store, workers int) ([]dse.Record, error) {
 	if workers < 1 {
 		workers = 1
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"chipletnet/internal/experiments"
+	"chipletnet/internal/service/backoff"
 )
 
 // campaignConfig tunes the crash-safe campaign supervisor.
@@ -15,7 +16,7 @@ type campaignConfig struct {
 	Timeout time.Duration // per-attempt wall-clock limit (0 = none)
 	Retries int           // extra attempts after a failure
 	// Backoff before retry k is BackoffBase << (k-1), capped at
-	// BackoffCap.
+	// BackoffCap (backoff.Policy's schedule).
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
 	Logf        func(format string, args ...any)
@@ -73,6 +74,7 @@ func runCampaign(tasks []experiments.Task, j *experiments.Journal, cc campaignCo
 		cc.Workers = 1
 	}
 
+	pacing := backoff.Policy{Base: cc.BackoffBase, Cap: cc.BackoffCap}
 	perTask := make([][]experiments.Point, len(tasks))
 	taskErrs := make([]error, len(tasks))
 	work := make(chan int)
@@ -90,12 +92,8 @@ func runCampaign(tasks []experiments.Task, j *experiments.Journal, cc campaignCo
 				var lastErr error
 				for try := 0; try <= cc.Retries; try++ {
 					if try > 0 {
-						backoff := cc.BackoffBase << (try - 1)
-						if cc.BackoffCap > 0 && backoff > cc.BackoffCap {
-							backoff = cc.BackoffCap
-						}
-						logf("%s: attempt %d failed (%v); retrying in %v", task.Key, attempts, lastErr, backoff)
-						time.Sleep(backoff)
+						logf("%s: attempt %d failed (%v); retrying in %v", task.Key, attempts, lastErr, pacing.Delay(try))
+						pacing.Sleep(try)
 					}
 					attempts++
 					out := runAttempt(task, cc.Timeout)

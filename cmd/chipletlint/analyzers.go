@@ -9,9 +9,15 @@ import (
 )
 
 // simulatorScope reports whether dir holds simulator code: the module root
-// package or anything under internal/. Commands and examples read the
-// wall clock and parallelize freely.
+// package or anything under internal/, except internal/service — the
+// campaign daemon's process layer, which legitimately owns goroutines,
+// timers and wall-clock deadlines (all simulation it schedules still runs
+// through the module root). Commands and examples read the wall clock and
+// parallelize freely.
 func simulatorScope(dir string) bool {
+	if dir == "internal/service" || strings.HasPrefix(dir, "internal/service/") {
+		return false
+	}
 	return dir == "." || dir == "internal" || strings.HasPrefix(dir, "internal/")
 }
 
@@ -297,6 +303,64 @@ func lintMapRanges(pass *analysis.Pass, fn *ast.FuncDecl, imports map[string]boo
 		})
 		return true
 	})
+}
+
+// retrysleepAnalyzer enforces the retry-pacing funnel: a bare time.Sleep
+// inside a loop is almost always a hand-rolled retry/poll loop, and those
+// must pace themselves through internal/service/backoff (capped
+// exponential, cancellation-aware) instead of silently hammering or
+// sleeping unboundedly. The rule applies everywhere — commands included —
+// except inside the backoff package itself; test files may poll freely.
+var retrysleepAnalyzer = &analysis.Analyzer{
+	Name: "retrysleep",
+	Doc:  "flags bare time.Sleep calls inside loops (pace retries with internal/service/backoff)",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		if pass.Dir == "internal/service/backoff" {
+			return nil, nil
+		}
+		for _, file := range pass.Files {
+			if isTestFile(pass, file) {
+				continue
+			}
+			alias := timeAlias(file)
+			if alias == "" {
+				continue
+			}
+			var loopDepth int
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loopDepth++
+					ast.Inspect(loopBody(n), walk)
+					loopDepth--
+					return false // children handled above
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || loopDepth == 0 {
+						return true
+					}
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == alias && sel.Sel.Name == "Sleep" {
+						pass.Reportf(n.Pos(), "bare time.Sleep in a retry loop: pace retries with internal/service/backoff")
+					}
+				}
+				return true
+			}
+			ast.Inspect(file, walk)
+		}
+		return nil, nil
+	},
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
 }
 
 // isAppendCall reports whether e is a call to the append builtin.

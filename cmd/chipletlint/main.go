@@ -1,7 +1,7 @@
 // Command chipletlint enforces the repository's determinism invariants on
 // simulator packages (the module root and internal/...). A cycle-accurate
 // simulator must produce bit-identical results for a given seed, so the
-// driver runs four analyzers over every matched package:
+// driver runs five analyzers over every matched package:
 //
 //	rngsource  no package may import math/rand except internal/rng — all
 //	           randomness flows through the seeded, stable generator
@@ -16,7 +16,15 @@
 //	mapiter    map iteration must not produce order-dependent effects: a
 //	           range-over-map body may not append to or assign outer
 //	           variables, or call methods on them, unless the function
-//	           later sorts the collected values (collect-then-sort).
+//	           later sorts the collected values (collect-then-sort);
+//	retrysleep no bare time.Sleep inside a loop anywhere (commands
+//	           included) — retry and poll loops pace themselves through
+//	           internal/service/backoff, which is capped-exponential and
+//	           cancellation-aware.
+//
+// internal/service (the campaign daemon's process layer) is exempt from
+// the simulator-scope rules — it legitimately owns goroutines, timers and
+// wall-clock deadlines — but not from rngsource or retrysleep.
 //
 // The analyzers are written against internal/analysis, a dependency-free
 // mirror of the golang.org/x/tools/go/analysis framework (the repository
@@ -48,6 +56,7 @@ func main() {
 		wallclockAnalyzer,
 		goroutineAnalyzer,
 		mapiterAnalyzer,
+		retrysleepAnalyzer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chipletlint: %v\n", err)

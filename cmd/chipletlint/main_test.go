@@ -20,7 +20,7 @@ func lintSource(t *testing.T, dir, name, src string) []analysis.Finding {
 		t.Fatal(err)
 	}
 	var out []analysis.Finding
-	for _, a := range []*analysis.Analyzer{rngsourceAnalyzer, wallclockAnalyzer, goroutineAnalyzer, mapiterAnalyzer} {
+	for _, a := range []*analysis.Analyzer{rngsourceAnalyzer, wallclockAnalyzer, goroutineAnalyzer, mapiterAnalyzer, retrysleepAnalyzer} {
 		pass := &analysis.Pass{
 			Analyzer: a,
 			Fset:     fset,
@@ -191,4 +191,87 @@ func TestFaultPackageIsSimulatorScope(t *testing.T) {
 import "time"
 func stamp() time.Time { return time.Now() }`
 	assertFinding(t, lintSource(t, "internal/fault", "fault.go", src), "time")
+}
+
+func TestServicePackageExemptFromSimulatorScope(t *testing.T) {
+	// The campaign daemon's process layer owns goroutines, timers and
+	// wall-clock deadlines by design; all simulation it schedules still
+	// flows through the module root.
+	for _, dir := range []string{"internal/service", "internal/service/backoff"} {
+		if simulatorScope(dir) {
+			t.Errorf("simulatorScope(%q) = true, want false (process layer)", dir)
+		}
+	}
+	src := `package service
+import "time"
+func f() { go func() { _ = time.Now(); t := time.NewTimer(time.Second); t.Stop() }() }`
+	if fs := lintSource(t, "internal/service", "service.go", src); len(fs) != 0 {
+		t.Errorf("internal/service flagged by simulator-scope analyzers: %v", fs)
+	}
+	// The exemption does not extend to the randomness funnel.
+	src = `package service
+import "math/rand"
+var _ = rand.Int`
+	assertFinding(t, lintSource(t, "internal/service", "service.go", src), "math/rand")
+}
+
+func TestBareSleepInLoopFlagged(t *testing.T) {
+	// The cmd/chipletfig campaign supervisor's original retry shape: a
+	// hand-computed backoff slept with a bare time.Sleep inside the
+	// attempt loop.
+	src := `package x
+import "time"
+func retry() {
+	for try := 0; try < 3; try++ {
+		if work() {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+func work() bool { return false }`
+	assertFinding(t, lintSource(t, "cmd/chipletfig", "campaign.go", src), "internal/service/backoff")
+
+	// range loops are retry loops too, and nesting does not hide the call.
+	src = `package x
+import "time"
+func poll(jobs []int) {
+	for range jobs {
+		if true {
+			time.Sleep(time.Second)
+		}
+	}
+}`
+	assertFinding(t, lintSource(t, ".", "run.go", src), "internal/service/backoff")
+}
+
+func TestSleepOutsideLoopAccepted(t *testing.T) {
+	src := `package x
+import "time"
+func settle() { time.Sleep(time.Millisecond) }`
+	if fs := lintSource(t, "cmd/chipletfig", "campaign.go", src); len(fs) != 0 {
+		t.Errorf("straight-line sleep flagged: %v", fs)
+	}
+	// The backoff package itself implements the pacing and is exempt.
+	src = `package backoff
+import "time"
+func spin() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}`
+	if fs := lintSource(t, "internal/service/backoff", "backoff.go", src); len(fs) != 0 {
+		t.Errorf("backoff package flagged: %v", fs)
+	}
+	// Tests may poll freely.
+	src = `package x
+import "time"
+func wait() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}`
+	if fs := lintSource(t, "cmd/chipletd", "main_test.go", src); len(fs) != 0 {
+		t.Errorf("test file flagged: %v", fs)
+	}
 }

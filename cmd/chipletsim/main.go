@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"chipletnet"
+	"chipletnet/internal/checkpoint"
 )
 
 func main() {
@@ -242,6 +243,15 @@ func main() {
 			enc.Encode(res)
 		}
 		os.Exit(2)
+	case errors.Is(err, checkpoint.ErrMismatch):
+		// -resume with a checkpoint whose snapshot no longer fits its
+		// embedded configuration (edited, truncated, or from another
+		// build of the topology): rebuilding would silently diverge, so
+		// refuse with the mismatch witness.
+		fatalf("resume %s: checkpoint does not match configuration: %v\n"+
+			"chipletsim: the snapshot state disagrees with the config embedded in the checkpoint;\n"+
+			"chipletsim: restore the original checkpoint file or re-run from scratch without -resume",
+			*resumePath, err)
 	case err != nil:
 		// A typed fault failure (partition, failed re-certification) still
 		// carries a partial Result with the event log; surface it.

@@ -8,9 +8,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"chipletnet"
+	"chipletnet/internal/jsonl"
 )
 
 // keyPayload is the canonical content of one candidate evaluation: the
@@ -25,21 +27,48 @@ type keyPayload struct {
 }
 
 // Key returns the content address of evaluating cfg under p: the hex
-// SHA-256 of the gob encoding of the fully-resolved payload. Gob writes
-// struct fields in declaration order and Config contains no maps, so the
-// byte stream — and therefore the key — is stable across runs.
+// SHA-256 of the JSON encoding of the fully-resolved payload. JSON —
+// not gob — because gob wire type IDs are assigned from a
+// process-global counter in first-use order, so a gob-based hash
+// changes depending on what else the process happened to gob-encode
+// first (a checkpoint written by an earlier job shifted every
+// subsequent key). JSON marshals struct fields in declaration order
+// with shortest-round-trip floats and Config contains no maps, so the
+// byte stream — and therefore the key — is stable across runs,
+// processes and machines.
 func Key(cfg chipletnet.Config, p Params) string {
 	p = p.normalize()
-	h := sha256.New()
-	if err := gob.NewEncoder(h).Encode(keyPayload{
+	payload, err := json.Marshal(keyPayload{
 		Cfg:          cfg,
 		Rates:        p.Rates,
 		ZeroLoadRate: p.ZeroLoadRate,
-	}); err != nil {
-		// Config and Params are plain data; gob cannot fail on them.
+	})
+	if err != nil {
+		// Config and Params are plain data; json cannot fail on them.
 		panic(fmt.Sprintf("dse: hashing candidate: %v", err))
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is the evaluation-store interface the planner and the campaign
+// daemon consume. The single-file Cache and the ShardedCache both
+// implement it; Merge unions any mix of the two.
+type Store interface {
+	// Lookup returns the cached record for key.
+	Lookup(key string) (Record, bool)
+	// Put persists rec under rec.Key durably before returning.
+	Put(rec Record) error
+	// Records returns every cached record in ascending key order — the
+	// deterministic enumeration Merge walks.
+	Records() []Record
+	// Len returns the number of cached records.
+	Len() int
+	// Quarantined returns how many corrupt lines the open moved to the
+	// .rej sidecar(s) (see internal/jsonl).
+	Quarantined() int
+	// Close releases the underlying file(s).
+	Close() error
 }
 
 // cacheLine is the JSONL envelope of one cache entry: the content key
@@ -56,57 +85,48 @@ type cacheLine struct {
 // key to Record, persisted as an append-only JSONL file fsynced after
 // every record (the campaign-journal idiom; see internal/experiments).
 // A process killed mid-append leaves at most one torn final line, which
-// OpenCache drops from the file before appending resumes; a later entry
-// for a key overrides an earlier one. With an empty path the cache is
-// memory-only.
+// OpenCache drops from the file before appending resumes; any other
+// corrupt line is quarantined to a .rej sidecar and the later valid
+// entries are kept (self-healing reads; see internal/jsonl). A later
+// entry for a key overrides an earlier one. With an empty path the cache
+// is memory-only.
 //
-// Cache is safe for concurrent use; cmd/chipletdse records from its
-// worker pool.
+// Cache is safe for concurrent use; cmd/chipletdse and the campaign
+// daemon record from worker pools.
 type Cache struct {
-	mu   sync.Mutex
-	f    *os.File // nil when memory-only
-	recs map[string]Record
+	mu          sync.Mutex
+	f           *os.File // nil when memory-only
+	recs        map[string]Record
+	quarantined int
 }
 
 // OpenCache opens (creating if needed) the cache at path and loads its
-// entries. An empty path returns a memory-only cache.
+// entries, healing crash and corruption damage in place. An empty path
+// returns a memory-only cache.
 func OpenCache(path string) (*Cache, error) {
 	c := &Cache{recs: map[string]Record{}}
 	if path == "" {
 		return c, nil
 	}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, err
-	}
-	if len(data) > 0 && data[len(data)-1] != '\n' {
-		// A crash mid-append left a torn final line. Drop it from the
-		// file as well as from the load, so later appends start on a
-		// fresh line instead of gluing onto the garbage.
-		valid := bytes.LastIndexByte(data, '\n') + 1
-		if err := os.Truncate(path, int64(valid)); err != nil {
-			return nil, fmt.Errorf("dse: cache %s: dropping torn final line: %w", path, err)
-		}
-		data = data[:valid]
-	}
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
+	q, err := jsonl.Load(path, func(line []byte) error {
 		var cl cacheLine
 		if err := json.Unmarshal(line, &cl); err != nil {
-			return nil, fmt.Errorf("dse: cache %s line %d: %w", path, i+1, err)
+			return err
 		}
 		var rec Record
 		if err := gob.NewDecoder(bytes.NewReader(cl.G)).Decode(&rec); err != nil {
-			return nil, fmt.Errorf("dse: cache %s line %d: decoding record: %w", path, i+1, err)
+			return fmt.Errorf("decoding record: %w", err)
 		}
 		if rec.Key != cl.K {
-			return nil, fmt.Errorf("dse: cache %s line %d: record key %.12s does not match envelope key %.12s", path, i+1, rec.Key, cl.K)
+			return fmt.Errorf("record key %.12s does not match envelope key %.12s", rec.Key, cl.K)
 		}
 		c.recs[cl.K] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dse: cache %s: %w", path, err)
 	}
+	c.quarantined = q
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -152,11 +172,31 @@ func (c *Cache) Put(rec Record) error {
 	return nil
 }
 
+// Records returns every cached record in ascending key order.
+func (c *Cache) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, 0, len(c.recs))
+	for _, rec := range c.recs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Len returns the number of cached records.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.recs)
+}
+
+// Quarantined returns how many corrupt lines OpenCache moved to the
+// .rej sidecar.
+func (c *Cache) Quarantined() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
 }
 
 // Close closes the underlying file (a no-op for memory-only caches).

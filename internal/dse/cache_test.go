@@ -132,14 +132,103 @@ func TestCacheToleratesTruncatedFinalLine(t *testing.T) {
 	}
 }
 
-func TestCacheRejectsCorruptInterior(t *testing.T) {
+// TestCacheQuarantinesCorruptInterior: corruption in the middle of a
+// cache file (flipped bits, partial writes from a lost race, operator
+// edits) must not cost the later valid entries. Corrupt lines move to a
+// .rej sidecar for inspection, the file is atomically rewritten with
+// only the valid lines, and reopening is clean.
+func TestCacheQuarantinesCorruptInterior(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.jsonl")
-	if err := os.WriteFile(path, []byte("not json\n{\"K\":\"x\",\"G\":\"\"}\n"), 0o644); err != nil {
+	c, err := OpenCache(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenCache(path); err == nil {
-		t.Error("OpenCache accepted a corrupt interior line")
+	for _, k := range []string{"key-1", "key-2", "key-3"} {
+		if err := c.Put(testRecord(k, "cand-"+k)); err != nil {
+			t.Fatal(err)
+		}
 	}
+	c.Close()
+
+	// Corruption matrix, spliced between the valid lines: not JSON at
+	// all, JSON with a truncated gob payload, and a valid envelope whose
+	// key disagrees with the record inside (bit rot in K).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytesSplitLines(data)
+	if len(lines) != 3 {
+		t.Fatalf("seeded %d lines, want 3", len(lines))
+	}
+	mismatched := []byte(`{"K":"someone-elses-key`)
+	mismatched = append(mismatched, lines[2][len(`{"K":"key-3`):]...)
+	var doctored []byte
+	doctored = append(doctored, lines[0]...)
+	doctored = append(doctored, "!!not json!!\n"...)
+	doctored = append(doctored, lines[1]...)
+	doctored = append(doctored, "{\"K\":\"key-x\",\"G\":\"AAAA\"}\n"...)
+	doctored = append(doctored, mismatched...)
+	if err := os.WriteFile(path, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache on corrupt file: %v", err)
+	}
+	if c2.Quarantined() != 3 {
+		t.Errorf("Quarantined = %d, want 3", c2.Quarantined())
+	}
+	if c2.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (valid entries before AND after the corruption)", c2.Len())
+	}
+	for _, k := range []string{"key-1", "key-2"} {
+		if _, ok := c2.Lookup(k); !ok {
+			t.Errorf("valid record %s lost to quarantine", k)
+		}
+	}
+	if _, ok := c2.Lookup("key-3"); ok {
+		t.Error("key-mismatched record should have been quarantined")
+	}
+	c2.Close()
+
+	// The corrupt lines are preserved for inspection...
+	rej, err := os.ReadFile(path + ".rej")
+	if err != nil {
+		t.Fatalf("no .rej sidecar: %v", err)
+	}
+	if got := len(bytesSplitLines(rej)); got != 3 {
+		t.Errorf(".rej holds %d lines, want 3", got)
+	}
+	// ...and the repair is idempotent: the rewritten file reloads with
+	// nothing further to quarantine.
+	c3, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if c3.Quarantined() != 0 || c3.Len() != 2 {
+		t.Errorf("reloaded repaired cache: Quarantined=%d Len=%d, want 0/2", c3.Quarantined(), c3.Len())
+	}
+}
+
+// bytesSplitLines splits complete lines, keeping the trailing newline on
+// each.
+func bytesSplitLines(data []byte) [][]byte {
+	var lines [][]byte
+	for len(data) > 0 {
+		i := 0
+		for i < len(data) && data[i] != '\n' {
+			i++
+		}
+		if i == len(data) {
+			break // torn tail, not a line
+		}
+		lines = append(lines, data[:i+1])
+		data = data[i+1:]
+	}
+	return lines
 }
 
 func TestKeyStability(t *testing.T) {
@@ -184,6 +273,25 @@ func TestKeyStability(t *testing.T) {
 	p2 = p
 	p2.ZeroLoadRate = 0.01
 	add("zero-load rate", Key(cfg, p2))
+}
+
+// TestKeyGolden pins the exact key bytes for the default configuration.
+// The key must be identical across processes and machines — that is
+// what lets independently-populated caches merge (dse.Merge) and lets a
+// restarted daemon serve a resubmitted campaign from cache. The
+// original gob-based key silently violated this: gob wire type IDs
+// come from a process-global counter in first-use order, so a daemon
+// that happened to write a checkpoint (gob of checkpoint.State) before
+// its first DSE job hashed every candidate differently from a daemon
+// that ran DSE first. If this test fails after an intentional Config
+// or Params change, update the constant — that records the cache
+// invalidation explicitly.
+func TestKeyGolden(t *testing.T) {
+	const want = "db4825fea2acdcb06198cd2870f0254d839a9eeda89c93e288235d54f84a4b46"
+	if got := Key(chipletnet.DefaultConfig(), DefaultParams()); got != want {
+		t.Errorf("Key(DefaultConfig, DefaultParams) = %s, want %s\n"+
+			"(an intentional Config/Params schema change invalidates existing caches — update the constant)", got, want)
+	}
 }
 
 // TestKeyIgnoresEngineChoice pins the deliberate design decision that

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -156,6 +157,14 @@ type Eval struct {
 // all goroutines; see cmd/chipletlint). The returned Record is
 // independent of GOMAXPROCS and of the cycle-engine choice.
 func (e Eval) Run() (Record, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: a canceled context aborts the batch at
+// the next cycle boundary with an error wrapping chipletnet.ErrCanceled,
+// so daemon job deadlines and drains stop an evaluation cleanly
+// mid-batch. A completed RunCtx record is identical to Run's.
+func (e Eval) RunCtx(ctx context.Context) (Record, error) {
 	p := e.Params
 	cfgs := make([]chipletnet.Config, 0, 1+len(p.Rates))
 	zero := e.Candidate.Cfg
@@ -166,7 +175,7 @@ func (e Eval) Run() (Record, error) {
 		c.InjectionRate = r
 		cfgs = append(cfgs, c)
 	}
-	results, err := chipletnet.RunMany(cfgs)
+	results, err := chipletnet.RunManyCtx(ctx, cfgs)
 	if err != nil {
 		return Record{}, fmt.Errorf("dse: evaluating %s: %w", e.Candidate.Name, err)
 	}
@@ -260,8 +269,9 @@ func routingKey(cfg chipletnet.Config) string {
 // NewPlan enumerates the space, statically verifies every feasible
 // candidate's routing (rejecting deadlock-prone designs with the
 // verifier's witness), and partitions the survivors into cache hits and
-// pending evaluations. NewPlan itself runs no simulation.
-func NewPlan(s Space, p Params, cache *Cache) (*Plan, error) {
+// pending evaluations. NewPlan itself runs no simulation. The cache may
+// be a single-file Cache or a ShardedCache.
+func NewPlan(s Space, p Params, cache Store) (*Plan, error) {
 	p = p.normalize()
 	cands, pruned, err := s.Enumerate(p)
 	if err != nil {
@@ -327,7 +337,7 @@ type Outcome struct {
 // the module root), cache the results, and extract the frontier.
 // cmd/chipletdse replaces the sequential loop with a worker pool; the
 // records and frontier are identical either way.
-func Explore(s Space, p Params, cache *Cache) (*Outcome, error) {
+func Explore(s Space, p Params, cache Store) (*Outcome, error) {
 	plan, err := NewPlan(s, p, cache)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,123 @@
+// Package jsonl is the shared loader for the repository's append-only
+// JSONL stores (the DSE evaluation cache shards, the daemon job journal).
+// All of them follow the same crash-safety idiom — append one line, fsync,
+// return — so they share one damage model and one repair:
+//
+//   - A final line without a trailing newline is the signature of a crash
+//     mid-append. The entry was never acknowledged, so it is dropped.
+//   - Any other unparseable line is real corruption (bit rot, a partial
+//     write glued onto a later append, an editor accident). Instead of
+//     refusing the whole file — or worse, silently losing every valid
+//     entry after the first bad line — the bad lines are quarantined to a
+//     `<file>.rej` sidecar and loading continues with the later entries.
+//
+// After quarantine the store file is rewritten atomically (temp file +
+// rename, the internal/checkpoint idiom) containing only the valid lines,
+// so appends resume on a clean file and a re-open quarantines nothing.
+package jsonl
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Load reads the append-only JSONL file at path and feeds every non-empty
+// line to accept in file order. Lines accept rejects are quarantined to
+// path+".rej"; a torn final line (crash mid-append) is dropped silently.
+// If anything was dropped or quarantined, the file is rewritten in place
+// (atomically) with only the accepted lines. A missing file loads as
+// empty. The returned count is the number of quarantined lines.
+func Load(path string, accept func(line []byte) error) (quarantined int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	// A file not ending in '\n' lost the tail of its final append; the
+	// entry was never acknowledged to its writer, so dropping it is not
+	// data loss. The split below leaves the torn fragment as the last
+	// element; cutting it here keeps it out of both the load and the
+	// quarantine sidecar.
+	torn := data[len(data)-1] != '\n'
+	lines := bytes.Split(data, []byte("\n"))
+	if torn {
+		lines = lines[:len(lines)-1]
+	}
+
+	var valid, bad [][]byte
+	for _, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if accept(line) != nil {
+			bad = append(bad, line)
+			continue
+		}
+		valid = append(valid, line)
+	}
+	quarantined = len(bad)
+	if quarantined > 0 {
+		if err := appendLines(path+".rej", bad); err != nil {
+			return quarantined, fmt.Errorf("jsonl: quarantining %d corrupt lines of %s: %w", quarantined, path, err)
+		}
+	}
+	if quarantined > 0 || torn {
+		if err := rewrite(path, valid); err != nil {
+			return quarantined, fmt.Errorf("jsonl: repairing %s: %w", path, err)
+		}
+	}
+	return quarantined, nil
+}
+
+// appendLines appends the lines to path (creating it if needed) and
+// syncs before returning.
+func appendLines(path string, lines [][]byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rewrite atomically replaces path with the given lines: the bytes go to
+// a temp file in the same directory, are synced, and renamed over path,
+// so a crash mid-repair leaves either the damaged original (repaired
+// again on the next open) or the clean result — never a half-rewrite.
+func rewrite(path string, lines [][]byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	for _, line := range lines {
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,153 @@
+package jsonl
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type entry struct {
+	K string
+	V int
+}
+
+// loadEntries runs Load with a JSON-into-entry acceptor requiring a
+// non-empty key, returning the accepted entries in order.
+func loadEntries(t *testing.T, path string) ([]entry, int) {
+	t.Helper()
+	var out []entry
+	q, err := Load(path, func(line []byte) error {
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
+		}
+		if e.K == "" {
+			return os.ErrInvalid
+		}
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, q
+}
+
+func write(t *testing.T, path string, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	got, q := loadEntries(t, filepath.Join(t.TempDir(), "absent.jsonl"))
+	if len(got) != 0 || q != 0 {
+		t.Errorf("missing file loaded %d entries, %d quarantined", len(got), q)
+	}
+}
+
+// TestLoadCorruptionMatrix walks every damage class in one file: clean
+// lines, interior garbage, a structurally-valid-but-rejected line, blank
+// lines, and a torn tail. Valid entries after the corruption must
+// survive; the bad lines land in the sidecar; the repaired file reloads
+// with zero further quarantine.
+func TestLoadCorruptionMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	write(t, path,
+		`{"K":"a","V":1}`+"\n"+
+			"!!not json!!\n"+
+			`{"K":"b","V":2}`+"\n"+
+			"\n"+
+			`{"V":3}`+"\n"+ // parses but fails validation (no key)
+			`{"K":"c","V":4}`+"\n"+
+			`{"K":"d","V":5`) // torn tail: crash mid-append
+
+	got, q := loadEntries(t, path)
+	want := []entry{{"a", 1}, {"b", 2}, {"c", 4}}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if q != 2 {
+		t.Errorf("quarantined %d lines, want 2 (garbage + keyless)", q)
+	}
+
+	// The quarantine sidecar holds exactly the two corrupt lines; the
+	// torn tail is dropped, not quarantined.
+	rej, err := os.ReadFile(path + ".rej")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "!!not json!!\n" + `{"V":3}` + "\n"; string(rej) != want {
+		t.Errorf("sidecar = %q, want %q", rej, want)
+	}
+
+	// The store file was repaired in place: only valid lines remain.
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(clean, []byte("not json")) || clean[len(clean)-1] != '\n' {
+		t.Errorf("repaired file still damaged: %q", clean)
+	}
+
+	// Idempotence: a second load quarantines nothing and sees the same
+	// entries.
+	again, q2 := loadEntries(t, path)
+	if q2 != 0 {
+		t.Errorf("reload quarantined %d lines, want 0", q2)
+	}
+	if len(again) != len(want) {
+		t.Errorf("reload got %d entries, want %d", len(again), len(want))
+	}
+}
+
+func TestLoadTornTailOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	write(t, path, `{"K":"a","V":1}`+"\n"+`{"K":"b"`)
+
+	got, q := loadEntries(t, path)
+	if len(got) != 1 || got[0].K != "a" || q != 0 {
+		t.Errorf("got %v (quarantined %d), want just entry a with 0 quarantined", got, q)
+	}
+	if _, err := os.Stat(path + ".rej"); !os.IsNotExist(err) {
+		t.Error("torn tail must not create a quarantine sidecar")
+	}
+	// Repair truncated the torn fragment so appends start clean.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"K":"a","V":1}`+"\n" {
+		t.Errorf("repaired file = %q", data)
+	}
+}
+
+func TestLoadCleanFileUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.jsonl")
+	content := `{"K":"a","V":1}` + "\n" + `{"K":"b","V":2}` + "\n"
+	write(t, path, content)
+	before, _ := os.Stat(path)
+
+	got, q := loadEntries(t, path)
+	if len(got) != 2 || q != 0 {
+		t.Fatalf("got %d entries, %d quarantined", len(got), q)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.ModTime() != after.ModTime() || before.Size() != after.Size() {
+		t.Error("clean file was rewritten; repair must only touch damaged files")
+	}
+}

@@ -1,0 +1,72 @@
+// Package backoff is the repository's shared retry-pacing policy:
+// capped exponential delays between attempts. Every retry loop in the
+// process layer (the campaign daemon, the chipletfig supervisor) paces
+// itself through a Policy — the chipletlint retrysleep analyzer flags
+// bare time.Sleep calls inside loops anywhere else, so retry discipline
+// cannot silently regress to busy hammering.
+//
+// The policy is deliberately jitter-free: delays are a pure function of
+// the attempt number, so supervisor behavior is reproducible in tests.
+package backoff
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Policy is a capped exponential backoff: the pause before retry k
+// (1-based) is Base << (k-1), clamped to Cap.
+type Policy struct {
+	// Base is the delay before the first retry. A zero or negative Base
+	// disables pausing entirely (Delay returns 0 for every attempt).
+	Base time.Duration
+	// Cap bounds the delay; <= 0 means uncapped.
+	Cap time.Duration
+}
+
+// Delay returns the pause before retry attempt (1-based). Attempts
+// before the first retry, or a disabled policy, yield zero.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 1 || p.Base <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if p.Cap > 0 && d >= p.Cap {
+			return p.Cap
+		}
+		if d <= 0 { // doubling overflowed
+			if p.Cap > 0 {
+				return p.Cap
+			}
+			return time.Duration(math.MaxInt64)
+		}
+	}
+	if p.Cap > 0 && d > p.Cap {
+		return p.Cap
+	}
+	return d
+}
+
+// Sleep blocks for Delay(attempt).
+func (p Policy) Sleep(attempt int) { time.Sleep(p.Delay(attempt)) }
+
+// Wait blocks for Delay(attempt) or until ctx is done, whichever comes
+// first, returning ctx's error in the latter case — the pacing primitive
+// for retry loops that must abort promptly on cancellation.
+func (p Policy) Wait(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,71 @@
+package backoff
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+	want := []struct {
+		attempt int
+		d       time.Duration
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{5, 1600 * time.Millisecond},
+		{6, 2 * time.Second}, // capped
+		{60, 2 * time.Second},
+	}
+	for _, w := range want {
+		if got := p.Delay(w.attempt); got != w.d {
+			t.Errorf("Delay(%d) = %v, want %v", w.attempt, got, w.d)
+		}
+	}
+}
+
+func TestDelayDisabledAndUncapped(t *testing.T) {
+	if d := (Policy{}).Delay(5); d != 0 {
+		t.Errorf("zero policy Delay = %v, want 0", d)
+	}
+	p := Policy{Base: time.Millisecond}
+	if d := p.Delay(4); d != 8*time.Millisecond {
+		t.Errorf("uncapped Delay(4) = %v, want 8ms", d)
+	}
+	// Deep attempts overflow the doubling; uncapped policies saturate
+	// instead of going negative.
+	if d := p.Delay(200); d != time.Duration(math.MaxInt64) {
+		t.Errorf("overflowed uncapped Delay = %v, want MaxInt64", d)
+	}
+	capped := Policy{Base: time.Millisecond, Cap: time.Minute}
+	if d := capped.Delay(200); d != time.Minute {
+		t.Errorf("overflowed capped Delay = %v, want the cap", d)
+	}
+}
+
+func TestWaitHonorsCancellation(t *testing.T) {
+	p := Policy{Base: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Wait(ctx, 1); err != context.Canceled {
+		t.Errorf("Wait on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestWaitCompletes(t *testing.T) {
+	p := Policy{Base: time.Millisecond}
+	if err := p.Wait(context.Background(), 1); err != nil {
+		t.Errorf("Wait = %v, want nil", err)
+	}
+	// No delay → no block, but a dead context still reports itself.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (Policy{}).Wait(ctx, 1); err != context.Canceled {
+		t.Errorf("zero-delay Wait on canceled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package chipletnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -193,13 +194,19 @@ func (s *System) Simulate() (Result, error) {
 	return s.SimulateControlled(RunControl{})
 }
 
+// ErrCanceled: the run was aborted because its context was canceled.
+// Configurations not yet started when the cancellation arrived are
+// skipped; a running one stops at the next cycle boundary (its partial
+// Result carries the usual diagnostic snapshot). Test with errors.Is.
+var ErrCanceled = errors.New("chipletnet: run canceled")
+
 // runMany is the shared parallel executor: it simulates every
 // configuration on a GOMAXPROCS-bounded worker pool and returns
 // per-configuration results and errors in input order (a panic in one
 // run is recovered into that run's error). Each configuration gets its
 // own Build, so no mutable state is shared between workers; output
 // ordering is positional and therefore schedule-independent.
-func runMany(cfgs []Config) ([]Result, []error) {
+func runMany(ctx context.Context, cfgs []Config) ([]Result, []error) {
 	results := make([]Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -215,11 +222,35 @@ func runMany(cfgs []Config) ([]Result, []error) {
 					errs[i] = fmt.Errorf("panic: %v", p)
 				}
 			}()
-			results[i], errs[i] = Run(cfgs[i])
+			results[i], errs[i] = runOne(ctx, cfgs[i])
 		}(i)
 	}
 	wg.Wait()
 	return results, errs
+}
+
+// runOne executes one configuration under ctx. Cancellation is observed
+// at cycle boundaries only (through RunControl.Deadline), so it never
+// perturbs simulated state: a run that completes before the cancel is
+// indistinguishable from an uncontrolled one.
+func runOne(ctx context.Context, cfg Config) (Result, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return Run(cfg)
+	}
+	if ctx.Err() != nil {
+		return Result{}, fmt.Errorf("%w: not started: %v", ErrCanceled, ctx.Err())
+	}
+	sys, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sys.SimulateControlled(RunControl{Deadline: ctx.Done()})
+	if errors.Is(err, ErrTimeout) && ctx.Err() != nil {
+		// The deadline channel was the context's: report the abort as a
+		// cancellation, keeping the diagnostic partial Result.
+		err = fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+	return res, err
 }
 
 // RunMany builds and simulates every configuration, in parallel across
@@ -231,7 +262,17 @@ func runMany(cfgs []Config) ([]Result, []error) {
 // must not spawn goroutines (see cmd/chipletlint), so they hand their
 // job lists here.
 func RunMany(cfgs []Config) ([]Result, error) {
-	results, errs := runMany(cfgs)
+	return RunManyCtx(context.Background(), cfgs)
+}
+
+// RunManyCtx is RunMany under a context: canceling ctx aborts the whole
+// batch cleanly — runs not yet started are skipped, running ones stop at
+// their next cycle boundary — and every affected configuration reports
+// an error wrapping ErrCanceled. This is how the campaign daemon's
+// per-job deadlines and graceful drain reach into a worker pool
+// mid-batch without losing the completed results.
+func RunManyCtx(ctx context.Context, cfgs []Config) ([]Result, error) {
+	results, errs := runMany(ctx, cfgs)
 	for i, e := range errs {
 		if e != nil {
 			errs[i] = fmt.Errorf("chipletnet: config %d: %w", i, e)
@@ -244,7 +285,13 @@ func RunMany(cfgs []Config) ([]Result, error) {
 // joined error: errs[i] is nil exactly when results[i] is valid, letting
 // callers attach their own labels to failures.
 func RunEach(cfgs []Config) (results []Result, errs []error) {
-	return runMany(cfgs)
+	return runMany(context.Background(), cfgs)
+}
+
+// RunEachCtx is RunEach under a context; see RunManyCtx for the
+// cancellation semantics.
+func RunEachCtx(ctx context.Context, cfgs []Config) (results []Result, errs []error) {
+	return runMany(ctx, cfgs)
 }
 
 // Sweep runs cfg at every injection rate, in parallel across CPUs, and
@@ -262,7 +309,7 @@ func Sweep(cfg Config, rates []float64) ([]Result, error) {
 		cfgs[i] = cfg
 		cfgs[i].InjectionRate = r
 	}
-	results, errs := runMany(cfgs)
+	results, errs := runMany(context.Background(), cfgs)
 	for i, e := range errs {
 		if e != nil {
 			errs[i] = fmt.Errorf("chipletnet: rate %g: %w", rates[i], e)

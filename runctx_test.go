@@ -1,0 +1,132 @@
+package chipletnet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func ctxTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{Kind: "mesh", Dims: []int{2, 2}}
+	cfg.ChipletW, cfg.ChipletH = 3, 3
+	cfg.InjectionRate = 0.1
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	return cfg
+}
+
+func TestRunManyCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{ctxTestConfig(), ctxTestConfig()}
+	_, err := RunManyCtx(ctx, cfgs)
+	if err == nil {
+		t.Fatal("RunManyCtx under a pre-canceled context returned nil error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("error does not wrap ErrCanceled: %v", err)
+	}
+}
+
+func TestRunEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{ctxTestConfig(), ctxTestConfig(), ctxTestConfig()}
+	results, errs := RunEachCtx(ctx, cfgs)
+	if len(results) != len(cfgs) || len(errs) != len(cfgs) {
+		t.Fatalf("got %d results / %d errs, want %d each", len(results), len(errs), len(cfgs))
+	}
+	// Every configuration was skipped before starting, and each reports
+	// the typed cancellation individually.
+	for i, e := range errs {
+		if !errors.Is(e, ErrCanceled) {
+			t.Errorf("errs[%d] does not wrap ErrCanceled: %v", i, e)
+		}
+		if results[i].DeliveredPackets != 0 {
+			t.Errorf("errs[%d]: skipped run delivered %d packets, want 0", i, results[i].DeliveredPackets)
+		}
+	}
+}
+
+func TestRunManyCtxCancelMidRun(t *testing.T) {
+	// A window long enough that cancellation always lands mid-simulation.
+	cfg := ctxTestConfig()
+	cfg.MeasureCycles = 50_000_000
+	cfg.DeadlockThreshold = 0
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunManyCtx(ctx, []Config{cfg})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("mid-run cancel error does not wrap ErrCanceled: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunManyCtx did not return promptly after cancel")
+	}
+}
+
+func TestRunEachCtxCancelSkipsPending(t *testing.T) {
+	// One long run followed by many queued ones: canceling while the
+	// first runs must abort it AND skip the not-yet-started rest, each
+	// with the typed error.
+	long := ctxTestConfig()
+	long.MeasureCycles = 50_000_000
+	long.DeadlockThreshold = 0
+	cfgs := make([]Config, 64)
+	for i := range cfgs {
+		cfgs[i] = long
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		results []Result
+		errs    []error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, e := RunEachCtx(ctx, cfgs)
+		done <- outcome{r, e}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case out := <-done:
+		for i, e := range out.errs {
+			if !errors.Is(e, ErrCanceled) {
+				t.Errorf("errs[%d] does not wrap ErrCanceled: %v", i, e)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunEachCtx did not return promptly after cancel")
+	}
+}
+
+func TestRunManyCtxBackgroundMatchesRunMany(t *testing.T) {
+	// A background (never-canceled) context must not perturb results:
+	// the context path only observes Done() at cycle boundaries, so a
+	// completed run is bit-identical to an uncontrolled one.
+	cfg := ctxTestConfig()
+	plain, err := RunMany([]Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunManyCtx(context.Background(), []Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain[0], ctxed[0]) {
+		t.Errorf("background-context run differs from plain run:\n got %+v\nwant %+v", ctxed[0], plain[0])
+	}
+}
