@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault test-checkpoint test-equiv test-dse test-daemon bench-json bench-dse-json bench-compiled vet lint check figures
+.PHONY: build test test-fault test-checkpoint test-equiv test-dse test-daemon test-coordinator bench-json bench-dse-json bench-compiled vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,18 @@ test-daemon:
 	$(GO) test -race -run 'RunManyCtx|RunEachCtx' .
 	$(GO) test -race -run 'Shard|Merge|Quarantine' ./internal/dse
 
+# test-coordinator runs the multi-host fleet matrix under the race
+# detector: the coord package (lease expiry/fencing, journal replay
+# across coordinator restarts, dead-fleet degradation, merge-conflict
+# poisoning, distributed-vs-sequential frontier identity over real HTTP
+# workers) plus the chipletd chaos acceptance test — a real worker
+# daemon SIGKILLed mid-DSE, with the frontier still byte-identical to
+# the single-machine run and zero duplicate simulations beyond the
+# killed worker's unreported tail.
+test-coordinator:
+	$(GO) test -race -timeout 20m ./internal/service/coord
+	$(GO) test -race -timeout 20m -run 'Coordinator|SigtermRequeues' ./cmd/chipletd
+
 # bench-dse-json regenerates the committed design-space-exploration
 # benchmark baseline (BENCH_dse.json): cache-cold exploration, cache-warm
 # exploration (zero simulations), and the cache-hit micro path.
@@ -89,8 +101,8 @@ bench-compiled:
 # the determinism linter over ./..., and the benchmark gates (the
 # active-set engine must hold its speedup over the reference stepper, and
 # both suites their allocs/op against the committed baselines).
-check: vet build test-fault test-checkpoint test-equiv test-dse test-daemon
-	$(GO) test -race ./...
+check: vet build test-fault test-checkpoint test-equiv test-dse test-daemon test-coordinator
+	$(GO) test -race -timeout 20m ./...
 	$(GO) run ./cmd/chipletlint ./...
 	$(GO) run ./cmd/chipletbench -check BENCH_hotpath.json
 	$(GO) run ./cmd/chipletbench -suite compiled -check BENCH_compiled.json

@@ -28,16 +28,31 @@
 //	GET  /jobs/{id}          one job's structured status
 //	POST /jobs/{id}/cancel   cancel a queued or running job
 //
+// Fleet mode (see internal/service/coord): `-coordinator` makes this
+// daemon partition DSE jobs by cache shard and lease the shards to
+// workers; `-worker -join <url>` makes it heartbeat into a coordinator
+// and evaluate leased shards into its local cache. Leases are journaled
+// (coord.jsonl), heartbeat loss reassigns work to survivors, and the
+// merged frontier is byte-identical to a single-machine run.
+//
 // Example:
 //
 //	chipletd -dir /var/lib/chipletd -addr :8080 -workers 4
 //	curl -s localhost:8080/jobs -d '{"Type":"dse","Space":{"Chiplets":[4]}}'
+//
+// Multi-host:
+//
+//	hostA$ chipletd -dir stateA -addr :8080 -coordinator
+//	hostB$ chipletd -dir stateB -addr :8081 -worker -join http://hostA:8080
+//	hostC$ chipletd -dir stateC -addr :8081 -worker -join http://hostA:8080
+//	hostA$ curl -s localhost:8080/jobs -d '{"Type":"dse", ...}'
 //
 // Exit status: 0 on clean shutdown (including drain), 1 on startup or
 // serve errors.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"log"
@@ -51,6 +66,7 @@ import (
 	"chipletnet"
 	"chipletnet/internal/service"
 	"chipletnet/internal/service/backoff"
+	"chipletnet/internal/service/coord"
 )
 
 func main() { os.Exit(run(os.Args[1:])) }
@@ -69,6 +85,12 @@ func run(args []string) int {
 	backoffCap := fs.Duration("backoff-cap", 5*time.Second, "upper bound on the retry delay")
 	ckptEvery := fs.Int64("checkpoint-every", 2000, "snapshot simulate jobs every N cycles")
 	engine := fs.String("engine", "active", "cycle engine: active | reference (bit-identical results)")
+	coordinator := fs.Bool("coordinator", false, "serve the fleet coordinator: distribute DSE jobs across joined workers")
+	workerMode := fs.Bool("worker", false, "join a coordinator as a worker (requires -join)")
+	join := fs.String("join", "", "coordinator base URL to join (http://host:port)")
+	heartbeat := fs.Duration("heartbeat", time.Second, "worker heartbeat interval (keep well inside the coordinator's TTL)")
+	heartbeatTTL := fs.Duration("heartbeat-ttl", 10*time.Second, "coordinator: lease/liveness TTL after a worker's last heartbeat")
+	grace := fs.Duration("grace", time.Minute, "coordinator: how long a campaign survives a fully-dead fleet before degrading")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -81,6 +103,30 @@ func run(args []string) int {
 		logger.Printf("bad -engine %q: want active or reference", *engine)
 		return 1
 	}
+	if *coordinator && *workerMode {
+		logger.Printf("-coordinator and -worker are mutually exclusive")
+		return 1
+	}
+	if *workerMode && *join == "" {
+		logger.Printf("-worker requires -join <coordinator URL>")
+		return 1
+	}
+
+	var co *coord.Coordinator
+	if *coordinator {
+		var err error
+		co, err = coord.Open(coord.Config{
+			Dir:            *dir,
+			HeartbeatTTL:   *heartbeatTTL,
+			DeadFleetGrace: *grace,
+			Reassign:       backoff.Policy{Base: *backoffBase, Cap: *backoffCap, Jitter: 0.5},
+			Logf:           logger.Printf,
+		})
+		if err != nil {
+			logger.Printf("coordinator: %v", err)
+			return 1
+		}
+	}
 
 	srv, err := service.Open(service.Config{
 		Dir:             *dir,
@@ -89,10 +135,14 @@ func run(args []string) int {
 		Retries:         *retries,
 		Backoff:         backoff.Policy{Base: *backoffBase, Cap: *backoffCap},
 		CheckpointEvery: *ckptEvery,
+		Coordinator:     co,
 		Logf:            logger.Printf,
 	})
 	if err != nil {
 		logger.Printf("open: %v", err)
+		if co != nil {
+			co.Close()
+		}
 		return 1
 	}
 
@@ -110,6 +160,30 @@ func run(args []string) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// In worker mode the daemon moonlights: it still serves its own job
+	// API, and a background loop evaluates shards leased from the
+	// coordinator into the local sharded cache (which doubles as the
+	// worker-side hit source). The worker ID is the resolved listen
+	// address — stable for the process, unique in the fleet, and exactly
+	// what the coordinator's metrics report.
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	if *workerMode {
+		go func() {
+			defer close(workerDone)
+			coord.RunWorker(workerCtx, coord.WorkerConfig{
+				ID:        ln.Addr().String(),
+				Join:      *join,
+				Cache:     srv.Cache(),
+				Heartbeat: *heartbeat,
+				Backoff:   backoff.Policy{Base: *backoffBase, Cap: *backoffCap, Jitter: 0.5},
+				Logf:      logger.Printf,
+			})
+		}()
+	} else {
+		close(workerDone)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 
@@ -125,10 +199,18 @@ func run(args []string) int {
 			code = 1
 		}
 	}
+	stopWorker()
+	<-workerDone
 	srv.Drain()
 	if err := srv.Close(); err != nil {
 		logger.Printf("close: %v", err)
 		code = 1
+	}
+	if co != nil {
+		if err := co.Close(); err != nil {
+			logger.Printf("coordinator close: %v", err)
+			code = 1
+		}
 	}
 	logger.Printf("drained; state persisted under %s", *dir)
 	return code

@@ -19,9 +19,14 @@ const ShardN = 16
 // shardFile names shard i inside a sharded-cache directory.
 func shardFile(i int) string { return fmt.Sprintf("shard-%x.jsonl", i) }
 
-// shardIndex maps a content key to its shard: the value of the key's
+// ShardIndex maps a content key to its shard: the value of the key's
 // first hex digit. Keys are hex SHA-256 (see Key); anything else is
-// rejected rather than silently misfiled.
+// rejected rather than silently misfiled. The mapping is the unit of
+// work distribution: the coordinator partitions a campaign by shard, so
+// every evaluation a worker produces lands in exactly one shard file and
+// cross-machine merges never contend on a key range.
+func ShardIndex(key string) (int, error) { return shardIndex(key) }
+
 func shardIndex(key string) (int, error) {
 	if key == "" {
 		return 0, fmt.Errorf("dse: empty cache key")
@@ -132,6 +137,12 @@ func (s *ShardedCache) Close() error {
 	return errors.Join(errs...)
 }
 
+// ErrConflict reports that a merge found two content-distinct records at
+// the same content address — a violation of the determinism contract
+// that callers must treat as data corruption, not as a retryable fault.
+// Returned wrapped; test with errors.Is.
+var ErrConflict = errors.New("dse: merge conflict")
+
 // Merge unions the records of srcs into dst, deterministically: sources
 // in argument order, each source's records in ascending key order. A key
 // already present in dst must carry a content-identical record — two
@@ -150,7 +161,7 @@ func Merge(dst Store, srcs ...Store) (added int, err error) {
 			prev, ok := dst.Lookup(rec.Key)
 			if ok {
 				if !reflect.DeepEqual(prev, rec) {
-					return added, fmt.Errorf("dse: merge conflict on key %.12s (source %d, candidate %s): records differ for the same content address", rec.Key, si, rec.Name)
+					return added, fmt.Errorf("%w on key %.12s (source %d, candidate %s): records differ for the same content address", ErrConflict, rec.Key, si, rec.Name)
 				}
 				continue
 			}

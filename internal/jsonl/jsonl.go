@@ -64,7 +64,7 @@ func Load(path string, accept func(line []byte) error) (quarantined int, err err
 	}
 	quarantined = len(bad)
 	if quarantined > 0 {
-		if err := appendLines(path+".rej", bad); err != nil {
+		if err := quarantine(path+".rej", bad); err != nil {
 			return quarantined, fmt.Errorf("jsonl: quarantining %d corrupt lines of %s: %w", quarantined, path, err)
 		}
 	}
@@ -76,14 +76,39 @@ func Load(path string, accept func(line []byte) error) (quarantined int, err err
 	return quarantined, nil
 }
 
-// appendLines appends the lines to path (creating it if needed) and
-// syncs before returning.
-func appendLines(path string, lines [][]byte) error {
+// quarantine appends lines to the .rej sidecar at path, skipping lines
+// the sidecar already holds byte-for-byte. Quarantine must be idempotent:
+// a crash between sidecar append and store repair — or any other reason
+// the same corrupt lines are loaded twice — must not duplicate sidecar
+// entries, or the evidence file grows without bound and "how much is
+// damaged" becomes unanswerable.
+func quarantine(path string, lines [][]byte) error {
+	seen := map[string]bool{}
+	if prev, err := os.ReadFile(path); err == nil {
+		for _, line := range bytes.Split(prev, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) > 0 {
+				seen[string(line)] = true
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var fresh [][]byte
+	for _, line := range lines {
+		if seen[string(line)] {
+			continue
+		}
+		seen[string(line)] = true // dedupe within the batch too
+		fresh = append(fresh, line)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	for _, line := range lines {
+	for _, line := range fresh {
 		if _, err := f.Write(append(line, '\n')); err != nil {
 			f.Close()
 			return err

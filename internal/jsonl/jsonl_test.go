@@ -108,6 +108,50 @@ func TestLoadCorruptionMatrix(t *testing.T) {
 	if len(again) != len(want) {
 		t.Errorf("reload got %d entries, want %d", len(again), len(want))
 	}
+
+	// Sidecar idempotence: the same corrupt lines loaded again — e.g. a
+	// crash between the sidecar append and the in-place repair left the
+	// store file damaged — must not duplicate the sidecar entries.
+	appendRaw(t, path, "!!not json!!\n"+`{"V":3}`+"\n"+`{"K":"e","V":6}`+"\n")
+	redo, q3 := loadEntries(t, path)
+	if q3 != 2 {
+		t.Errorf("re-corrupted load quarantined %d lines, want 2", q3)
+	}
+	if len(redo) != len(want)+1 {
+		t.Errorf("re-corrupted load got %d entries, want %d", len(redo), len(want)+1)
+	}
+	rej2, err := os.ReadFile(path + ".rej")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rej2, rej) {
+		t.Errorf("sidecar grew on repeated identical corruption:\n before %q\n after  %q", rej, rej2)
+	}
+
+	// A genuinely new corrupt line still lands in the sidecar.
+	appendRaw(t, path, "!!different garbage!!\n")
+	if _, q4 := loadEntries(t, path); q4 != 1 {
+		t.Errorf("novel corruption quarantined %d lines, want 1", q4)
+	}
+	rej3, err := os.ReadFile(path + ".rej")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(rej) + "!!different garbage!!\n"; string(rej3) != want {
+		t.Errorf("sidecar after novel corruption = %q, want %q", rej3, want)
+	}
+}
+
+func appendRaw(t *testing.T, path, data string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(data); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestLoadTornTailOnly(t *testing.T) {

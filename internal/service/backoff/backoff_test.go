@@ -48,6 +48,61 @@ func TestDelayDisabledAndUncapped(t *testing.T) {
 	}
 }
 
+func TestDelayForJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Jitter: 0.5}
+	for _, key := range []string{"worker-a", "worker-b", "worker-c"} {
+		for attempt := 1; attempt <= 8; attempt++ {
+			d := p.DelayFor(key, attempt)
+			if again := p.DelayFor(key, attempt); again != d {
+				t.Fatalf("DelayFor(%q, %d) not deterministic: %v then %v", key, attempt, d, again)
+			}
+			full := p.Delay(attempt)
+			if lo := time.Duration(float64(full) * (1 - p.Jitter)); d < lo || d > full {
+				t.Errorf("DelayFor(%q, %d) = %v outside [%v, %v]", key, attempt, d, lo, full)
+			}
+		}
+	}
+}
+
+func TestDelayForSpreadsKeys(t *testing.T) {
+	// N workers retrying attempt 1 must not synchronize: with 50% jitter
+	// over a 1s delay, distinct keys land on distinct instants.
+	p := Policy{Base: time.Second, Jitter: 0.5}
+	seen := map[time.Duration]string{}
+	for _, key := range []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"} {
+		d := p.DelayFor(key, 1)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("keys %q and %q share delay %v (thundering herd)", prev, key, d)
+		}
+		seen[d] = key
+	}
+}
+
+func TestDelayForZeroJitterIsDelay(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second}
+	for attempt := 0; attempt <= 6; attempt++ {
+		if got, want := p.DelayFor("any", attempt), p.Delay(attempt); got != want {
+			t.Errorf("jitter-free DelayFor(%d) = %v, want Delay's %v", attempt, got, want)
+		}
+	}
+	// A jittered policy with no delay to jitter stays at zero.
+	if d := (Policy{Jitter: 0.5}).DelayFor("any", 3); d != 0 {
+		t.Errorf("disabled policy DelayFor = %v, want 0", d)
+	}
+}
+
+func TestWaitForHonorsCancellation(t *testing.T) {
+	p := Policy{Base: time.Hour, Jitter: 0.5}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.WaitFor(ctx, "w", 1); err != context.Canceled {
+		t.Errorf("WaitFor on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := (Policy{Base: time.Microsecond, Jitter: 1}).WaitFor(context.Background(), "w", 1); err != nil {
+		t.Errorf("WaitFor = %v, want nil", err)
+	}
+}
+
 func TestWaitHonorsCancellation(t *testing.T) {
 	p := Policy{Base: time.Hour}
 	ctx, cancel := context.WithCancel(context.Background())

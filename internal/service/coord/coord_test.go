@@ -1,0 +1,396 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chipletnet/internal/dse"
+	"chipletnet/internal/service/backoff"
+)
+
+// testSpace is a quick six-candidate exploration (2 NoC sizes × 3
+// interleavings of a four-chiplet mesh).
+func testSpace() (dse.Space, dse.Params) {
+	p := dse.DefaultParams()
+	p.WarmupCycles = 100
+	p.MeasureCycles = 400
+	p.Rates = []float64{0.1, 0.4}
+	s := dse.Space{
+		Chiplets:      4,
+		NoCs:          [][2]int{{3, 3}, {4, 4}},
+		Topologies:    []string{"mesh"},
+		Routings:      []string{dse.RoutingMFR},
+		Interleavings: []string{"none", "message", "packet"},
+	}
+	return s, p
+}
+
+func openCoord(t *testing.T, dir string, cfg Config) *Coordinator {
+	t.Helper()
+	cfg.Dir = dir
+	cfg.Logf = t.Logf
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func memStore(t *testing.T) dse.Store {
+	t.Helper()
+	s, err := dse.OpenCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPlan(t *testing.T, store dse.Store) *dse.Plan {
+	t.Helper()
+	space, params := testSpace()
+	plan, err := dse.NewPlan(space, params, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pending) == 0 {
+		t.Fatal("test space produced no pending evaluations")
+	}
+	return plan
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// startCampaign runs RunCampaign in the background, returning a channel
+// that delivers its outcome.
+type campaignResult struct {
+	recs      []dse.Record
+	simulated int
+	err       error
+}
+
+func startCampaign(t *testing.T, ctx context.Context, c *Coordinator, id string, plan *dse.Plan, store dse.Store) <-chan campaignResult {
+	t.Helper()
+	ch := make(chan campaignResult, 1)
+	go func() {
+		recs, sim, err := c.RunCampaign(ctx, id, plan, store, nil)
+		ch <- campaignResult{recs, sim, err}
+	}()
+	return ch
+}
+
+// pollAssignments heartbeats as worker until it holds at least one lease.
+func pollAssignments(t *testing.T, c *Coordinator, worker string) []Assignment {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if as := c.heartbeat(worker, 16); len(as) > 0 {
+			return as
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("worker %s never received an assignment", worker)
+	return nil
+}
+
+// evalItem evaluates one work item the way a worker would.
+func evalItem(t *testing.T, item WorkItem, params dse.Params) dse.Record {
+	t.Helper()
+	ev := dse.Eval{Candidate: item.Candidate, Params: params, Key: item.Key, Cert: item.Cert}
+	rec, err := ev.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// drainAs evaluates and folds every shard offered to worker until the
+// result channel fires, driving the protocol directly (no HTTP).
+func drainAs(t *testing.T, c *Coordinator, worker string, res <-chan campaignResult) campaignResult {
+	t.Helper()
+	deadline := time.NewTimer(2 * time.Minute)
+	defer deadline.Stop()
+	for {
+		select {
+		case r := <-res:
+			return r
+		case <-deadline.C:
+			t.Fatal("campaign did not complete")
+		default:
+		}
+		for _, a := range c.heartbeat(worker, 16) {
+			params, items, revoked := c.work(worker, a.Campaign, a.Shard, a.Lease)
+			if revoked {
+				continue
+			}
+			for _, item := range items {
+				rec := evalItem(t, item, params)
+				if _, _, err := c.fold(worker, a.Campaign, a.Shard, a.Lease, []DeltaRecord{{Record: rec, Simulated: true}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCampaignMatchesSingleMachine runs a real two-worker fleet over
+// HTTP and demands the distributed frontier be byte-identical to the
+// sequential single-machine exploration — the determinism contract the
+// whole coordinator design rests on.
+func TestCampaignMatchesSingleMachine(t *testing.T) {
+	space, params := testSpace()
+	ref, err := dse.Explore(space, params, memStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := openCoord(t, t.TempDir(), Config{HeartbeatTTL: 2 * time.Second, Tick: 10 * time.Millisecond})
+	mux := http.NewServeMux()
+	c.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range []string{"worker-a", "worker-b"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			RunWorker(ctx, WorkerConfig{ID: id, Join: srv.URL, Heartbeat: 25 * time.Millisecond, Logf: t.Logf})
+		}(id)
+	}
+
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	var mu sync.Mutex
+	lastDone := -1
+	recs, simulated, err := c.RunCampaign(ctx, "job-1", plan, store, func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done < lastDone || total != len(plan.Pending) {
+			t.Errorf("progress regressed: done %d after %d (total %d)", done, lastDone, total)
+		}
+		lastDone = done
+	})
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(plan.Pending) {
+		t.Fatalf("campaign returned %d records for %d pending", len(recs), len(plan.Pending))
+	}
+	if simulated != len(plan.Pending) {
+		t.Errorf("simulated = %d, want %d (fresh workers, no cache hits)", simulated, len(plan.Pending))
+	}
+	outcome, err := dse.Collect(plan, append(append([]dse.Record(nil), plan.Hits...), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, outcome.Frontier), mustJSON(t, ref.Frontier); got != want {
+		t.Errorf("distributed frontier differs from single-machine run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestLeaseExpiryFencesAndReassigns kills worker a's heartbeat, waits
+// for its lease to expire, and verifies the shard moves to worker b
+// under a higher fencing token while a's stale requests are revoked —
+// but a's stale *data* still folds (idempotent delivery).
+func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
+	c := openCoord(t, t.TempDir(), Config{
+		HeartbeatTTL: 120 * time.Millisecond,
+		Tick:         10 * time.Millisecond,
+		Reassign:     backoff.Policy{Base: time.Millisecond},
+	})
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := startCampaign(t, ctx, c, "job-exp", plan, store)
+
+	a0 := pollAssignments(t, c, "a")[0]
+	params, items, revoked := c.work("a", a0.Campaign, a0.Shard, a0.Lease)
+	if revoked || len(items) == 0 {
+		t.Fatalf("live lease revoked (revoked=%v, %d items)", revoked, len(items))
+	}
+
+	// a goes silent; b inherits the shard under a fresh token.
+	var b0 Assignment
+	deadline := time.Now().Add(5 * time.Second)
+	for b0.Campaign == "" && time.Now().Before(deadline) {
+		for _, a := range c.heartbeat("b", 16) {
+			if a.Shard == a0.Shard {
+				b0 = a
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b0.Campaign == "" {
+		t.Fatal("expired shard was never reassigned to b")
+	}
+	if b0.Lease <= a0.Lease {
+		t.Errorf("reassigned lease %d not newer than expired lease %d", b0.Lease, a0.Lease)
+	}
+	if _, _, revoked := c.work("a", a0.Campaign, a0.Shard, a0.Lease); !revoked {
+		t.Error("stale lease still serves work")
+	}
+
+	// a finished one evaluation before noticing: the data is accepted,
+	// the response says the lease is gone.
+	rec := evalItem(t, items[0], params)
+	added, revoked, err := c.fold("a", a0.Campaign, a0.Shard, a0.Lease, []DeltaRecord{{Record: rec, Simulated: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || !revoked {
+		t.Errorf("stale fold: added=%d revoked=%v, want 1/true", added, revoked)
+	}
+
+	r := drainAs(t, c, "b", res)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.recs) != len(plan.Pending) {
+		t.Errorf("campaign returned %d records for %d pending", len(r.recs), len(plan.Pending))
+	}
+}
+
+// TestRestartReplaysLeases crashes the coordinator (new Coordinator,
+// same directory) mid-campaign and verifies the journaled lease comes
+// back verbatim: same worker, same shard, same fencing token.
+func TestRestartReplaysLeases(t *testing.T) {
+	dir := t.TempDir()
+	c1 := openCoord(t, dir, Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	res1 := startCampaign(t, ctx1, c1, "job-replay", plan, store)
+	a0 := pollAssignments(t, c1, "a")[0]
+	cancel1() // "crash": the campaign aborts, the journal survives
+	if r := <-res1; !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("aborted campaign returned %v, want context.Canceled", r.err)
+	}
+	c1.Close()
+
+	c2 := openCoord(t, dir, Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	res2 := startCampaign(t, ctx2, c2, "job-replay", plan, store)
+	restored := pollAssignments(t, c2, "a")
+	found := false
+	for _, a := range restored {
+		if a.Campaign == a0.Campaign && a.Shard == a0.Shard && a.Lease == a0.Lease {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("restart did not restore lease %+v (got %+v)", a0, restored)
+	}
+	if r := drainAs(t, c2, "a", res2); r.err != nil {
+		t.Fatal(r.err)
+	}
+}
+
+// TestDeadFleetDegrades submits a campaign to a coordinator nobody
+// joined and demands a typed partial result, not a hang.
+func TestDeadFleetDegrades(t *testing.T) {
+	c := openCoord(t, t.TempDir(), Config{
+		HeartbeatTTL:   50 * time.Millisecond,
+		DeadFleetGrace: 150 * time.Millisecond,
+		Tick:           10 * time.Millisecond,
+	})
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	recs, _, err := c.RunCampaign(context.Background(), "job-dead", plan, store, nil)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("dead-fleet campaign returned %v, want ErrDegraded", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("no worker ever ran, yet %d records came back", len(recs))
+	}
+}
+
+// TestFoldConflictPoisonsCampaign folds two divergent records under one
+// content address and demands a typed dse.ErrConflict failure.
+func TestFoldConflictPoisonsCampaign(t *testing.T) {
+	c := openCoord(t, t.TempDir(), Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := startCampaign(t, ctx, c, "job-conflict", plan, store)
+
+	a0 := pollAssignments(t, c, "a")[0]
+	params, items, _ := c.work("a", a0.Campaign, a0.Shard, a0.Lease)
+	rec := evalItem(t, items[0], params)
+	if _, _, err := c.fold("a", a0.Campaign, a0.Shard, a0.Lease, []DeltaRecord{{Record: rec, Simulated: true}}); err != nil {
+		t.Fatal(err)
+	}
+	lie := rec
+	lie.ZeroLoadLatency++ // same address, different content
+	_, _, err := c.fold("a", a0.Campaign, a0.Shard, a0.Lease, []DeltaRecord{{Record: lie, Simulated: true}})
+	if !errors.Is(err, dse.ErrConflict) {
+		t.Fatalf("divergent fold returned %v, want dse.ErrConflict", err)
+	}
+	r := <-res
+	if !errors.Is(r.err, dse.ErrConflict) {
+		t.Fatalf("poisoned campaign returned %v, want dse.ErrConflict", r.err)
+	}
+}
+
+// TestWorkerAbandonsOnKeyMismatch covers the worker-side integrity
+// check: a coordinator shipping a key the worker cannot re-derive must
+// not get a record persisted under it.
+func TestWorkerAbandonsOnKeyMismatch(t *testing.T) {
+	_, params := testSpace()
+	plan := mustPlanFromStore(t)
+	item := WorkItem{Key: strings.Repeat("0", 64), Candidate: plan.Pending[0].Candidate}
+	served := workResponse{Params: params, Items: []WorkItem{item}}
+
+	var folded int
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /coord/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, heartbeatResponse{TTLMS: 1000, Assignments: []Assignment{{Campaign: "j", Shard: 0, Lease: 1}}})
+	})
+	mux.HandleFunc("POST /coord/work", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, served)
+	})
+	mux.HandleFunc("POST /coord/delta", func(w http.ResponseWriter, r *http.Request) {
+		folded++
+		reply(w, deltaResponse{})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cache := memStore(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	RunWorker(ctx, WorkerConfig{ID: "w", Join: srv.URL, Cache: cache, Heartbeat: 20 * time.Millisecond, Logf: t.Logf})
+	if folded != 0 {
+		t.Errorf("worker folded %d records under a key it could not re-derive", folded)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("worker cached %d records under a bogus key", cache.Len())
+	}
+}
+
+func mustPlanFromStore(t *testing.T) *dse.Plan {
+	t.Helper()
+	return mustPlan(t, memStore(t))
+}

@@ -1,0 +1,87 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"chipletnet/internal/jsonl"
+)
+
+// Lease journal event names. Only lease state is journaled — the work
+// itself is reconstructible: a restarted coordinator re-plans the
+// campaign against the shared store, and every already-folded record
+// resurfaces as a cache hit. The journal's job is to keep granted leases
+// valid across the restart and fencing tokens monotonic.
+const (
+	evGrant     = "grant"      // a shard was leased; carries worker + lease token
+	evExpire    = "expire"     // the lease timed out; the shard is pool-bound again
+	evShardDone = "shard-done" // every evaluation of the shard is folded
+	evFinish    = "finish"     // the campaign completed; its entries are dead
+)
+
+// leaseEvent is one line of the lease journal.
+type leaseEvent struct {
+	C      string // campaign ID (the job ID)
+	Ev     string
+	Shard  int    `json:",omitempty"`
+	Worker string `json:",omitempty"`
+	Lease  int    `json:",omitempty"`
+}
+
+// leaseLog is the fsynced append-only lease journal — the jobs.jsonl
+// discipline applied to lease transitions (see internal/jsonl for the
+// shared damage model: torn tails dropped, corrupt lines quarantined).
+type leaseLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openLeaseLog opens (creating if needed) the journal at path and
+// returns the replayable events plus the count of quarantined lines.
+func openLeaseLog(path string) (*leaseLog, []leaseEvent, int, error) {
+	var events []leaseEvent
+	quarantined, err := jsonl.Load(path, func(line []byte) error {
+		var e leaseEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
+		}
+		if e.C == "" || e.Ev == "" {
+			return errors.New("coord: journal line without campaign/event")
+		}
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("coord: lease journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return &leaseLog{f: f}, events, quarantined, nil
+}
+
+// record appends one event and syncs it to disk before returning, so a
+// lease a worker was told about cannot be lost by a coordinator crash.
+func (l *leaseLog) record(e leaseEvent) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *leaseLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

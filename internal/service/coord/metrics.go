@@ -1,0 +1,59 @@
+package coord
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteMetrics appends the coordinator's health counters to w in the
+// plaintext exposition format chipletd's /metrics serves: one
+// `name{labels} value` line per counter, labels and names sorted, so
+// operators and tests scrape one stable view of fleet state.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+
+	fmt.Fprintf(w, "coord_campaigns_active %d\n", len(c.active))
+
+	ids := make([]string, 0, len(c.active))
+	for id := range c.active {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		camp := c.active[id]
+		var counts [3]int
+		for i := range camp.shards {
+			counts[camp.shards[i].phase]++
+		}
+		for phase, name := range []string{"pending", "leased", "done"} {
+			fmt.Fprintf(w, "coord_campaign_shards{campaign=%q,state=%q} %d\n", id, name, counts[phase])
+		}
+		fmt.Fprintf(w, "coord_campaign_remaining{campaign=%q} %d\n", id, camp.remainingLocked())
+	}
+
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := c.workers[name]
+		leases := 0
+		for _, id := range ids {
+			camp := c.active[id]
+			for i := range camp.shards {
+				if sh := &camp.shards[i]; sh.phase == shardLeased && sh.worker == name {
+					leases++
+				}
+			}
+		}
+		fmt.Fprintf(w, "coord_worker_heartbeat_age_ms{worker=%q} %d\n", name, now.Sub(ws.lastBeat).Milliseconds())
+		fmt.Fprintf(w, "coord_worker_leases{worker=%q} %d\n", name, leases)
+		fmt.Fprintf(w, "coord_worker_records_total{worker=%q} %d\n", name, ws.records)
+		fmt.Fprintf(w, "coord_worker_simulated_total{worker=%q} %d\n", name, ws.simulated)
+	}
+}

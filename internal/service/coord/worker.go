@@ -1,0 +1,277 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"chipletnet/internal/dse"
+	"chipletnet/internal/service/backoff"
+)
+
+// maxPostAttempts bounds how long a worker hammers an unreachable
+// coordinator per request before abandoning the shard: the lease TTL
+// reassigns the work anyway, so there is no point outliving it.
+const maxPostAttempts = 8
+
+// WorkerConfig tunes one worker's membership in a coordinator fleet.
+type WorkerConfig struct {
+	// ID names the worker in heartbeats, leases and metrics. It must be
+	// stable for the process lifetime and unique in the fleet; chipletd
+	// uses its resolved listen address.
+	ID string
+	// Join is the coordinator's base URL (http://host:port).
+	Join string
+	// Cache is the worker-local evaluation store: hits are shipped back
+	// without re-simulation, fresh records are persisted locally before
+	// they are reported, so a crash loses no finished work. nil means a
+	// memory-only cache.
+	Cache dse.Store
+	// Heartbeat is the beat interval (default 1s; keep it well inside
+	// the coordinator's TTL).
+	Heartbeat time.Duration
+	// Backoff paces request retries; the zero value means 200ms base, 5s
+	// cap, 0.5 jitter keyed by worker ID — a fleet retrying one flapped
+	// coordinator spreads out instead of stampeding.
+	Backoff backoff.Policy
+	// MaxLeases bounds the shards held at once (default 2: one being
+	// evaluated, one queued) so a single worker never hoards a campaign.
+	MaxLeases int
+	// BatchSize is how many records ride per delta flush (default 1 —
+	// the smallest possible unreported tail).
+	BatchSize int
+	// Client is the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// worker is the running state behind RunWorker.
+type worker struct {
+	cfg WorkerConfig
+}
+
+// RunWorker joins the coordinator at cfg.Join and evaluates leased
+// shards until ctx ends, which is the only way it returns. Heartbeats
+// run concurrently with evaluation so a long simulation cannot cost the
+// worker its leases.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.ID == "" {
+		return errors.New("coord: WorkerConfig.ID is required")
+	}
+	if cfg.Join == "" {
+		return errors.New("coord: WorkerConfig.Join is required")
+	}
+	if cfg.Cache == nil {
+		mem, err := dse.OpenCache("")
+		if err != nil {
+			return err
+		}
+		cfg.Cache = mem
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.Backoff == (backoff.Policy{}) {
+		cfg.Backoff = backoff.Policy{Base: 200 * time.Millisecond, Cap: 5 * time.Second, Jitter: 0.5}
+	}
+	if cfg.MaxLeases <= 0 {
+		cfg.MaxLeases = 2
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	w := &worker{cfg: cfg}
+
+	assignments := make(chan Assignment, 4*cfg.MaxLeases)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.heartbeatLoop(ctx, assignments)
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case a := <-assignments:
+			w.runShard(ctx, a)
+		}
+	}
+}
+
+// heartbeatLoop beats immediately and then on every tick, enqueueing
+// assignments it has not seen. Leases are fenced by token, so the seen
+// set keys on the full triple: a re-grant after expiry carries a fresh
+// token and is picked up as new work.
+func (w *worker) heartbeatLoop(ctx context.Context, out chan<- Assignment) {
+	seen := map[string]bool{}
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		var resp heartbeatResponse
+		err := w.post(ctx, "heartbeat", heartbeatRequest{Worker: w.cfg.ID, Capacity: w.cfg.MaxLeases}, &resp)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.cfg.Logf("worker %s: heartbeat: %v", w.cfg.ID, err)
+			}
+			// The ticker paces the retry; missing beats only risks the
+			// leases the TTL was designed to reclaim.
+		} else {
+			for _, a := range resp.Assignments {
+				k := fmt.Sprintf("%s/%d/%d", a.Campaign, a.Shard, a.Lease)
+				if seen[k] {
+					continue
+				}
+				select {
+				case out <- a:
+					seen[k] = true
+				default:
+					// Queue full: leave it unseen so the next beat
+					// re-offers it.
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// runShard drains one leased shard: fetch the remaining evaluations,
+// serve each from the local cache or simulate it, and stream delta
+// batches back. Any terminal trouble — revocation, a conflict, an
+// evaluation failure — abandons the shard and lets the lease TTL hand
+// the remainder to a healthier worker.
+func (w *worker) runShard(ctx context.Context, a Assignment) {
+	req := workRequest{Worker: w.cfg.ID, Campaign: a.Campaign, Shard: a.Shard, Lease: a.Lease}
+	var work workResponse
+	if !w.postRetry(ctx, "work", req, &work) || work.Revoked {
+		return
+	}
+	batch := make([]DeltaRecord, 0, w.cfg.BatchSize)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		var resp deltaResponse
+		ok := w.postRetry(ctx, "delta", deltaRequest{
+			Worker:   w.cfg.ID,
+			Campaign: a.Campaign,
+			Shard:    a.Shard,
+			Lease:    a.Lease,
+			Records:  batch,
+		}, &resp)
+		batch = batch[:0]
+		return ok && !resp.Revoked
+	}
+	for _, item := range work.Items {
+		if ctx.Err() != nil {
+			return
+		}
+		// Re-derive the content address before trusting it: a worker must
+		// never persist under a key it cannot reproduce, or one corrupted
+		// message poisons the shared cache behind a valid-looking address.
+		if dse.Key(item.Candidate.Cfg, work.Params) != item.Key {
+			w.cfg.Logf("worker %s: campaign %s shard %x: key mismatch for %s; abandoning shard",
+				w.cfg.ID, a.Campaign, a.Shard, item.Candidate.Name)
+			return
+		}
+		rec, hit := w.cfg.Cache.Lookup(item.Key)
+		if !hit {
+			ev := dse.Eval{Candidate: item.Candidate, Params: work.Params, Key: item.Key, Cert: item.Cert}
+			var err error
+			rec, err = ev.RunCtx(ctx)
+			if err != nil {
+				if ctx.Err() == nil {
+					w.cfg.Logf("worker %s: evaluating %s: %v; abandoning shard", w.cfg.ID, item.Candidate.Name, err)
+				}
+				return
+			}
+			if err := w.cfg.Cache.Put(rec); err != nil {
+				w.cfg.Logf("worker %s: caching %s: %v; abandoning shard", w.cfg.ID, item.Candidate.Name, err)
+				return
+			}
+		}
+		batch = append(batch, DeltaRecord{Record: rec, Simulated: !hit})
+		if len(batch) >= w.cfg.BatchSize && !flush() {
+			return
+		}
+	}
+	flush()
+}
+
+// postRetry posts until success, a terminal response, or the attempt
+// budget runs out, paced by the per-worker jittered backoff.
+func (w *worker) postRetry(ctx context.Context, path string, reqBody, respBody any) bool {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if w.cfg.Backoff.WaitFor(ctx, w.cfg.ID+"/"+path, attempt) != nil {
+				return false
+			}
+		}
+		err := w.post(ctx, path, reqBody, respBody)
+		if err == nil {
+			return true
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusConflict {
+			w.cfg.Logf("worker %s: %s: %v; abandoning shard", w.cfg.ID, path, err)
+			return false
+		}
+		if ctx.Err() != nil {
+			return false
+		}
+		if attempt+1 >= maxPostAttempts {
+			w.cfg.Logf("worker %s: %s: giving up after %d attempts: %v", w.cfg.ID, path, attempt+1, err)
+			return false
+		}
+	}
+}
+
+func (w *worker) post(ctx context.Context, path string, reqBody, respBody any) error {
+	buf, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(w.cfg.Join, "/") + "/coord/" + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return &statusError{code: res.StatusCode, msg: strings.TrimSpace(string(msg))}
+	}
+	return json.NewDecoder(res.Body).Decode(respBody)
+}
+
+// statusError is a non-200 coordinator response.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("coordinator returned %d: %s", e.code, e.msg) }

@@ -3,6 +3,8 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -10,13 +12,18 @@ import (
 //
 //	GET  /healthz          → 200 while the process is alive
 //	GET  /readyz           → 200 accepting jobs, 503 while draining
+//	GET  /metrics          → plaintext operational counters
 //	POST /jobs             → submit a JobSpec; 202 with the queued Job
 //	GET  /jobs             → all jobs in submission order
 //	GET  /jobs/{id}        → one job's structured status
 //	POST /jobs/{id}/cancel → cancel a queued or running job
 //
-// Every response body is JSON; errors are {"error": "..."} with a
-// matching status code.
+// With a coordinator attached, the coord protocol (POST
+// /coord/heartbeat, /coord/work, /coord/delta) mounts on the same mux
+// and /metrics appends the per-worker lease/heartbeat view.
+//
+// Every response body is JSON except /metrics; errors are
+// {"error": "..."} with a matching status code.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -55,6 +62,16 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, job)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.writeMetrics(w)
+		if s.cfg.Coordinator != nil {
+			s.cfg.Coordinator.WriteMetrics(w)
+		}
+	})
+	if s.cfg.Coordinator != nil {
+		s.cfg.Coordinator.Register(mux)
+	}
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		job, err := s.Cancel(r.PathValue("id"))
 		if err != nil && !errors.Is(err, ErrFinished) {
@@ -67,6 +84,28 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, job)
 	})
 	return mux
+}
+
+// writeMetrics emits the server's counters in the plaintext
+// `name{labels} value` exposition format, names and labels in a fixed
+// order so scrapes and tests see a stable document.
+func (s *Server) writeMetrics(w io.Writer) {
+	s.mu.Lock()
+	counts := map[JobStatus]int{}
+	for _, job := range s.jobs {
+		counts[job.Status]++
+	}
+	queueDepth := len(s.queue)
+	retries, hits := s.retriesTotal, s.cacheHits
+	s.mu.Unlock()
+
+	fmt.Fprintf(w, "chipletd_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "chipletd_cache_records %d\n", s.cache.Len())
+	for _, st := range []JobStatus{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled} {
+		fmt.Fprintf(w, "chipletd_jobs{status=%q} %d\n", st, counts[st])
+	}
+	fmt.Fprintf(w, "chipletd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "chipletd_retries_total %d\n", retries)
 }
 
 // statusFor maps service errors to HTTP status codes.

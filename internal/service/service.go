@@ -48,6 +48,7 @@ import (
 	"chipletnet"
 	"chipletnet/internal/dse"
 	"chipletnet/internal/service/backoff"
+	"chipletnet/internal/service/coord"
 )
 
 // JobType selects what a job runs.
@@ -147,7 +148,9 @@ type SweepResult struct {
 // DSEResult is a DSE job's result payload: the exploration accounting
 // plus the Pareto frontier. Simulated/CacheHits expose the crash-safety
 // ledger — a job resumed after a kill reports the journaled-done work as
-// cache hits.
+// cache hits (in coordinator mode the hits include the worker-local
+// caches). Degraded/Missing mark a partial result: the worker fleet died
+// mid-campaign, so Frontier covers only the evaluations that finished.
 type DSEResult struct {
 	Enumerated int
 	Pruned     int
@@ -155,6 +158,8 @@ type DSEResult struct {
 	Candidates int
 	Simulated  int
 	CacheHits  int
+	Degraded   bool `json:",omitempty"`
+	Missing    int  `json:",omitempty"`
 	Frontier   []dse.Record
 }
 
@@ -192,6 +197,11 @@ type Config struct {
 	CheckpointEvery int64
 	// QueueCap bounds the pending-job queue (default 1024).
 	QueueCap int
+	// Coordinator, when set, distributes every DSE job's pending
+	// evaluations across the worker fleet instead of simulating locally
+	// (see internal/service/coord). The server still plans, serves cache
+	// hits, and owns the result; only the simulation fans out.
+	Coordinator *coord.Coordinator
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -210,6 +220,9 @@ type Server struct {
 	cancels map[string]context.CancelFunc
 	nextID  int
 	defunct bool // draining: reject submissions, readyz → 503
+	// Operational counters for /metrics (process-lifetime, not journaled).
+	retriesTotal int
+	cacheHits    int
 
 	queue   chan string
 	drainCh chan struct{} // closed exactly once, by Drain
@@ -323,6 +336,7 @@ func (s *Server) replay(events []jobEvent) []string {
 		case evFailed:
 			job.Status = StatusFailed
 			job.Error = e.Error
+			job.Result = e.Result
 		case evCanceled:
 			job.Status = StatusCanceled
 		}
@@ -487,6 +501,7 @@ func (s *Server) setStatus(job *Job, status JobStatus, e jobEvent) {
 	}
 	if e.Event == evFailed {
 		job.Error = e.Error
+		job.Result = e.Result // partial (degraded) payload, when present
 	}
 	err := s.jlog.record(e)
 	s.mu.Unlock()
@@ -554,6 +569,9 @@ func (s *Server) runJob(id string) {
 		s.mu.Lock()
 		job.Attempts++
 		attempts = job.Attempts
+		if try > 0 {
+			s.retriesTotal++
+		}
 		s.mu.Unlock()
 		s.setStatus(job, StatusRunning, jobEvent{ID: id, Event: evStart, Attempts: attempts})
 
@@ -566,6 +584,17 @@ func (s *Server) runJob(id string) {
 		if errors.Is(err, chipletnet.ErrInterrupted) || errors.Is(err, errDrained) {
 			s.setStatus(job, StatusQueued, jobEvent{ID: id, Event: evRequeue, Attempts: attempts})
 			s.logf("job %s: drained mid-run; requeued (progress persisted)", id)
+			return
+		}
+		if errors.Is(err, coord.ErrDegraded) {
+			// The whole worker fleet died. Retrying immediately would just
+			// burn the dead-fleet grace again; fail typed and keep the
+			// partial frontier the survivors produced as the result
+			// payload. Resubmitting once workers return serves the folded
+			// records as cache hits and finishes the remainder.
+			msg := fmt.Sprintf("degraded after %d attempts: %v", attempts, err)
+			s.setStatus(job, StatusFailed, jobEvent{ID: id, Event: evFailed, Error: msg, Result: result})
+			s.logf("job %s: %s", id, msg)
 			return
 		}
 		if ctx.Err() != nil {
@@ -699,6 +728,10 @@ func (s *Server) executeDSE(ctx context.Context, job *Job) (json.RawMessage, err
 	}
 	total := len(plan.Candidates)
 	s.setProgress(job, len(plan.Hits), total)
+	s.countCacheHits(len(plan.Hits))
+	if s.cfg.Coordinator != nil && len(plan.Pending) > 0 {
+		return s.executeDSECoordinated(ctx, job, plan)
+	}
 	recs := append([]dse.Record(nil), plan.Hits...)
 	for i, ev := range plan.Pending {
 		select {
@@ -735,6 +768,80 @@ func (s *Server) executeDSE(ctx context.Context, job *Job) (json.RawMessage, err
 		CacheHits:  outcome.CacheHits,
 		Frontier:   outcome.Frontier,
 	})
+}
+
+// executeDSECoordinated fans plan.Pending out across the coordinator's
+// worker fleet. The daemon keeps planning, cache-hit serving and result
+// assembly; only the simulations travel. Records fold into s.cache as
+// workers report them, so a drain or crash mid-campaign costs nothing
+// already folded — the resumed job replans and serves it as hits.
+func (s *Server) executeDSECoordinated(ctx context.Context, job *Job, plan *dse.Plan) (json.RawMessage, error) {
+	dctx, cancel := s.drainContext(ctx)
+	defer cancel()
+	total := len(plan.Candidates)
+	recs, simulated, err := s.cfg.Coordinator.RunCampaign(dctx, job.ID, plan, s.cache, func(done, _ int) {
+		s.setProgress(job, len(plan.Hits)+done, total)
+	})
+	// Worker-local cache hits are hits too: the fleet returned records it
+	// did not have to simulate.
+	s.countCacheHits(len(recs) - simulated)
+	if err != nil {
+		switch {
+		case errors.Is(err, coord.ErrDegraded):
+			partial, merr := s.degradedResult(plan, recs, simulated)
+			if merr != nil {
+				return nil, errors.Join(err, merr)
+			}
+			return partial, err
+		case dctx.Err() != nil && ctx.Err() == nil:
+			return nil, errDrained
+		case ctx.Err() != nil:
+			return nil, fmt.Errorf("%w: %v", chipletnet.ErrCanceled, ctx.Err())
+		}
+		return nil, err
+	}
+	outcome, err := dse.Collect(plan, append(append([]dse.Record(nil), plan.Hits...), recs...))
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(DSEResult{
+		Enumerated: len(plan.Candidates) + len(plan.Rejected) + len(plan.Pruned),
+		Pruned:     len(plan.Pruned),
+		Rejected:   len(plan.Rejected),
+		Candidates: len(outcome.Records),
+		Simulated:  simulated,
+		CacheHits:  total - simulated,
+		Frontier:   outcome.Frontier,
+	})
+}
+
+// degradedResult assembles the partial payload of a degraded campaign:
+// the frontier over every record that did finish, flagged Degraded with
+// the missing count, so the failure still reports everything it learned.
+func (s *Server) degradedResult(plan *dse.Plan, recs []dse.Record, simulated int) (json.RawMessage, error) {
+	all := append(append([]dse.Record(nil), plan.Hits...), recs...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return json.Marshal(DSEResult{
+		Enumerated: len(plan.Candidates) + len(plan.Rejected) + len(plan.Pruned),
+		Pruned:     len(plan.Pruned),
+		Rejected:   len(plan.Rejected),
+		Candidates: len(plan.Candidates),
+		Simulated:  simulated,
+		CacheHits:  len(all) - simulated,
+		Degraded:   true,
+		Missing:    len(plan.Pending) - len(recs),
+		Frontier:   dse.Frontier(all),
+	})
+}
+
+// countCacheHits bumps the /metrics cache-hit counter.
+func (s *Server) countCacheHits(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cacheHits += n
+	s.mu.Unlock()
 }
 
 // marshalResult renders a simulation result as JSON with non-finite
