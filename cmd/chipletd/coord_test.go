@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -69,9 +68,11 @@ func TestCoordinatorChaos(t *testing.T) {
 	coordDir := t.TempDir()
 	co := startDaemon(t, coordDir, "-coordinator", "-heartbeat-ttl", "1500ms", "-grace", "3m")
 	w1Dir, w2Dir := t.TempDir(), t.TempDir()
-	w1 := startDaemon(t, w1Dir, "-worker", "-join", co.url, "-heartbeat", "150ms")
-	w2 := startDaemon(t, w2Dir, "-worker", "-join", co.url, "-heartbeat", "150ms")
-	w1Addr := strings.TrimPrefix(w1.url, "http://")
+	// Explicit -worker-id: the IDs key the coordinator's fold counters
+	// scraped below (and the flag is exactly what a multi-host operator
+	// would set; the default is hostname/listen-address).
+	w1 := startDaemon(t, w1Dir, "-worker", "-join", co.url, "-heartbeat", "150ms", "-worker-id", "w1")
+	w2 := startDaemon(t, w2Dir, "-worker", "-join", co.url, "-heartbeat", "150ms", "-worker-id", "w2")
 	_ = w2
 
 	var job service.Job
@@ -134,9 +135,9 @@ func TestCoordinatorChaos(t *testing.T) {
 	// simulated but never reported was legitimately redone by worker 2
 	// and appears in neither term twice.
 	w2Sims := cacheLines(t, w2Dir)
-	recvFromW1 := scrapeMetric(t, co.url, fmt.Sprintf("coord_worker_records_total{worker=%q}", w1Addr))
+	recvFromW1 := scrapeMetric(t, co.url, `coord_worker_records_total{worker="w1"}`)
 	if recvFromW1 < 0 {
-		t.Fatalf("coordinator /metrics has no fold counter for killed worker %s", w1Addr)
+		t.Fatal("coordinator /metrics has no fold counter for killed worker w1")
 	}
 	if w2Sims+recvFromW1 != res.Candidates {
 		t.Errorf("duplicate-work ledger: worker2 simulated %d + worker1 reported %d != %d candidates",

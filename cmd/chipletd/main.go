@@ -88,6 +88,7 @@ func run(args []string) int {
 	coordinator := fs.Bool("coordinator", false, "serve the fleet coordinator: distribute DSE jobs across joined workers")
 	workerMode := fs.Bool("worker", false, "join a coordinator as a worker (requires -join)")
 	join := fs.String("join", "", "coordinator base URL to join (http://host:port)")
+	workerID := fs.String("worker-id", "", "worker: fleet-unique ID (default: hostname/listen-address)")
 	heartbeat := fs.Duration("heartbeat", time.Second, "worker heartbeat interval (keep well inside the coordinator's TTL)")
 	heartbeatTTL := fs.Duration("heartbeat-ttl", 10*time.Second, "coordinator: lease/liveness TTL after a worker's last heartbeat")
 	grace := fs.Duration("grace", time.Minute, "coordinator: how long a campaign survives a fully-dead fleet before degrading")
@@ -163,16 +164,29 @@ func run(args []string) int {
 	// In worker mode the daemon moonlights: it still serves its own job
 	// API, and a background loop evaluates shards leased from the
 	// coordinator into the local sharded cache (which doubles as the
-	// worker-side hit source). The worker ID is the resolved listen
-	// address — stable for the process, unique in the fleet, and exactly
-	// what the coordinator's metrics report.
+	// worker-side hit source). The worker ID must be fleet-unique — the
+	// coordinator keys leases, heartbeats and fold counters by it, and
+	// two workers sharing an ID collapse into one identity that
+	// double-simulates every shard. The listen address alone is not
+	// unique across hosts (-addr :8081 binds as [::]:8081 everywhere),
+	// so the default prefixes the hostname; -worker-id overrides.
 	workerCtx, stopWorker := context.WithCancel(context.Background())
 	workerDone := make(chan struct{})
 	if *workerMode {
+		id := *workerID
+		if id == "" {
+			if host, herr := os.Hostname(); herr == nil && host != "" {
+				id = host + "/" + ln.Addr().String()
+			} else {
+				id = ln.Addr().String()
+				logger.Printf("worker: cannot resolve hostname (%v); using %s as worker ID — pass -worker-id to guarantee fleet-wide uniqueness", herr, id)
+			}
+		}
+		logger.Printf("worker %s joining %s", id, *join)
 		go func() {
 			defer close(workerDone)
 			coord.RunWorker(workerCtx, coord.WorkerConfig{
-				ID:        ln.Addr().String(),
+				ID:        id,
 				Join:      *join,
 				Cache:     srv.Cache(),
 				Heartbeat: *heartbeat,

@@ -12,8 +12,12 @@
 // content is a typed dse.ErrConflict — so "at least once" delivery is safe
 // and a worker killed mid-shard costs only its unreported tail.
 //
-// Liveness is heartbeat-based: a worker that misses its TTL forfeits every
-// lease it holds, and the shards go back to the pool after a per-shard
+// Liveness is heartbeat-based and lease renewal is echo-driven: each
+// beat lists the assignments the worker is still working on, and only
+// those leases are renewed. A worker that misses its TTL forfeits every
+// lease it holds — and so does a live worker that abandoned a shard,
+// since the shard drops out of its echo — and the shards go back to the
+// pool after a per-shard
 // jittered backoff (backoff.Policy.DelayFor) so a flapping worker does not
 // ping-pong its shards. Every lease transition is journaled to coord.jsonl
 // with the same fsynced append-only discipline as the job journal, so a
@@ -130,6 +134,11 @@ type campaign struct {
 	err       error // sticky poison (merge conflict, degradation)
 	done      chan struct{}
 	finished  bool
+	// foldMu serializes store merges. It is separate from (and never
+	// held together with) the coordinator mutex: the merge is per-record
+	// disk I/O, and stalling heartbeat handling behind a slow disk would
+	// push live workers toward the lease TTL.
+	foldMu sync.Mutex
 }
 
 func (camp *campaign) remainingLocked() int {
@@ -207,7 +216,44 @@ func Open(cfg Config) (*Coordinator, error) {
 	if len(c.prior) > 0 {
 		logf("coord: replayed lease state of %d unfinished campaigns", len(c.prior))
 	}
+	// The journal is append-only while running, so finished campaigns'
+	// entries and superseded grants accumulate until the next open.
+	// Distill the replayed state to one event per shard and rewrite, so
+	// the journal stays bounded by live lease state, not history.
+	if live := c.distillJournal(); len(live) < len(events) {
+		if err := c.jlog.rewrite(live); err != nil {
+			c.jlog.Close()
+			return nil, fmt.Errorf("coord: compacting lease journal: %w", err)
+		}
+		logf("coord: compacted lease journal: %d events -> %d", len(events), len(live))
+	}
 	return c, nil
+}
+
+// distillJournal reduces the prior-campaign table to the minimal event
+// list whose replay reproduces it — nothing at all for finished
+// campaigns. A leased shard always has lease == grants (tokens bump
+// only on grant), so a single grant event per shard restores worker,
+// token and monotonicity; an expired shard keeps its token high-water
+// mark through a grant with no worker, which replays as unleased.
+func (c *Coordinator) distillJournal() []leaseEvent {
+	ids := make([]string, 0, len(c.prior))
+	for id := range c.prior {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	live := []leaseEvent{}
+	for _, id := range ids {
+		p := c.prior[id]
+		for i := range p.shards {
+			ps := p.shards[i]
+			if ps.grants == 0 {
+				continue
+			}
+			live = append(live, leaseEvent{C: id, Ev: evGrant, Shard: i, Worker: ps.worker, Lease: ps.grants})
+		}
+	}
+	return live
 }
 
 // replay folds one journal event into the prior-campaign table.
@@ -304,6 +350,15 @@ func (c *Coordinator) RunCampaign(ctx context.Context, id string, plan *dse.Plan
 		}
 	}
 	if camp.remainingLocked() == 0 {
+		// Every evaluation was already folded (a prior incarnation did
+		// the work but died before recording the finish). Retire the
+		// journaled lease state, or its grants replay as live on every
+		// future restart.
+		if prior != nil {
+			if err := c.jlog.record(leaseEvent{C: id, Ev: evFinish}); err != nil {
+				c.logf("coord: lease journal: %v", err)
+			}
+		}
 		c.mu.Unlock()
 		return c.collect(camp, plan)
 	}
@@ -429,9 +484,15 @@ func (c *Coordinator) collect(camp *campaign, plan *dse.Plan) ([]dse.Record, int
 	return recs, simulated, err
 }
 
-// heartbeat registers/renews worker and returns every lease it holds —
-// renewed ones first, then fresh grants up to capacity total.
-func (c *Coordinator) heartbeat(worker string, capacity int) []Assignment {
+// heartbeat registers/renews worker and returns the leases it renewed
+// plus fresh grants up to capacity total. Renewal is echo-driven: only
+// leases the worker lists as held are extended, so a shard the worker
+// abandoned (evaluation error, key mismatch, delta give-up) stops being
+// renewed the moment the worker drops it and expires by TTL — a healthy
+// heartbeat alone cannot pin an abandoned shard forever. A just-granted
+// lease the worker has not echoed yet keeps its grant-time expiry; the
+// next beat, well inside the TTL, picks it up.
+func (c *Coordinator) heartbeat(worker string, capacity int, held []Assignment) []Assignment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := time.Now()
@@ -443,6 +504,11 @@ func (c *Coordinator) heartbeat(worker string, capacity int) []Assignment {
 	}
 	ws.lastBeat = now
 
+	heldSet := make(map[Assignment]bool, len(held))
+	for _, a := range held {
+		heldSet[a] = true
+	}
+
 	ids := make([]string, 0, len(c.active))
 	for id := range c.active {
 		ids = append(ids, id)
@@ -450,11 +516,16 @@ func (c *Coordinator) heartbeat(worker string, capacity int) []Assignment {
 	sort.Strings(ids)
 
 	var out []Assignment
+	leases := 0 // every lease the worker holds counts against capacity, echoed or not
 	for _, id := range ids {
 		camp := c.active[id]
 		for i := range camp.shards {
 			sh := &camp.shards[i]
-			if sh.phase == shardLeased && sh.worker == worker {
+			if sh.phase != shardLeased || sh.worker != worker {
+				continue
+			}
+			leases++
+			if heldSet[Assignment{Campaign: id, Shard: i, Lease: sh.lease}] {
 				sh.expiry = now.Add(c.cfg.HeartbeatTTL)
 				out = append(out, Assignment{Campaign: id, Shard: i, Lease: sh.lease})
 			}
@@ -463,7 +534,7 @@ func (c *Coordinator) heartbeat(worker string, capacity int) []Assignment {
 	for _, id := range ids {
 		camp := c.active[id]
 		for i := range camp.shards {
-			if len(out) >= capacity {
+			if leases >= capacity {
 				return out
 			}
 			sh := &camp.shards[i]
@@ -481,6 +552,7 @@ func (c *Coordinator) heartbeat(worker string, capacity int) []Assignment {
 			}
 			sh.phase, sh.worker, sh.lease = shardLeased, worker, lease
 			sh.expiry = now.Add(c.cfg.HeartbeatTTL)
+			leases++
 			out = append(out, Assignment{Campaign: id, Shard: i, Lease: lease})
 			c.logf("coord: campaign %s shard %x: leased to %s (lease %d, %d evaluations)",
 				id, i, worker, lease, len(sh.work))
@@ -534,28 +606,37 @@ func (c *Coordinator) fold(worker, campaignID string, shard, lease int, deltas [
 	}
 	sh := &camp.shards[shard]
 	stale := sh.phase != shardLeased || sh.worker != worker || sh.lease != lease
+	c.mu.Unlock()
 
+	// Stage and validate without any lock; then merge under the
+	// campaign's fold mutex only, so per-record store I/O never delays
+	// heartbeat or work handling toward the lease TTL. foldMu keeps the
+	// lookup-before-merge window atomic per campaign, which is what
+	// makes the fresh-simulation ledger exact under redelivery.
 	batch, err := dse.OpenCache("")
 	if err != nil {
-		c.mu.Unlock()
 		return 0, false, err
 	}
-	var freshSim int
 	for _, d := range deltas {
 		si, serr := dse.ShardIndex(d.Record.Key)
 		if serr != nil || si != shard {
-			c.mu.Unlock()
 			return 0, false, fmt.Errorf("coord: delta record %.12s does not belong to shard %x", d.Record.Key, shard)
 		}
-		if _, dup := camp.store.Lookup(d.Record.Key); !dup && d.Simulated {
-			freshSim++
-		}
 		if perr := batch.Put(d.Record); perr != nil {
-			c.mu.Unlock()
 			return 0, false, perr
 		}
 	}
+	camp.foldMu.Lock()
+	var freshSim int
+	for _, d := range deltas {
+		if _, dup := camp.store.Lookup(d.Record.Key); !dup && d.Simulated {
+			freshSim++
+		}
+	}
 	added, err = dse.Merge(camp.store, batch)
+	camp.foldMu.Unlock()
+
+	c.mu.Lock()
 	if err != nil {
 		// dse.ErrConflict: two records at one content address. The
 		// determinism contract is broken somewhere in the fleet; fail the
@@ -564,6 +645,12 @@ func (c *Coordinator) fold(worker, campaignID string, shard, lease int, deltas [
 		camp.completeLocked()
 		c.mu.Unlock()
 		return added, false, err
+	}
+	if camp.finished {
+		// Degraded or poisoned while we merged: the records are safely
+		// in the store for a future incarnation to count as hits.
+		c.mu.Unlock()
+		return added, true, nil
 	}
 	for _, d := range deltas {
 		delete(sh.work, d.Record.Key)

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -93,12 +95,13 @@ func startCampaign(t *testing.T, ctx context.Context, c *Coordinator, id string,
 	return ch
 }
 
-// pollAssignments heartbeats as worker until it holds at least one lease.
-func pollAssignments(t *testing.T, c *Coordinator, worker string) []Assignment {
+// pollAssignments heartbeats as worker (with the given lease capacity)
+// until it is granted at least one lease.
+func pollAssignments(t *testing.T, c *Coordinator, worker string, capacity int) []Assignment {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if as := c.heartbeat(worker, 16); len(as) > 0 {
+		if as := c.heartbeat(worker, capacity, nil); len(as) > 0 {
 			return as
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -132,7 +135,7 @@ func drainAs(t *testing.T, c *Coordinator, worker string, res <-chan campaignRes
 			t.Fatal("campaign did not complete")
 		default:
 		}
-		for _, a := range c.heartbeat(worker, 16) {
+		for _, a := range c.heartbeat(worker, 16, nil) {
 			params, items, revoked := c.work(worker, a.Campaign, a.Shard, a.Lease)
 			if revoked {
 				continue
@@ -224,7 +227,7 @@ func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
 	defer cancel()
 	res := startCampaign(t, ctx, c, "job-exp", plan, store)
 
-	a0 := pollAssignments(t, c, "a")[0]
+	a0 := pollAssignments(t, c, "a", 16)[0]
 	params, items, revoked := c.work("a", a0.Campaign, a0.Shard, a0.Lease)
 	if revoked || len(items) == 0 {
 		t.Fatalf("live lease revoked (revoked=%v, %d items)", revoked, len(items))
@@ -234,7 +237,7 @@ func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
 	var b0 Assignment
 	deadline := time.Now().Add(5 * time.Second)
 	for b0.Campaign == "" && time.Now().Before(deadline) {
-		for _, a := range c.heartbeat("b", 16) {
+		for _, a := range c.heartbeat("b", 16, nil) {
 			if a.Shard == a0.Shard {
 				b0 = a
 			}
@@ -273,7 +276,9 @@ func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
 
 // TestRestartReplaysLeases crashes the coordinator (new Coordinator,
 // same directory) mid-campaign and verifies the journaled lease comes
-// back verbatim: same worker, same shard, same fencing token.
+// back verbatim: same worker, same shard, same fencing token. The
+// worker survived the crash, so its heartbeats echo the lease it still
+// holds — which is exactly what keeps it renewed across the restart.
 func TestRestartReplaysLeases(t *testing.T) {
 	dir := t.TempDir()
 	c1 := openCoord(t, dir, Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
@@ -281,8 +286,8 @@ func TestRestartReplaysLeases(t *testing.T) {
 	plan := mustPlan(t, store)
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	res1 := startCampaign(t, ctx1, c1, "job-replay", plan, store)
-	a0 := pollAssignments(t, c1, "a")[0]
-	cancel1() // "crash": the campaign aborts, the journal survives
+	a0 := pollAssignments(t, c1, "a", 1)[0] // capacity 1: exactly one lease to replay
+	cancel1()                               // "crash": the campaign aborts, the journal survives
 	if r := <-res1; !errors.Is(r.err, context.Canceled) {
 		t.Fatalf("aborted campaign returned %v, want context.Canceled", r.err)
 	}
@@ -292,17 +297,89 @@ func TestRestartReplaysLeases(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
 	res2 := startCampaign(t, ctx2, c2, "job-replay", plan, store)
-	restored := pollAssignments(t, c2, "a")
 	found := false
-	for _, a := range restored {
-		if a.Campaign == a0.Campaign && a.Shard == a0.Shard && a.Lease == a0.Lease {
-			found = true
+	deadline := time.Now().Add(5 * time.Second)
+	for !found && time.Now().Before(deadline) {
+		for _, a := range c2.heartbeat("a", 1, []Assignment{a0}) {
+			if a == a0 {
+				found = true
+			}
 		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if !found {
-		t.Errorf("restart did not restore lease %+v (got %+v)", a0, restored)
+		t.Fatalf("restart did not restore lease %+v", a0)
+	}
+	// Drain the restored shard under its replayed token, then the rest.
+	params, items, revoked := c2.work("a", a0.Campaign, a0.Shard, a0.Lease)
+	if revoked {
+		t.Fatal("restored lease revoked")
+	}
+	for _, item := range items {
+		rec := evalItem(t, item, params)
+		if _, _, err := c2.fold("a", a0.Campaign, a0.Shard, a0.Lease, []DeltaRecord{{Record: rec, Simulated: true}}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if r := drainAs(t, c2, "a", res2); r.err != nil {
+		t.Fatal(r.err)
+	}
+}
+
+// TestAbandonedLeaseExpiresDespiteHeartbeats is the regression test for
+// echo-driven renewal: a worker that abandoned its shard (it keeps
+// beating — it is perfectly healthy — but no longer echoes the lease)
+// must not keep the lease alive. The TTL expires it and the shard moves
+// to a survivor instead of blocking the campaign forever behind a
+// healthy heartbeat.
+func TestAbandonedLeaseExpiresDespiteHeartbeats(t *testing.T) {
+	c := openCoord(t, t.TempDir(), Config{
+		HeartbeatTTL: 120 * time.Millisecond,
+		Tick:         10 * time.Millisecond,
+		Reassign:     backoff.Policy{Base: time.Millisecond},
+	})
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := startCampaign(t, ctx, c, "job-abandon", plan, store)
+
+	a0 := pollAssignments(t, c, "a", 16)[0]
+	// a beats on, echoing nothing — what a live worker looks like after
+	// abandoning its shards on an evaluation error. Capacity 0 keeps it
+	// from being granted replacements.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				c.heartbeat("a", 0, nil)
+			}
+		}
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	// The shard must be re-granted under a higher token even though its
+	// holder never went silent.
+	regranted := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !regranted && time.Now().Before(deadline) {
+		for _, a := range c.heartbeat("b", 16, nil) {
+			if a.Shard == a0.Shard && a.Lease > a0.Lease {
+				regranted = true
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !regranted {
+		t.Fatal("abandoned shard was never reassigned while its worker kept heartbeating")
+	}
+	if r := drainAs(t, c, "b", res); r.err != nil {
 		t.Fatal(r.err)
 	}
 }
@@ -336,7 +413,7 @@ func TestFoldConflictPoisonsCampaign(t *testing.T) {
 	defer cancel()
 	res := startCampaign(t, ctx, c, "job-conflict", plan, store)
 
-	a0 := pollAssignments(t, c, "a")[0]
+	a0 := pollAssignments(t, c, "a", 16)[0]
 	params, items, _ := c.work("a", a0.Campaign, a0.Shard, a0.Lease)
 	rec := evalItem(t, items[0], params)
 	if _, _, err := c.fold("a", a0.Campaign, a0.Shard, a0.Lease, []DeltaRecord{{Record: rec, Simulated: true}}); err != nil {
@@ -393,4 +470,111 @@ func TestWorkerAbandonsOnKeyMismatch(t *testing.T) {
 func mustPlanFromStore(t *testing.T) *dse.Plan {
 	t.Helper()
 	return mustPlan(t, memStore(t))
+}
+
+// journalLines counts the non-empty lines of the lease journal.
+func journalLines(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "coord.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestJournalCompaction finishes a campaign (leaving grant/shard-done/
+// finish entries behind) and reopens the directory: replay must drop the
+// finished campaign and compaction must rewrite the journal down to its
+// live lease state — here, nothing — so coord.jsonl does not grow
+// without bound across campaigns.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c1 := openCoord(t, dir, Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
+	store := memStore(t)
+	plan := mustPlan(t, store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := startCampaign(t, ctx, c1, "job-compact", plan, store)
+	if r := drainAs(t, c1, "a", res); r.err != nil {
+		t.Fatal(r.err)
+	}
+	if journalLines(t, dir) == 0 {
+		t.Fatal("finished campaign left no journal entries to compact")
+	}
+	c1.Close()
+
+	c2 := openCoord(t, dir, Config{})
+	if n := len(c2.prior); n != 0 {
+		t.Errorf("replayed %d campaigns from a fully-finished journal", n)
+	}
+	if n := journalLines(t, dir); n != 0 {
+		t.Errorf("journal has %d lines after compaction, want 0", n)
+	}
+}
+
+// TestEarlyFinishRetiresJournal crashes a campaign with a lease
+// outstanding, completes every evaluation out of band (the store has all
+// the records), and resubmits: RunCampaign's nothing-left early return
+// must journal the finish, so the next incarnation replays no stale
+// lease state for the campaign.
+func TestEarlyFinishRetiresJournal(t *testing.T) {
+	dir := t.TempDir()
+	store := memStore(t)
+	plan := mustPlan(t, store)
+
+	c1 := openCoord(t, dir, Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	res1 := startCampaign(t, ctx1, c1, "job-early", plan, store)
+	pollAssignments(t, c1, "a", 1)
+	cancel1()
+	<-res1
+	c1.Close()
+
+	// Every evaluation lands in the store between incarnations.
+	for _, ev := range plan.Pending {
+		rec, err := ev.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2 := openCoord(t, dir, Config{HeartbeatTTL: 10 * time.Second, Tick: 10 * time.Millisecond})
+	if len(c2.prior) == 0 {
+		t.Fatal("no lease state replayed; the crash half of this test did not happen")
+	}
+	// The restarted service re-plans against the shared store, so every
+	// evaluation resurfaces as a hit and the campaign has nothing left.
+	space, params := testSpace()
+	replan, err := dse.NewPlan(space, params, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replan.Pending) != 0 {
+		t.Fatalf("replan still has %d pending evaluations", len(replan.Pending))
+	}
+	recs, simulated, err := c2.RunCampaign(context.Background(), "job-early", replan, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != 0 || len(recs) != 0 {
+		t.Errorf("nothing-left campaign returned %d records, %d simulated", len(recs), simulated)
+	}
+	c2.Close()
+
+	c3 := openCoord(t, dir, Config{})
+	if n := len(c3.prior); n != 0 {
+		t.Errorf("early-finished campaign still replays %d campaigns of lease state", n)
+	}
+	if n := journalLines(t, dir); n != 0 {
+		t.Errorf("journal has %d lines after compaction, want 0", n)
+	}
 }

@@ -43,12 +43,18 @@ type heartbeatRequest struct {
 	// Capacity is the total number of leases the worker is willing to
 	// hold (renewals included).
 	Capacity int
+	// Held echoes the assignments the worker is still working on
+	// (queued or evaluating). Renewal is echo-driven: only echoed
+	// leases are extended, so a shard the worker abandoned stops being
+	// renewed the moment it drops out of this list and expires by TTL
+	// — a healthy heartbeat alone cannot pin an abandoned shard.
+	Held []Assignment `json:",omitempty"`
 }
 
 type heartbeatResponse struct {
 	// TTLMS is the lease TTL; workers should beat well inside it.
 	TTLMS int64
-	// Assignments lists every lease the worker currently holds.
+	// Assignments lists the renewed leases plus any fresh grants.
 	Assignments []Assignment
 }
 
@@ -99,7 +105,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	reply(w, heartbeatResponse{
 		TTLMS:       c.cfg.HeartbeatTTL.Milliseconds(),
-		Assignments: c.heartbeat(req.Worker, req.Capacity),
+		Assignments: c.heartbeat(req.Worker, req.Capacity, req.Held),
 	})
 }
 

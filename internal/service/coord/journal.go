@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"chipletnet/internal/jsonl"
@@ -35,8 +36,9 @@ type leaseEvent struct {
 // discipline applied to lease transitions (see internal/jsonl for the
 // shared damage model: torn tails dropped, corrupt lines quarantined).
 type leaseLog struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	path string
+	f    *os.File
 }
 
 // openLeaseLog opens (creating if needed) the journal at path and
@@ -61,7 +63,50 @@ func openLeaseLog(path string) (*leaseLog, []leaseEvent, int, error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return &leaseLog{f: f}, events, quarantined, nil
+	return &leaseLog{path: path, f: f}, events, quarantined, nil
+}
+
+// rewrite atomically replaces the journal with events — the compaction
+// path: the temp-file/sync/rename discipline of internal/jsonl repair,
+// plus reopening the append handle on the new file. A crash mid-rewrite
+// leaves either the old journal (compacted again next open) or the new
+// one, never a half-written mix.
+func (l *leaseLog) rewrite(events []leaseEvent) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	for _, e := range events {
+		line, err := json.Marshal(e)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f.Close()
+	l.f = f
+	return nil
 }
 
 // record appends one event and syncs it to disk before returning, so a

@@ -25,7 +25,7 @@ const maxPostAttempts = 8
 type WorkerConfig struct {
 	// ID names the worker in heartbeats, leases and metrics. It must be
 	// stable for the process lifetime and unique in the fleet; chipletd
-	// uses its resolved listen address.
+	// defaults to hostname/listen-address and takes -worker-id overrides.
 	ID string
 	// Join is the coordinator's base URL (http://host:port).
 	Join string
@@ -56,6 +56,42 @@ type WorkerConfig struct {
 // worker is the running state behind RunWorker.
 type worker struct {
 	cfg WorkerConfig
+
+	mu sync.Mutex
+	// held tracks the assignments this worker is actually working on,
+	// from the moment one is queued until runShard returns. Heartbeats
+	// echo it, and the coordinator renews exactly the echoed leases: a
+	// shard runShard abandoned (evaluation error, revocation, key
+	// mismatch) drops out of the set, its lease quietly expires, and
+	// the remainder moves to a healthier worker instead of being
+	// renewed forever behind an otherwise-healthy heartbeat.
+	held map[string]Assignment
+}
+
+// key is the worker-side identity of an assignment: leases are fenced
+// by token, so a re-grant after expiry is a different key.
+func (a Assignment) key() string { return fmt.Sprintf("%s/%d/%d", a.Campaign, a.Shard, a.Lease) }
+
+func (w *worker) hold(a Assignment) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.held[a.key()] = a
+}
+
+func (w *worker) drop(a Assignment) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.held, a.key())
+}
+
+func (w *worker) heldSnapshot() []Assignment {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Assignment, 0, len(w.held))
+	for _, a := range w.held {
+		out = append(out, a)
+	}
+	return out
 }
 
 // RunWorker joins the coordinator at cfg.Join and evaluates leased
@@ -94,7 +130,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	w := &worker{cfg: cfg}
+	w := &worker{cfg: cfg, held: map[string]Assignment{}}
 
 	assignments := make(chan Assignment, 4*cfg.MaxLeases)
 	var wg sync.WaitGroup
@@ -124,7 +160,7 @@ func (w *worker) heartbeatLoop(ctx context.Context, out chan<- Assignment) {
 	defer t.Stop()
 	for {
 		var resp heartbeatResponse
-		err := w.post(ctx, "heartbeat", heartbeatRequest{Worker: w.cfg.ID, Capacity: w.cfg.MaxLeases}, &resp)
+		err := w.post(ctx, "heartbeat", heartbeatRequest{Worker: w.cfg.ID, Capacity: w.cfg.MaxLeases, Held: w.heldSnapshot()}, &resp)
 		if err != nil {
 			if ctx.Err() == nil {
 				w.cfg.Logf("worker %s: heartbeat: %v", w.cfg.ID, err)
@@ -132,17 +168,31 @@ func (w *worker) heartbeatLoop(ctx context.Context, out chan<- Assignment) {
 			// The ticker paces the retry; missing beats only risks the
 			// leases the TTL was designed to reclaim.
 		} else {
+			offered := make(map[string]bool, len(resp.Assignments))
 			for _, a := range resp.Assignments {
-				k := fmt.Sprintf("%s/%d/%d", a.Campaign, a.Shard, a.Lease)
+				k := a.key()
+				offered[k] = true
 				if seen[k] {
 					continue
 				}
 				select {
 				case out <- a:
+					// Held from the moment it is queued: the echo keeps
+					// the lease alive until runShard settles it.
+					w.hold(a)
 					seen[k] = true
 				default:
 					// Queue full: leave it unseen so the next beat
 					// re-offers it.
+				}
+			}
+			// A token absent from the response is settled — done,
+			// expired, or abandoned — and can never be re-offered
+			// (re-grants carry a fresh token), so its seen entry is
+			// garbage. Pruning keeps a long-lived worker bounded.
+			for k := range seen {
+				if !offered[k] {
+					delete(seen, k)
 				}
 			}
 		}
@@ -160,6 +210,9 @@ func (w *worker) heartbeatLoop(ctx context.Context, out chan<- Assignment) {
 // evaluation failure — abandons the shard and lets the lease TTL hand
 // the remainder to a healthier worker.
 func (w *worker) runShard(ctx context.Context, a Assignment) {
+	// Settled either way: stop echoing the lease, so an abandoned shard
+	// expires by TTL instead of staying leased to this worker forever.
+	defer w.drop(a)
 	req := workRequest{Worker: w.cfg.ID, Campaign: a.Campaign, Shard: a.Shard, Lease: a.Lease}
 	var work workResponse
 	if !w.postRetry(ctx, "work", req, &work) || work.Revoked {
@@ -274,4 +327,6 @@ type statusError struct {
 	msg  string
 }
 
-func (e *statusError) Error() string { return fmt.Sprintf("coordinator returned %d: %s", e.code, e.msg) }
+func (e *statusError) Error() string {
+	return fmt.Sprintf("coordinator returned %d: %s", e.code, e.msg)
+}
