@@ -84,7 +84,7 @@ func run(args []string) int {
 	backoffBase := fs.Duration("backoff-base", 100*time.Millisecond, "delay before the first retry (doubles per retry)")
 	backoffCap := fs.Duration("backoff-cap", 5*time.Second, "upper bound on the retry delay")
 	ckptEvery := fs.Int64("checkpoint-every", 2000, "snapshot simulate jobs every N cycles")
-	engine := fs.String("engine", "active", "cycle engine: active | reference (bit-identical results)")
+	engine := fs.String("engine", "active", "cycle engine: active | reference | islands[:K] (bit-identical results)")
 	coordinator := fs.Bool("coordinator", false, "serve the fleet coordinator: distribute DSE jobs across joined workers")
 	workerMode := fs.Bool("worker", false, "join a coordinator as a worker (requires -join)")
 	join := fs.String("join", "", "coordinator base URL to join (http://host:port)")
@@ -96,12 +96,8 @@ func run(args []string) int {
 		return 1
 	}
 	logger := log.New(os.Stderr, "chipletd: ", 0)
-	switch *engine {
-	case "active":
-	case "reference":
-		chipletnet.UseReferenceEngine = true
-	default:
-		logger.Printf("bad -engine %q: want active or reference", *engine)
+	if err := chipletnet.SetEngine(*engine); err != nil {
+		logger.Printf("%v", err)
 		return 1
 	}
 	if *coordinator && *workerMode {

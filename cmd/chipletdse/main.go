@@ -64,17 +64,13 @@ func main() {
 	mergeSrcs := flag.String("merge", "", "comma-separated caches (files or shard directories) to merge into -cache, then exit")
 	outDir := flag.String("out", "", "directory for the report set (candidates.csv, frontier.csv, frontier.json, topoviz script, per-design configs)")
 	asJSON := flag.Bool("json", false, "emit the full report as JSON on stdout")
-	engine := flag.String("engine", "active", "cycle engine: active | reference (bit-identical results; reference is the slow oracle)")
+	engine := flag.String("engine", "active", "cycle engine: active | reference | islands[:K] (bit-identical results; reference is the slow oracle)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate evaluations")
 	verbose := flag.Bool("v", false, "list pruned and rejected candidates on stderr")
 	flag.Parse()
 
-	switch *engine {
-	case "active":
-	case "reference":
-		chipletnet.UseReferenceEngine = true
-	default:
-		fatalf("bad -engine %q: want active or reference", *engine)
+	if err := chipletnet.SetEngine(*engine); err != nil {
+		fatalf("%v", err)
 	}
 	if flag.NArg() > 0 {
 		fatalf("unexpected arguments %v", flag.Args())

@@ -42,15 +42,11 @@ func main() {
 	pointTimeout := flag.Duration("point-timeout", 0, "with -journal: wall-clock limit per task attempt (0 = none)")
 	retries := flag.Int("retries", 2, "with -journal: extra attempts per failed task")
 	workers := flag.Int("workers", 1, "with -journal: concurrent campaign tasks")
-	engine := flag.String("engine", "active", "cycle engine: active | reference (bit-identical results; reference is the slow oracle)")
+	engine := flag.String("engine", "active", "cycle engine: active | reference | islands[:K] (bit-identical results; reference is the slow oracle)")
 	flag.Parse()
 
-	switch *engine {
-	case "active":
-	case "reference":
-		chipletnet.UseReferenceEngine = true
-	default:
-		fatalf("bad -engine %q: want active or reference", *engine)
+	if err := chipletnet.SetEngine(*engine); err != nil {
+		fatalf("%v", err)
 	}
 
 	if *replot != "" {

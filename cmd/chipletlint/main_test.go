@@ -97,6 +97,21 @@ func f() { go func() {}() }`
 	}
 }
 
+func TestIslandsEngineExemptFromGoroutineRule(t *testing.T) {
+	// The parallel-islands engine is the single sanctioned intra-run
+	// concurrency in the simulator core; its schedule-independence is
+	// proven by the three-way equivalence matrix under -race, so
+	// internal/router/islands.go — and only that file — may spawn
+	// goroutines.
+	src := `package router
+func f() { go func() {}() }`
+	if fs := lintSource(t, "internal/router", "islands.go", src); len(fs) != 0 {
+		t.Errorf("islands engine flagged (its concurrency is sanctioned): %v", fs)
+	}
+	assertFinding(t, lintSource(t, "internal/router", "fabric.go", src), "goroutine")
+	assertFinding(t, lintSource(t, "internal/fault", "islands.go", src), "goroutine")
+}
+
 func TestMapOrderDependentEffects(t *testing.T) {
 	// The original internal/topology/custom.go defect: side-effecting
 	// method calls ordered by map iteration.

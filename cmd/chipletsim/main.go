@@ -62,15 +62,11 @@ func main() {
 	ckptEvery := flag.Int64("checkpoint-every", 0, "snapshot every N simulated cycles (requires -checkpoint)")
 	resumePath := flag.String("resume", "", "resume from a checkpoint file (its embedded config replaces all topology/workload flags)")
 	timeout := flag.Duration("timeout", 0, "abort a runaway simulation after this wall-clock time with a diagnostic snapshot (e.g. 30m)")
-	engine := flag.String("engine", "active", "cycle engine: active | reference (bit-identical results; reference is the slow oracle for bisecting engine bugs)")
+	engine := flag.String("engine", "active", "cycle engine: active | reference | islands[:K] (bit-identical results; reference is the slow oracle for bisecting engine bugs, islands steps K partitions in parallel)")
 	flag.Parse()
 
-	switch *engine {
-	case "active":
-	case "reference":
-		chipletnet.UseReferenceEngine = true
-	default:
-		fatalf("bad -engine %q: want active or reference", *engine)
+	if err := chipletnet.SetEngine(*engine); err != nil {
+		fatalf("%v", err)
 	}
 
 	set := map[string]bool{}

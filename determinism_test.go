@@ -69,3 +69,65 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		t.Errorf("results depend on scheduling: GOMAXPROCS=1 digest %s, GOMAXPROCS=%d digest %s", serial, n, parallel)
 	}
 }
+
+// TestIslandsDeterminismAcrossGOMAXPROCS is the same golden test for
+// the parallel-islands engine, which adds intra-run concurrency on top
+// of Sweep's campaign-level concurrency: the per-cycle worker schedule
+// must be unobservable, so the digest must be identical whether the K=4
+// islands time-slice one processor (GOMAXPROCS=1) or run truly in
+// parallel (GOMAXPROCS>=4) — and identical to the serial engines'
+// digest, which the three-way equivalence matrix pins separately.
+func TestIslandsDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	var configs []Config
+	for _, topo := range []Topology{
+		HypercubeTopology(3),
+		NDTorusTopology(4, 4),
+		TreeTopology(5, 2),
+	} {
+		for _, faults := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Topology = topo
+			cfg.WarmupCycles = 50
+			cfg.MeasureCycles = 200
+			cfg.DrainCycles = 20000
+			if faults {
+				cfg.Fault.BER = 5e-4
+			}
+			configs = append(configs, cfg)
+		}
+	}
+	rates := []float64{0.15, 0.3}
+
+	digest := func() string {
+		h := sha256.New()
+		for i, cfg := range configs {
+			results, err := Sweep(cfg, rates)
+			if err != nil {
+				t.Fatalf("config %d (%+v): %v", i, cfg.Topology, err)
+			}
+			b, err := json.Marshal(results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Write(b)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+
+	withEngine(engineSetup{"islands-k4", EngineIslands, 4}, func() {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		serial := digest()
+
+		n := runtime.NumCPU()
+		if n < 4 {
+			n = 4
+		}
+		runtime.GOMAXPROCS(n)
+		parallel := digest()
+
+		if serial != parallel {
+			t.Errorf("islands results depend on scheduling: GOMAXPROCS=1 digest %s, GOMAXPROCS=%d digest %s", serial, n, parallel)
+		}
+	})
+}

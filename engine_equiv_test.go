@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"chipletnet/internal/rng"
@@ -25,14 +26,48 @@ func gobHash(t *testing.T, v any) string {
 	return fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
 }
 
-// runEngine runs cfg under the selected cycle engine (true = naive
-// reference stepper, false = active-set engine) and restores the
-// package knob afterwards.
-func runEngine(useRef bool, cfg Config) (Result, error) {
-	prev := UseReferenceEngine
-	UseReferenceEngine = useRef
-	defer func() { UseReferenceEngine = prev }()
-	return Run(cfg)
+// engineSetup is one cell of the engine axis: a cycle engine plus, for
+// the islands engine, its island count.
+type engineSetup struct {
+	name string
+	eng  Engine
+	k    int
+}
+
+// equivEngines is the engine axis of the three-way differential matrix:
+// the reference oracle, the active-set engine, and the parallel-islands
+// engine at K ∈ {1, 2, 4, NumCPU} (deduplicated — K is clamped to the
+// chiplet count at Build, so every cell is meaningful on any topology).
+func equivEngines() []engineSetup {
+	setups := []engineSetup{
+		{"reference", EngineReference, 0},
+		{"active", EngineActive, 0},
+	}
+	seen := map[int]bool{}
+	for _, k := range []int{1, 2, 4, runtime.NumCPU()} {
+		if k < 1 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		setups = append(setups, engineSetup{fmt.Sprintf("islands-k%d", k), EngineIslands, k})
+	}
+	return setups
+}
+
+// withEngine installs s as the process-wide engine selection, runs fn,
+// and restores the previous selection.
+func withEngine(s engineSetup, fn func()) {
+	prevE, prevK := UseEngine, IslandCount
+	UseEngine, IslandCount = s.eng, s.k
+	defer func() { UseEngine, IslandCount = prevE, prevK }()
+	fn()
+}
+
+// runEngine runs cfg under the given cycle engine and restores the
+// package knobs afterwards.
+func runEngine(s engineSetup, cfg Config) (res Result, err error) {
+	withEngine(s, func() { res, err = Run(cfg) })
+	return res, err
 }
 
 // equivConfig is the shared small-but-complete workload shape for the
@@ -49,12 +84,16 @@ func equivConfig(topo Topology) Config {
 }
 
 // TestEngineEquivalence is the differential gate for the hot-path
-// overhaul: across every topology kind, both routing modes, every
-// interleave granularity, and fault schedules up to permanent kills, the
-// active-set engine must produce a Result — statistics, energy, fault
-// log, deadlock report — hash-identical to the retained reference
-// stepper's. Any divergence is an engine bug by definition.
+// overhauls: across every topology kind, both routing modes interpreted
+// AND compiled, every interleave granularity, and fault schedules up to
+// permanent kills, the active-set engine and the parallel-islands
+// engine (at every K of the engine axis) must produce a Result —
+// statistics, energy, fault log, deadlock report — hash-identical to
+// the retained reference stepper's. Any divergence is an engine bug by
+// definition. Combinations compiled routing rejects at Build (no
+// certified tables) must be rejected identically by every engine.
 func TestEngineEquivalence(t *testing.T) {
+	engines := equivEngines()
 	topos := []struct {
 		name    string
 		topo    Topology
@@ -72,48 +111,62 @@ func TestEngineEquivalence(t *testing.T) {
 	for _, tc := range topos {
 		t.Run(tc.name, func(t *testing.T) {
 			for _, mode := range tc.modes {
-				for _, il := range []string{"none", "message", "packet"} {
-					base := equivConfig(tc.topo)
-					base.Routing = mode
-					base.Interleave = il
+				for _, compiled := range []bool{false, true} {
+					for _, il := range []string{"none", "message", "packet"} {
+						base := equivConfig(tc.topo)
+						base.Routing = mode
+						base.CompiledRouting = compiled
+						base.Interleave = il
 
-					// Fault schedule: BER everywhere plus a mid-run derating,
-					// and on grouped topologies a permanent kill — so the
-					// engines are also compared across retransmission, replay
-					// and structural degradation.
-					faulty := base
-					faulty.Fault.BER = 5e-4
-					if sys, err := Build(base); err == nil {
-						if pairs := sys.Topo.CrossPairs(); len(pairs) > 0 {
-							faulty.Fault.Degrade = []FaultDegrade{
-								{Cycle: 120, A: pairs[0].A, B: pairs[0].B, BandwidthDiv: 2, LatencyMult: 2},
-							}
-							if tc.grouped {
-								p := pairs[len(pairs)-1]
-								faulty.Fault.Kill = []FaultKill{{Cycle: 150, A: p.A, B: p.B}}
+						// Fault schedule: BER everywhere plus a mid-run derating,
+						// and on grouped topologies a permanent kill — so the
+						// engines are also compared across retransmission, replay
+						// and structural degradation.
+						faulty := base
+						faulty.Fault.BER = 5e-4
+						if sys, err := Build(base); err == nil {
+							if pairs := sys.Topo.CrossPairs(); len(pairs) > 0 {
+								faulty.Fault.Degrade = []FaultDegrade{
+									{Cycle: 120, A: pairs[0].A, B: pairs[0].B, BandwidthDiv: 2, LatencyMult: 2},
+								}
+								if tc.grouped {
+									p := pairs[len(pairs)-1]
+									faulty.Fault.Kill = []FaultKill{{Cycle: 150, A: p.A, B: p.B}}
+								}
 							}
 						}
-					}
 
-					for _, cc := range []struct {
-						name string
-						cfg  Config
-					}{{"no-faults", base}, {"faults", faulty}} {
-						name := fmt.Sprintf("%s/%s/%s", mode, il, cc.name)
-						t.Run(name, func(t *testing.T) {
-							refRes, refErr := runEngine(true, cc.cfg)
-							actRes, actErr := runEngine(false, cc.cfg)
-							if errText(refErr) != errText(actErr) {
-								t.Fatalf("errors differ: reference %q, active %q", errText(refErr), errText(actErr))
+						for _, cc := range []struct {
+							name string
+							cfg  Config
+						}{{"no-faults", base}, {"faults", faulty}} {
+							routing := string(mode)
+							if compiled {
+								routing += "-compiled"
 							}
-							if refErr != nil {
-								return
-							}
-							if gobHash(t, refRes) != gobHash(t, actRes) {
-								t.Errorf("Results differ between engines\nreference: %s\n   active: %s",
-									resultJSON(t, refRes), resultJSON(t, actRes))
-							}
-						})
+							name := fmt.Sprintf("%s/%s/%s", routing, il, cc.name)
+							t.Run(name, func(t *testing.T) {
+								refRes, refErr := runEngine(engines[0], cc.cfg)
+								var want string
+								if refErr == nil {
+									want = gobHash(t, refRes)
+								}
+								for _, eng := range engines[1:] {
+									res, err := runEngine(eng, cc.cfg)
+									if errText(refErr) != errText(err) {
+										t.Fatalf("errors differ: reference %q, %s %q",
+											errText(refErr), eng.name, errText(err))
+									}
+									if refErr != nil {
+										continue
+									}
+									if gobHash(t, res) != want {
+										t.Errorf("Results differ between engines\nreference: %s\n%9s: %s",
+											resultJSON(t, refRes), eng.name, resultJSON(t, res))
+									}
+								}
+							})
+						}
 					}
 				}
 			}
@@ -122,40 +175,44 @@ func TestEngineEquivalence(t *testing.T) {
 }
 
 // TestEngineCheckpointInterchangeable proves snapshots are
-// engine-independent: a run interrupted under the reference engine must
-// write a checkpoint byte-identical to one written under the active
-// engine, and resuming a reference-engine checkpoint on the active
-// engine (and vice versa) must finish bit-identical to an uninterrupted
-// run.
+// engine-independent: a run interrupted under any engine — reference,
+// active, or parallel islands — must write a byte-identical checkpoint,
+// and a checkpoint taken under one engine must resume under any other
+// (islands to active, active to islands, and both to/from the
+// reference) bit-identical to an uninterrupted run.
 func TestEngineCheckpointInterchangeable(t *testing.T) {
 	cfg := equivConfig(HypercubeTopology(3))
 	cfg.Fault.BER = 5e-4
 
-	snapshot := func(useRef bool) []byte {
-		prev := UseReferenceEngine
-		UseReferenceEngine = useRef
-		defer func() { UseReferenceEngine = prev }()
-		path := filepath.Join(t.TempDir(), "run.ckpt")
-		sys, err := Build(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := sys.SimulateControlled(RunControl{CheckpointPath: path, InterruptAtCycle: 150}); !errors.Is(err, ErrInterrupted) {
-			t.Fatalf("got %v, want ErrInterrupted", err)
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
+	ref := engineSetup{"reference", EngineReference, 0}
+	act := engineSetup{"active", EngineActive, 0}
+	isl := engineSetup{"islands-k3", EngineIslands, 3}
+
+	snapshot := func(s engineSetup) []byte {
+		var data []byte
+		withEngine(s, func() {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			sys, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.SimulateControlled(RunControl{CheckpointPath: path, InterruptAtCycle: 150}); !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("got %v, want ErrInterrupted", err)
+			}
+			if data, err = os.ReadFile(path); err != nil {
+				t.Fatal(err)
+			}
+		})
 		return data
 	}
-	refCkpt := snapshot(true)
-	actCkpt := snapshot(false)
-	if !bytes.Equal(refCkpt, actCkpt) {
+	refCkpt := snapshot(ref)
+	actCkpt := snapshot(act)
+	islCkpt := snapshot(isl)
+	if !bytes.Equal(refCkpt, actCkpt) || !bytes.Equal(actCkpt, islCkpt) {
 		t.Fatal("checkpoint files differ between engines; the engine choice leaked into the snapshot format")
 	}
 
-	refRes, err := runEngine(true, cfg)
+	refRes, err := runEngine(ref, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,26 +220,29 @@ func TestEngineCheckpointInterchangeable(t *testing.T) {
 	for _, cross := range []struct {
 		name   string
 		ckpt   []byte
-		resume bool // engine for the resumed half
+		resume engineSetup
 	}{
-		{"reference-to-active", refCkpt, false},
-		{"active-to-reference", actCkpt, true},
+		{"reference-to-active", refCkpt, act},
+		{"active-to-reference", actCkpt, ref},
+		{"islands-to-active", islCkpt, act},
+		{"active-to-islands", actCkpt, isl},
+		{"islands-to-reference", islCkpt, ref},
+		{"reference-to-islands", refCkpt, isl},
 	} {
 		t.Run(cross.name, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "cross.ckpt")
 			if err := os.WriteFile(path, cross.ckpt, 0o644); err != nil {
 				t.Fatal(err)
 			}
-			prev := UseReferenceEngine
-			UseReferenceEngine = cross.resume
-			defer func() { UseReferenceEngine = prev }()
-			res, err := ResumeRun(path, RunControl{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := resultJSON(t, res); got != want {
-				t.Errorf("cross-engine resume differs\n got: %s\nwant: %s", got, want)
-			}
+			withEngine(cross.resume, func() {
+				res, err := ResumeRun(path, RunControl{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := resultJSON(t, res); got != want {
+					t.Errorf("cross-engine resume differs\n got: %s\nwant: %s", got, want)
+				}
+			})
 		})
 	}
 }
@@ -190,47 +250,59 @@ func TestEngineCheckpointInterchangeable(t *testing.T) {
 // TestResetBitIdentical is the warm-reuse gate for SaturationRate: a
 // Simulate on a Reset system must be bit-identical to a Simulate on a
 // fresh Build — including at a different injection rate, the way the
-// bisection uses it.
+// bisection uses it. The islands engine reclassifies its partition
+// lazily after Reset, so it runs the same gate.
 func TestResetBitIdentical(t *testing.T) {
-	cfg := equivConfig(DragonflyTopology(4))
-	cfg.Fault.BER = 5e-4 // BER is rate-only, legal to reuse across Reset
+	for _, eng := range []engineSetup{
+		{"active", EngineActive, 0},
+		{"islands-k2", EngineIslands, 2},
+	} {
+		t.Run(eng.name, func(t *testing.T) {
+			withEngine(eng, func() {
+				cfg := equivConfig(DragonflyTopology(4))
+				cfg.Fault.BER = 5e-4 // BER is rate-only, legal to reuse across Reset
 
-	sys, err := Build(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	warmFirst, err := sys.Simulate()
-	if err != nil {
-		t.Fatal(err)
-	}
-	sys.Reset()
-	cfg2 := cfg
-	cfg2.InjectionRate = 0.35
-	sys.Cfg = cfg2
-	warmSecond, err := sys.Simulate()
-	if err != nil {
-		t.Fatal(err)
-	}
+				sys, err := Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warmFirst, err := sys.Simulate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.Reset()
+				cfg2 := cfg
+				cfg2.InjectionRate = 0.35
+				sys.Cfg = cfg2
+				warmSecond, err := sys.Simulate()
+				if err != nil {
+					t.Fatal(err)
+				}
 
-	freshFirst, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	freshSecond, err := Run(cfg2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, want := resultJSON(t, warmFirst), resultJSON(t, freshFirst); got != want {
-		t.Errorf("first warm run differs from fresh build\n got: %s\nwant: %s", got, want)
-	}
-	if got, want := resultJSON(t, warmSecond), resultJSON(t, freshSecond); got != want {
-		t.Errorf("post-Reset run differs from fresh build\n got: %s\nwant: %s", got, want)
+				freshFirst, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshSecond, err := Run(cfg2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := resultJSON(t, warmFirst), resultJSON(t, freshFirst); got != want {
+					t.Errorf("first warm run differs from fresh build\n got: %s\nwant: %s", got, want)
+				}
+				if got, want := resultJSON(t, warmSecond), resultJSON(t, freshSecond); got != want {
+					t.Errorf("post-Reset run differs from fresh build\n got: %s\nwant: %s", got, want)
+				}
+			})
+		})
 	}
 }
 
 // FuzzEngineEquivalence extends the differential gate across the random
-// configuration space: for any buildable configuration, both engines
-// must agree bit-for-bit — Result and error alike.
+// configuration space: for any buildable configuration, all three
+// engines must agree bit-for-bit — Result and error alike. The islands
+// engine runs at a seed-derived K so the corpus explores partition
+// sizes, plus K=2 always (the smallest partition with a real cut).
 func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(uint64(1))
 	f.Add(uint64(20260806))
@@ -246,17 +318,28 @@ func FuzzEngineEquivalence(f *testing.F) {
 		if _, err := Build(cfg); err != nil {
 			t.Skip() // invalid combinations may be rejected, not crash
 		}
-		refRes, refErr := runEngine(true, cfg)
-		actRes, actErr := runEngine(false, cfg)
-		if errText(refErr) != errText(actErr) {
-			t.Fatalf("seed %d: errors differ: reference %q, active %q", seed, errText(refErr), errText(actErr))
+		refRes, refErr := runEngine(engineSetup{"reference", EngineReference, 0}, cfg)
+		var want string
+		if refErr == nil {
+			want = gobHash(t, refRes)
 		}
-		if refErr != nil {
-			return
-		}
-		if gobHash(t, refRes) != gobHash(t, actRes) {
-			t.Errorf("seed %d (%+v): Results differ between engines\nreference: %s\n   active: %s",
-				seed, cfg.Topology, resultJSON(t, refRes), resultJSON(t, actRes))
+		for _, eng := range []engineSetup{
+			{"active", EngineActive, 0},
+			{"islands-k2", EngineIslands, 2},
+			{fmt.Sprintf("islands-k%d", 1+seed%7), EngineIslands, int(1 + seed%7)},
+		} {
+			res, err := runEngine(eng, cfg)
+			if errText(refErr) != errText(err) {
+				t.Fatalf("seed %d: errors differ: reference %q, %s %q",
+					seed, errText(refErr), eng.name, errText(err))
+			}
+			if refErr != nil {
+				continue
+			}
+			if gobHash(t, res) != want {
+				t.Errorf("seed %d (%+v): Results differ between engines\nreference: %s\n%9s: %s",
+					seed, cfg.Topology, resultJSON(t, refRes), eng.name, resultJSON(t, res))
+			}
 		}
 	})
 }

@@ -5,6 +5,12 @@ import (
 	"testing"
 )
 
+// Timing audit (parallel-islands PR): every assertion in this file is a
+// cycle-count or deterministic-metric bound — no wall-clock waits,
+// sleeps or timeouts — so a slower run (e.g. -race with the islands
+// engine's per-cycle barriers) cannot flake it. Keep it that way: new
+// assertions must be phrased in simulated cycles, never real time.
+
 // fastCfg returns a configuration sized for quick integration tests.
 func fastCfg(topo Topology) Config {
 	cfg := DefaultConfig()

@@ -18,8 +18,8 @@ import (
 // keyPayload is the canonical content of one candidate evaluation: the
 // fully-resolved configuration plus every evaluation parameter that
 // shapes the Record. The cycle-engine choice (chipletnet.
-// UseReferenceEngine) is deliberately absent — the engines are
-// bit-identical, so their results are interchangeable cache entries.
+// UseEngine) is deliberately absent — the engines are bit-identical,
+// so their results are interchangeable cache entries.
 type keyPayload struct {
 	Cfg          chipletnet.Config
 	Rates        []float64

@@ -301,10 +301,15 @@ func TestKeyIgnoresEngineChoice(t *testing.T) {
 	cfg := chipletnet.DefaultConfig()
 	p := DefaultParams()
 	before := Key(cfg, p)
-	prev := chipletnet.UseReferenceEngine
-	chipletnet.UseReferenceEngine = !prev
+	prev := chipletnet.UseEngine
+	chipletnet.UseEngine = chipletnet.EngineReference
 	after := Key(cfg, p)
-	chipletnet.UseReferenceEngine = prev
+	chipletnet.UseEngine = chipletnet.EngineIslands
+	afterIslands := Key(cfg, p)
+	chipletnet.UseEngine = prev
+	if before != afterIslands {
+		t.Error("engine choice leaked into the cache key")
+	}
 	if before != after {
 		t.Error("engine choice leaked into the cache key")
 	}

@@ -9,7 +9,7 @@
 //
 // # Cycle engines and the equivalence contract
 //
-// Fabric.Step has two implementations:
+// Fabric.Step has three implementations:
 //
 //   - stepReference: the naive engine. Every cycle it calls deliver on
 //     every link, then vcAllocate on every router, then switchAllocate
@@ -18,15 +18,23 @@
 //   - stepActive (the default): the active-set engine. It visits only
 //     links and routers whose bit is set in the fabric's active-set
 //     bitmaps, in ascending index order.
+//   - stepIslands (EnableIslands): the parallel-islands engine. The
+//     fabric is partitioned into contiguous-chiplet islands, each
+//     stepping its own active sets on a worker goroutine; boundary
+//     flits/credits, ejections, and fault-log appends are exchanged
+//     through deterministic per-edge mailboxes and ordered drains at
+//     per-cycle barriers (see islands.go for the full argument).
 //
-// The contract is that the two engines are OBSERVATIONALLY IDENTICAL:
+// The contract is that the engines are OBSERVATIONALLY IDENTICAL:
 // started from the same state and fed the same injections, they produce
 // bit-identical fabric state, delivery sequences (order included —
 // the statistics collector accumulates floating-point sums, so delivery
 // order is observable), fault logs, and checkpoint snapshots. The
 // differential-equivalence suite (engine_equiv_test.go and
-// FuzzEngineEquivalence at the module root) enforces the contract;
-// Fabric.UseReference selects the reference engine.
+// FuzzEngineEquivalence at the module root) enforces the contract
+// three-ways across topology kinds, routing modes, interleavings, and
+// fault schedules; Fabric.UseReference selects the reference engine and
+// Fabric.EnableIslands the islands engine.
 //
 // The equivalence rests on two facts, which any future change to the
 // pipeline must preserve:
@@ -50,10 +58,22 @@
 //     wakes routers, and phase 3 wakes only the processed router
 //     itself — so each phase iterates a stable set.
 //
+// The islands engine inherits both facts and adds a third: within each
+// phase, work on distinct components is order-independent except for
+// three effects — ejection order into the Sink, fault-log append order,
+// and active-set wakes. stepIslands re-serializes the first two
+// (deferred-ejection drains in ascending router order; Rel-protected
+// links and their routers processed on the coordinator in ascending
+// index order) and makes the third commutative (wakes are idempotent
+// bit-sets in per-island or atomic bitmaps), so the parallel schedule
+// is unobservable.
+//
 // The active sets are derived state: Snapshot does not record them and
 // Restore/Reset rebuild them (rebuildActive), so checkpoint files are
 // byte-identical regardless of the engine that produced or consumes
-// them.
+// them. The island partition, classification, and mailboxes are derived
+// the same way — a checkpoint taken under one engine resumes under any
+// other.
 //
 // # Zero-alloc policy
 //

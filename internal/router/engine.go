@@ -19,7 +19,13 @@ import "math/bits"
 
 // wakeRouter marks r live for the cycle engine (idempotent, O(1)).
 // Called by VC.startHead whenever a head packet enters the pipeline.
+// Under the islands engine the bit lands in the owning island's bitmap
+// instead (see islands.go for why that is race-free).
 func (f *Fabric) wakeRouter(r *Router) {
+	if f.isl != nil {
+		f.isl.wakeRouter(r)
+		return
+	}
 	f.routerActive[r.idx>>6] |= 1 << uint(r.idx&63)
 }
 
@@ -27,6 +33,10 @@ func (f *Fabric) wakeRouter(r *Router) {
 // Called by Link.push and Link.returnCredit whenever traffic enters the
 // link's pipelines.
 func (f *Fabric) wakeLink(l *Link) {
+	if f.isl != nil {
+		f.isl.wakeLink(l)
+		return
+	}
 	f.linkActive[l.ID>>6] |= 1 << uint(l.ID&63)
 }
 
@@ -102,6 +112,14 @@ func (f *Fabric) rebuildActive() {
 	}
 	for i := range f.linkActive {
 		f.linkActive[i] = 0
+	}
+	if f.isl != nil {
+		// Island bitmaps and the link classification are derived state
+		// too: zero them and reclassify before any wake routes a bit, so
+		// a link that gained or lost a reliability protocol since the
+		// last epoch lands in the right (serial vs island) set.
+		f.isl.reset()
+		f.isl.classify(f)
 	}
 	for _, r := range f.Routers {
 		r.grants = 0
@@ -180,6 +198,9 @@ func (f *Fabric) Reset() {
 	}
 	for i := range f.linkActive {
 		f.linkActive[i] = 0
+	}
+	if f.isl != nil {
+		f.isl.reset()
 	}
 	f.Sink = nil
 	f.Now = 0

@@ -62,6 +62,14 @@ type Fabric struct {
 	// differential-equivalence suite and for bisecting engine bugs.
 	UseReference bool
 
+	// isl, when non-nil, selects the parallel-islands engine
+	// (EnableIslands, islands.go): the fabric is partitioned into
+	// contiguous-chiplet islands stepped on worker goroutines with a
+	// deterministic boundary exchange per cycle. Observationally
+	// identical to both serial engines. UseReference wins if both are
+	// set (the oracle must stay bisectable against any engine).
+	isl *islandState
+
 	inFlight     int
 	lastProgress int64
 
@@ -158,6 +166,19 @@ func (f *Fabric) deliver(p *packet.Packet, now int64) {
 	}
 }
 
+// deliverFrom is the ejection path out of router r. During the islands
+// engine's phase 3 the delivery is deferred into r's island's ordered
+// ejection list and replayed at the barrier drain in ascending router
+// order — the Sink call order and inFlight accounting of the serial
+// engines; in every other context it is Fabric.deliver.
+func (f *Fabric) deliverFrom(r *Router, p *packet.Packet, now int64) {
+	if is := f.isl; is != nil && is.deferEject {
+		is.pushEject(r, p)
+		return
+	}
+	f.deliver(p, now)
+}
+
 // Step advances the fabric by one cycle:
 //
 //  1. links deliver due flits and credits,
@@ -170,12 +191,16 @@ func (f *Fabric) deliver(p *packet.Packet, now int64) {
 //
 // By default Step runs the active-set engine (stepActive), which visits
 // only components that may have work; UseReference selects the naive
-// reference stepper. Both produce bit-identical state trajectories — see
-// the package documentation for the equivalence argument.
+// reference stepper and EnableIslands the parallel-islands engine. All
+// three produce bit-identical state trajectories — see the package
+// documentation for the equivalence argument.
 func (f *Fabric) Step() {
-	if f.UseReference {
+	switch {
+	case f.UseReference:
 		f.stepReference()
-	} else {
+	case f.isl != nil:
+		f.stepIslands()
+	default:
 		f.stepActive()
 	}
 }

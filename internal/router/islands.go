@@ -1,0 +1,626 @@
+package router
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"chipletnet/internal/packet"
+)
+
+// This file is the parallel-islands cycle engine: the third Fabric.Step
+// implementation, alongside stepReference (the oracle) and stepActive
+// (the serial active-set engine). The fabric is partitioned at Build
+// time into K islands — contiguous chiplet ranges balanced by router
+// count — and each island's active sets are stepped on its own worker
+// goroutine. Everything that crosses an island boundary is exchanged
+// through deterministic mailboxes drained in ascending global index
+// order at per-cycle barriers, so the engine is bit-for-bit identical
+// to the serial engines: same delivery order into the statistics
+// collector, same fault log, same RNG consumption, same checkpoints.
+//
+// # Partition rule
+//
+// Router indices are contiguous per chiplet (topology builds chiplet c's
+// routers as one index run), so an island is a contiguous router-index
+// range cut only at chiplet boundaries. Contiguity is what makes
+// "ascending island order, ascending index within an island" equal to
+// "ascending global index order" — the order every serial engine uses
+// and the statistics collector observes.
+//
+// A link is island-internal (steppable by a worker) exactly when both
+// endpoints lie in the same island AND it carries no reliability
+// protocol; every other link — the inter-island cut plus any
+// Rel-protected link — is exchanged serially. The link's own flit and
+// credit fifos are the per-edge mailboxes: l.flits has a single producer
+// (the Src-side worker, phase 3) and l.credits a single producer (the
+// Dst-side worker, phase 3), the two are disjoint struct fields, and
+// both are drained only by the coordinator's serial delivery pass in
+// ascending global link ID — exactly where the serial engines drain
+// them, one barrier later.
+//
+// # Why determinism survives the barrier
+//
+// The serial engines' three phases are already order-independent across
+// components (the stepActive equivalence argument in doc.go), with
+// exactly three order-observable effects, each of which the islands
+// engine re-serializes:
+//
+//  1. Ejections (Fabric.deliver feeds floating-point accumulators in the
+//     statistics collector, so delivery order is observable, and
+//     decrements the shared inFlight counter). Workers defer ejections
+//     into per-island lists; the coordinator drains them after phase 3
+//     in ascending island order — which, by contiguity, is ascending
+//     ejecting-router order, the serial engines' order.
+//  2. The fault log (LinkRel.Corrupt closures append records to the
+//     shared fault engine log). Any router owning a Rel-protected output
+//     link runs its phase 3 on the coordinator, after the parallel
+//     phase, in ascending index order; Rel links themselves deliver in
+//     the serial link pass. Workers never touch Rel state, so log order
+//     and per-link RNG stream consumption match the serial engines.
+//  3. Active-set wakes (bitmap bits shared between islands). Each island
+//     owns full-size bitmaps holding only its own components' bits, so
+//     worker wakes never share a word; wakes of serially-exchanged links
+//     can race between the Src- and Dst-side workers of a cut link and
+//     go through atomic CAS — bit-sets are idempotent and order-free, so
+//     the merged wake state is schedule-independent.
+//
+// Everything else either touches only the owning island's state or is a
+// phase-stable cross-island read (VC allocation reads downstream input
+// queues, which no one mutates during phase 2), with the per-phase
+// barriers providing the happens-before edges the race detector checks.
+//
+// The island assignment, mailboxes and active sets are all derived
+// state: Snapshot does not record them, Restore/Reset rebuild them, and
+// checkpoint files stay byte-identical across all three engines.
+
+// ejection is one deferred packet delivery: the ejecting router's index
+// keys the merge back into global ascending order at the barrier drain.
+type ejection struct {
+	router int32
+	p      *packet.Packet
+}
+
+// islandState is the engine state of the parallel-islands stepper. It is
+// derived from the fabric (EnableIslands, rebuildActive) and never
+// checkpointed.
+type islandState struct {
+	k int
+
+	// routerIsland[idx] is the owning island of Routers[idx]; islands are
+	// contiguous index ranges (first[w] .. first[w+1]-1).
+	routerIsland []int32
+	first        []int32
+
+	// linkIsland[id] is the owning island of Links[id], or -1 for links
+	// exchanged serially (inter-island cut or Rel-protected). Recomputed
+	// by classify once per run epoch — the reliability protocol attaches
+	// after Build, so classification is lazy.
+	linkIsland []int32
+	classified bool
+
+	// Per-island active sets: full-size bitmaps in which only the owning
+	// island's bits are ever set, so workers never share a word. The
+	// union across islands (plus serialLink) is exactly the state the
+	// serial engines keep in Fabric.routerActive/linkActive.
+	rActive [][]uint64
+	lActive [][]uint64
+
+	// serialLink is the active set of serially-exchanged links. Words are
+	// atomic because phase-3 workers on both sides of a cut link may wake
+	// it concurrently; bit-sets are idempotent, so CAS order is
+	// unobservable.
+	serialLink []atomic.Uint64
+
+	// serialMask marks routers whose phase 3 must run on the coordinator
+	// (they own a Rel-protected output link); serialIdx lists them in
+	// ascending index order.
+	serialMask []uint64
+	serialIdx  []int32
+
+	// eject[w] collects worker w's deferred ejections (parallel phase 3);
+	// ejectSerial[w] the coordinator's (serial phase-3 pass). Both are
+	// appended in ascending router order and merged at the drain.
+	eject       [][]ejection
+	ejectSerial [][]ejection
+	deferEject  bool
+
+	// moved[w] is worker w's flit-movement flag for the deadlock watchdog.
+	moved []bool
+}
+
+// EnableIslands partitions the fabric into (at most) k islands of whole
+// chiplets, balanced by router count, and selects the parallel-islands
+// cycle engine for subsequent Steps. chipletOf[i] is the chiplet index
+// of Routers[i] and must be non-decreasing (router indices are
+// contiguous per chiplet — the topology builder's layout). k is clamped
+// to the chiplet count; k == 1 runs the same engine without worker
+// goroutines. Call between cycles only (normally right after Build);
+// the engine state is derived, so Snapshot/Restore are unaffected.
+func (f *Fabric) EnableIslands(k int, chipletOf []int) {
+	if len(chipletOf) != len(f.Routers) {
+		panic(fmt.Sprintf("router: EnableIslands got %d chiplet assignments for %d routers",
+			len(chipletOf), len(f.Routers)))
+	}
+	n := len(f.Routers)
+	if n == 0 {
+		panic("router: EnableIslands on an empty fabric")
+	}
+	for i := 1; i < n; i++ {
+		if chipletOf[i] < chipletOf[i-1] {
+			panic(fmt.Sprintf("router: chiplet assignment not contiguous at router %d (%d after %d)",
+				i, chipletOf[i], chipletOf[i-1]))
+		}
+	}
+	// Chiplet start indices.
+	starts := []int{0}
+	for i := 1; i < n; i++ {
+		if chipletOf[i] != chipletOf[i-1] {
+			starts = append(starts, i)
+		}
+	}
+	numC := len(starts)
+	if k > numC {
+		k = numC
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	is := &islandState{
+		k:            k,
+		routerIsland: make([]int32, n),
+		first:        make([]int32, k+1),
+		linkIsland:   make([]int32, len(f.Links)),
+		rActive:      make([][]uint64, k),
+		lActive:      make([][]uint64, k),
+		serialLink:   make([]atomic.Uint64, len(f.linkActive)),
+		serialMask:   make([]uint64, len(f.routerActive)),
+		eject:        make([][]ejection, k),
+		ejectSerial:  make([][]ejection, k),
+		moved:        make([]bool, k),
+	}
+	// Assign whole chiplets to islands, advancing at the ideal router-count
+	// boundary but never leaving a later island empty.
+	w := 0
+	for c := 0; c < numC; c++ {
+		end := n
+		if c+1 < numC {
+			end = starts[c+1]
+		}
+		for i := starts[c]; i < end; i++ {
+			is.routerIsland[i] = int32(w)
+		}
+		if w < k-1 && (end*k >= n*(w+1) || numC-(c+1) == k-1-w) {
+			w++
+			is.first[w] = int32(end)
+		}
+	}
+	is.first[k] = int32(n)
+	for w := 0; w < k; w++ {
+		is.rActive[w] = make([]uint64, len(f.routerActive))
+		is.lActive[w] = make([]uint64, len(f.linkActive))
+	}
+	f.isl = is
+	f.rebuildActive()
+}
+
+// DisableIslands returns the fabric to the serial active-set engine.
+func (f *Fabric) DisableIslands() {
+	if f.isl == nil {
+		return
+	}
+	f.isl = nil
+	f.rebuildActive()
+}
+
+// Islands returns the island count of the parallel engine, or 0 when it
+// is disabled.
+func (f *Fabric) Islands() int {
+	if f.isl == nil {
+		return 0
+	}
+	return f.isl.k
+}
+
+// IslandLayout reports the current partition for invariant tests:
+// assign[i] is the island of Routers[i] and serial[j] is true when
+// Links[j] is exchanged serially (inter-island cut or Rel-protected).
+// Nil when the islands engine is disabled.
+func (f *Fabric) IslandLayout() (assign []int, serial []bool) {
+	is := f.isl
+	if is == nil {
+		return nil, nil
+	}
+	if !is.classified {
+		is.classify(f)
+	}
+	assign = make([]int, len(f.Routers))
+	for i, w := range is.routerIsland {
+		assign[i] = int(w)
+	}
+	serial = make([]bool, len(f.Links))
+	for i, w := range is.linkIsland {
+		serial[i] = w < 0
+	}
+	return assign, serial
+}
+
+// ActiveSets returns copies of the engine's effective active sets —
+// under the islands engine, the union of every island's bitmaps plus
+// the serial link set. The union must always equal the bitmaps the
+// serial active-set engine would hold in the same state (the partition
+// invariant FuzzIslandPartition checks).
+func (f *Fabric) ActiveSets() (routers, links []uint64) {
+	routers = make([]uint64, len(f.routerActive))
+	links = make([]uint64, len(f.linkActive))
+	if is := f.isl; is != nil {
+		for w := 0; w < is.k; w++ {
+			for i, word := range is.rActive[w] {
+				routers[i] |= word
+			}
+			for i, word := range is.lActive[w] {
+				links[i] |= word
+			}
+		}
+		for i := range is.serialLink {
+			links[i] |= is.serialLink[i].Load()
+		}
+		return routers, links
+	}
+	copy(routers, f.routerActive)
+	copy(links, f.linkActive)
+	return routers, links
+}
+
+// wakeRouter marks r live in its island's active set. Only serial
+// contexts (injection, the coordinator's serial passes) and the worker
+// owning r's island ever call this, so the plain word write is safe:
+// phase 1 wakes the receiving router, which is island-local for links a
+// worker delivers, and phase 3 wakes only the processed router itself.
+func (is *islandState) wakeRouter(r *Router) {
+	is.rActive[is.routerIsland[r.idx]][r.idx>>6] |= 1 << uint(r.idx&63)
+}
+
+// wakeLink marks l live. Island-internal links are only ever woken by
+// their own island's worker (push and returnCredit both originate at an
+// endpoint, and internal links have both endpoints in one island);
+// serially-exchanged links can be woken from both sides of the cut at
+// once, so their bits are set with CAS — idempotent, order-free.
+func (is *islandState) wakeLink(l *Link) {
+	if w := is.linkIsland[l.ID]; w >= 0 {
+		is.lActive[w][l.ID>>6] |= 1 << uint(l.ID&63)
+		return
+	}
+	word := &is.serialLink[l.ID>>6]
+	bit := uint64(1) << uint(l.ID&63)
+	for {
+		old := word.Load()
+		if old&bit != 0 || word.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// classify splits links into island-internal and serial sets and finds
+// the routers whose phase 3 must run serially. Classification is lazy
+// because the reliability protocol (fault engine) attaches LinkRels
+// after Build; it reruns after Reset/Restore (Reset detaches Rels).
+// Between classification epochs no link bit can be pending: rebuilds
+// zero every set first, and a fresh or Reset fabric has no link work.
+func (is *islandState) classify(f *Fabric) {
+	for len(is.linkIsland) < len(f.Links) {
+		is.linkIsland = append(is.linkIsland, -1)
+	}
+	for len(is.serialLink)*64 < len(f.Links) {
+		is.serialLink = append(is.serialLink, atomic.Uint64{})
+	}
+	for _, l := range f.Links {
+		w := int32(-1)
+		if l.Rel == nil {
+			if a := is.routerIsland[l.Src.idx]; a == is.routerIsland[l.Dst.idx] {
+				w = a
+			}
+		}
+		is.linkIsland[l.ID] = w
+	}
+	for i := range is.serialMask {
+		is.serialMask[i] = 0
+	}
+	is.serialIdx = is.serialIdx[:0]
+	for _, r := range f.Routers {
+		for _, o := range r.Out {
+			if o.Link != nil && o.Link.Rel != nil {
+				is.serialMask[r.idx>>6] |= 1 << uint(r.idx&63)
+				is.serialIdx = append(is.serialIdx, int32(r.idx))
+				break
+			}
+		}
+	}
+	is.classified = true
+}
+
+// reset zeroes every derived set and forces reclassification; the caller
+// (rebuildActive / Fabric.Reset) re-wakes live components afterwards.
+func (is *islandState) reset() {
+	for w := 0; w < is.k; w++ {
+		for i := range is.rActive[w] {
+			is.rActive[w][i] = 0
+		}
+		for i := range is.lActive[w] {
+			is.lActive[w][i] = 0
+		}
+		is.eject[w] = is.eject[w][:0]
+		is.ejectSerial[w] = is.ejectSerial[w][:0]
+		is.moved[w] = false
+	}
+	for i := range is.serialLink {
+		is.serialLink[i].Store(0)
+	}
+	is.deferEject = false
+	is.classified = false
+}
+
+// pushEject defers one packet delivery to the barrier drain. Parallel
+// routers append to their island's worker-owned list, serial-pass
+// routers to the coordinator's; both lists are filled in ascending
+// router order and merged back together at the drain.
+func (is *islandState) pushEject(r *Router, p *packet.Packet) {
+	w := is.routerIsland[r.idx]
+	e := ejection{router: int32(r.idx), p: p}
+	if is.serialMask[r.idx>>6]&(1<<uint(r.idx&63)) != 0 {
+		is.ejectSerial[w] = append(is.ejectSerial[w], e)
+	} else {
+		is.eject[w] = append(is.eject[w], e)
+	}
+}
+
+// stepIslands advances the fabric by one cycle under the parallel
+// engine. Single-island partitions and traced runs use the serial
+// variant: with one island there is nothing to overlap, and a Tracer
+// observes per-flit movement order, which only the global serial sweep
+// reproduces.
+func (f *Fabric) stepIslands() {
+	is := f.isl
+	if !is.classified {
+		is.classify(f)
+	}
+	if is.k == 1 || f.Tracer != nil {
+		f.stepIslandsSerial()
+		return
+	}
+	f.Now++
+	now := f.Now
+	moved := false
+
+	// Serial link exchange: deliver every cut and Rel-protected link in
+	// ascending global link ID — the mailbox drain. This runs before the
+	// parallel phase so no worker touches a router an exchange is
+	// mutating; per-link delivery is commutative (each link owns its
+	// destination input port and source credit counters), so splitting
+	// the serial links out of the per-island sweeps is unobservable.
+	for wi := range is.serialLink {
+		word := is.serialLink[wi].Load()
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			l := f.Links[wi<<6|b]
+			if l.deliver(now) {
+				moved = true
+			}
+			if !l.pendingWork() {
+				is.serialLink[wi].Store(is.serialLink[wi].Load() &^ (1 << uint(b)))
+			}
+		}
+	}
+
+	// The three phases run on k goroutines (the caller's doubles as
+	// island 0's worker) with a barrier between phases; each worker walks
+	// its own island's active sets in ascending index order.
+	var wg sync.WaitGroup
+	phase := func(fn func(w int)) {
+		wg.Add(is.k - 1)
+		for w := 1; w < is.k; w++ {
+			go func(w int) {
+				defer wg.Done()
+				fn(w)
+			}(w)
+		}
+		fn(0)
+		wg.Wait()
+	}
+
+	phase(func(w int) {
+		if f.islandDeliver(w, now) {
+			is.moved[w] = true
+		}
+	})
+	phase(func(w int) { f.islandAllocate(w, now) })
+	is.deferEject = true
+	phase(func(w int) {
+		if f.islandTransmit(w, now) {
+			is.moved[w] = true
+		}
+	})
+
+	// Serial phase-3 pass: routers owning Rel-protected output links, in
+	// ascending index order, so fault-log records and per-link corruption
+	// RNG draws happen in exactly the serial engines' order.
+	for _, idx := range is.serialIdx {
+		wi, bit := idx>>6, uint64(1)<<uint(idx&63)
+		w := is.routerIsland[idx]
+		if is.rActive[w][wi]&bit == 0 {
+			continue
+		}
+		r := f.Routers[idx]
+		if r.switchAllocate(now) {
+			moved = true
+		}
+		if !r.busy() {
+			is.rActive[w][wi] &^= bit
+		}
+	}
+	is.deferEject = false
+
+	// Drain deferred ejections in ascending island order — by contiguity,
+	// ascending global router order, the exact Sink call order of the
+	// serial engines. Each island's two lists (parallel and serial pass)
+	// are individually ascending; merge them by router index.
+	for w := 0; w < is.k; w++ {
+		par, ser := is.eject[w], is.ejectSerial[w]
+		i, j := 0, 0
+		for i < len(par) || j < len(ser) {
+			if j >= len(ser) || (i < len(par) && par[i].router < ser[j].router) {
+				f.deliver(par[i].p, now)
+				i++
+			} else {
+				f.deliver(ser[j].p, now)
+				j++
+			}
+		}
+		is.eject[w] = par[:0]
+		is.ejectSerial[w] = ser[:0]
+	}
+
+	for w := 0; w < is.k; w++ {
+		if is.moved[w] {
+			moved = true
+			is.moved[w] = false
+		}
+	}
+	f.finishStep(now, moved)
+}
+
+// islandDeliver is phase 1 for island w: deliver the island's internal
+// links in ascending link ID. Delivery wakes only receiving routers,
+// which are island-local for internal links, and never wakes links.
+func (f *Fabric) islandDeliver(w int, now int64) bool {
+	act := f.isl.lActive[w]
+	moved := false
+	for wi, word := range act {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			l := f.Links[wi<<6|b]
+			if l.deliver(now) {
+				moved = true
+			}
+			if !l.pendingWork() {
+				act[wi] &^= 1 << uint(b)
+			}
+		}
+	}
+	return moved
+}
+
+// islandAllocate is phase 2 for island w: VC allocation for the
+// island's active routers, ascending. Allocation writes only the
+// granting router's own state; its cross-island accesses (the
+// safe/unsafe policy reads downstream input queues) are reads of state
+// nothing mutates during phase 2, on either engine.
+func (f *Fabric) islandAllocate(w int, now int64) {
+	act := f.isl.rActive[w]
+	for wi, word := range act {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			f.Routers[wi<<6|b].vcAllocate(now)
+		}
+	}
+}
+
+// islandTransmit is phase 3 for island w: switch allocation and
+// transmission for the island's active routers, ascending, skipping the
+// serial-pass routers (their bits stay set for the coordinator).
+// Transfers write single-producer link fifos (flits at the source side,
+// credits at the destination side), decrement the router's own credit
+// counters, and defer ejections; wakes of serially-exchanged links go
+// through the CAS path.
+func (f *Fabric) islandTransmit(w int, now int64) bool {
+	is := f.isl
+	act := is.rActive[w]
+	moved := false
+	for wi, word := range act {
+		word &^= is.serialMask[wi]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			r := f.Routers[wi<<6|b]
+			if r.switchAllocate(now) {
+				moved = true
+			}
+			if !r.busy() {
+				act[wi] &^= 1 << uint(b)
+			}
+		}
+	}
+	return moved
+}
+
+// stepIslandsSerial advances one cycle by sweeping the union of every
+// island's active sets in ascending global index order — exactly
+// stepActive's iteration over a partitioned representation. Used for
+// single-island partitions and traced runs; it is also the bisection
+// aid when a parallel divergence is suspected (same partition, no
+// concurrency).
+func (f *Fabric) stepIslandsSerial() {
+	is := f.isl
+	f.Now++
+	now := f.Now
+	moved := false
+
+	for wi := range f.linkActive {
+		word := is.serialLink[wi].Load()
+		for w := 0; w < is.k; w++ {
+			word |= is.lActive[w][wi]
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			l := f.Links[wi<<6|b]
+			if l.deliver(now) {
+				moved = true
+			}
+			if !l.pendingWork() {
+				if w := is.linkIsland[l.ID]; w >= 0 {
+					is.lActive[w][wi] &^= 1 << uint(b)
+				} else {
+					is.serialLink[wi].Store(is.serialLink[wi].Load() &^ (1 << uint(b)))
+				}
+			}
+		}
+	}
+
+	for wi := range f.routerActive {
+		var word uint64
+		for w := 0; w < is.k; w++ {
+			word |= is.rActive[w][wi]
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			f.Routers[wi<<6|b].vcAllocate(now)
+		}
+	}
+
+	for wi := range f.routerActive {
+		var word uint64
+		for w := 0; w < is.k; w++ {
+			word |= is.rActive[w][wi]
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			r := f.Routers[wi<<6|b]
+			if r.switchAllocate(now) {
+				moved = true
+			}
+			if !r.busy() {
+				is.rActive[is.routerIsland[r.idx]][wi] &^= 1 << uint(b)
+			}
+		}
+	}
+
+	f.finishStep(now, moved)
+}

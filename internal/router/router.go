@@ -469,7 +469,7 @@ func (r *Router) transferOut(o *OutPort, now int64) bool {
 		if t := r.Fabric.Tracer; t != nil {
 			t.PacketDelivered(h.p, now)
 		}
-		r.Fabric.deliver(h.p, now)
+		r.Fabric.deliverFrom(r, h.p, now)
 	}
 
 	// Return credits to our upstream for the space we just freed.

@@ -74,21 +74,19 @@ func (n *ndmeshLogic) incomingMinusAllowed() bool { return true }
 // torusLogic routes the chiplet-level nD-torus. The escape sub-network is
 // exactly the embedded nD-mesh (exit plans never use the wrap channels),
 // so the Theorem-1 analysis carries over unchanged; the wrap channels are
-// offered to the adaptive virtual channels only (extraExits), which is
+// offered to the adaptive virtual channels only (extraExit), which is
 // Duato-safe because every packet retains its mesh escape from every
 // reachable state.
 type torusLogic struct {
 	ndmeshLogic
-
-	// planBuf backs the single-element slice extraExits returns; the
-	// caller consumes it before the next routing call, so reusing the
-	// array keeps the per-VA-stage torus wrap check allocation-free.
-	planBuf [1]exitPlan
 }
 
-// extraExits returns the wrap-direction exit plan for the packet's current
+// extraExit returns the wrap-direction exit plan for the packet's current
 // dimension when the wrap route is strictly shorter than the mesh route.
-func (t *torusLogic) extraExits(cv int, p *packet.Packet) []exitPlan {
+// The plan comes back by value: one shared logic instance serves every
+// router, and under the islands engine routers in different islands
+// evaluate it concurrently, so the logic may hold no mutable scratch.
+func (t *torusLogic) extraExit(cv int, p *packet.Packet) (exitPlan, bool) {
 	cur := t.sys.Chiplets[cv].Coord
 	dst := t.sys.Chiplets[t.sys.Nodes[p.Dst].Chiplet].Coord
 	dims := t.sys.ChipDims
@@ -99,7 +97,7 @@ func (t *torusLogic) extraExits(cv int, p *packet.Packet) []exitPlan {
 		direct := abs(dst[j] - cur[j])
 		wrap := dims[j] - direct
 		if wrap >= direct {
-			return nil
+			return exitPlan{}, false
 		}
 		// Travel the opposite sign through the wrap channel.
 		plus := dst[j] < cur[j]
@@ -108,7 +106,7 @@ func (t *torusLogic) extraExits(cv int, p *packet.Packet) []exitPlan {
 			g++
 		}
 		if len(t.sys.Chiplets[cv].Groups[g]) == 0 {
-			return nil // dimension too small to have a wrap channel
+			return exitPlan{}, false // dimension too small to have a wrap channel
 		}
 		minusGroup, plusGroup := 2*j, 2*j+1
 		lo, _ := t.sys.GroupRange(minusGroup)
@@ -117,10 +115,9 @@ func (t *torusLogic) extraExits(cv int, p *packet.Packet) []exitPlan {
 		if t.separate && plus {
 			plan.vcClass = 1
 		}
-		t.planBuf[0] = plan
-		return t.planBuf[:1]
+		return plan, true
 	}
-	return nil
+	return exitPlan{}, false
 }
 
 // dragonflyLogic routes the fully connected topology: every packet takes

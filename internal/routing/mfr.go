@@ -585,11 +585,13 @@ func (m *mfr) crossMask(v int, p *packet.Packet) uint32 {
 	return m.adaptiveMask
 }
 
-// adaptiveExtras lets a topology offer additional adaptive-only exit plans
-// (the torus wrap channels). Extra plans must keep the packet inside the
-// primary plan's admissible region so the escape continuation survives.
+// adaptiveExtras lets a topology offer an additional adaptive-only exit
+// plan (the torus wrap channel). The extra plan must keep the packet
+// inside the primary plan's admissible region so the escape continuation
+// survives. Returned by value: the shared logic instance is consulted
+// concurrently under the islands engine.
 type adaptiveExtras interface {
-	extraExits(cv int, p *packet.Packet) []exitPlan
+	extraExit(cv int, p *packet.Packet) (exitPlan, bool)
 }
 
 // extraMoves appends adaptive candidates steering toward an extra exit
@@ -703,9 +705,10 @@ func (m *mfr) RawCandidates(r *router.Router, p *packet.Packet, buf []router.Can
 	// while the escape channel keeps pointing along the mesh, so a
 	// congested wrap degrades to the longer path instead of thrashing
 	// between the two directions.
-	var extraPlans []exitPlan
+	var extraPlan exitPlan
+	haveExtra := false
 	if extras, ok := m.logic.(adaptiveExtras); ok && m.node(v).Chiplet != m.node(p.Dst).Chiplet {
-		extraPlans = extras.extraExits(m.node(v).Chiplet, p)
+		extraPlan, haveExtra = extras.extraExit(m.node(v).Chiplet, p)
 	}
 
 	if m.mode == SafeUnsafe {
@@ -713,10 +716,8 @@ func (m *mfr) RawCandidates(r *router.Router, p *packet.Packet, buf []router.Can
 		// escape continuation: Algorithm 5's drain argument needs safe
 		// packets to be able to follow their minus-first path when the
 		// shortest-path moves are blocked.
-		if len(extraPlans) > 0 {
-			for _, plan := range extraPlans {
-				buf = m.extraMoves(r, v, p, plan, false, buf)
-			}
+		if haveExtra {
+			buf = m.extraMoves(r, v, p, extraPlan, false, buf)
 		}
 		if len(buf) == 0 {
 			buf = m.productiveMoves(r, v, p, router.VCMaskAll(m.vcs), false, buf)
@@ -743,10 +744,8 @@ func (m *mfr) RawCandidates(r *router.Router, p *packet.Packet, buf []router.Can
 	// Duato's protocol: adaptive candidates first (reordered by credit
 	// score at lookup time), escape last.
 	base := len(buf)
-	if len(extraPlans) > 0 {
-		for _, plan := range extraPlans {
-			buf = m.extraMoves(r, v, p, plan, true, buf)
-		}
+	if haveExtra {
+		buf = m.extraMoves(r, v, p, extraPlan, true, buf)
 	} else {
 		buf = m.productiveMoves(r, v, p, m.adaptiveMask, true, buf)
 	}

@@ -22,14 +22,81 @@ type System struct {
 	Topo *topology.System
 }
 
-// UseReferenceEngine makes every subsequently built System run the naive
-// reference cycle stepper instead of the active-set engine. The two are
-// bit-identical (enforced by engine_equiv_test.go); the reference exists
-// as the oracle for that suite and for bisecting engine bugs. This is
-// deliberately a package variable rather than a Config field: Config is
-// embedded verbatim in checkpoint files, and the engine choice must not
-// leak into them (snapshots are engine-independent).
-var UseReferenceEngine bool
+// Engine names a cycle-engine implementation for Fabric.Step. All
+// engines are observationally identical — bit-identical results, fault
+// logs and checkpoints (enforced three-ways by engine_equiv_test.go) —
+// and differ only in speed.
+type Engine string
+
+const (
+	// EngineActive is the default serial active-set engine (PR 4).
+	EngineActive Engine = "active"
+	// EngineReference is the naive reference stepper: the oracle for
+	// the differential-equivalence suite and for bisecting engine bugs.
+	EngineReference Engine = "reference"
+	// EngineIslands is the parallel-islands engine: the fabric is
+	// partitioned into contiguous-chiplet islands stepped on worker
+	// goroutines with a deterministic boundary exchange per cycle.
+	// IslandCount sets the partition size.
+	EngineIslands Engine = "islands"
+)
+
+// UseEngine selects the cycle engine for every subsequently built
+// System. This is deliberately a package variable rather than a Config
+// field: Config is embedded verbatim in checkpoint files, and the
+// engine choice must not leak into them (snapshots are
+// engine-independent — a checkpoint taken under one engine resumes
+// under any other).
+var UseEngine = EngineActive
+
+// IslandCount is the island count K for EngineIslands; <= 0 means one
+// island per available CPU (GOMAXPROCS). K is clamped to the chiplet
+// count at Build. RunMany divides its campaign worker budget by the
+// effective K so intra-run and campaign-level parallelism share one
+// CPU budget instead of oversubscribing.
+var IslandCount int
+
+// ParseEngine parses an -engine flag value: "active", "reference",
+// "islands", or "islands:K" for an explicit island count.
+func ParseEngine(s string) (Engine, int, error) {
+	switch {
+	case s == string(EngineActive):
+		return EngineActive, 0, nil
+	case s == string(EngineReference):
+		return EngineReference, 0, nil
+	case s == string(EngineIslands):
+		return EngineIslands, 0, nil
+	case len(s) > len("islands:") && s[:len("islands:")] == "islands:":
+		var k int
+		if _, err := fmt.Sscanf(s[len("islands:"):], "%d", &k); err != nil || k < 1 {
+			return "", 0, fmt.Errorf("chipletnet: bad island count in -engine %q: want islands:K with K >= 1", s)
+		}
+		return EngineIslands, k, nil
+	default:
+		return "", 0, fmt.Errorf("chipletnet: bad engine %q: want active, reference, islands or islands:K", s)
+	}
+}
+
+// SetEngine parses an -engine flag value and installs it as the
+// process-wide engine selection (UseEngine, IslandCount).
+func SetEngine(s string) error {
+	e, k, err := ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	UseEngine = e
+	IslandCount = k
+	return nil
+}
+
+// effectiveIslands returns the island count EngineIslands will request
+// at Build under the current settings.
+func effectiveIslands() int {
+	if k := IslandCount; k > 0 {
+		return k
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Reset returns a built, already-simulated system to its pre-simulation
 // state — buffers, credits, links, counters and engine scheduling as
@@ -112,7 +179,14 @@ func Build(cfg Config) (*System, error) {
 	sys.Fabric.SafeUnsafe = cfg.Routing == RoutingSafeUnsafe
 	sys.Fabric.OffChipVAExtra = cfg.OffChipVAExtra
 	sys.Fabric.DeadlockThreshold = cfg.DeadlockThreshold
-	sys.Fabric.UseReference = UseReferenceEngine
+	sys.Fabric.UseReference = UseEngine == EngineReference
+	if UseEngine == EngineIslands {
+		chipletOf := make([]int, len(sys.Nodes))
+		for i, n := range sys.Nodes {
+			chipletOf[i] = n.Chiplet
+		}
+		sys.Fabric.EnableIslands(effectiveIslands(), chipletOf)
+	}
 	return &System{Cfg: cfg, Topo: sys}, nil
 }
 
@@ -206,10 +280,21 @@ var ErrCanceled = errors.New("chipletnet: run canceled")
 // run is recovered into that run's error). Each configuration gets its
 // own Build, so no mutable state is shared between workers; output
 // ordering is positional and therefore schedule-independent.
+//
+// The pool is island-aware: under EngineIslands each run brings its own
+// K worker goroutines, so the campaign budget shrinks to
+// GOMAXPROCS / K concurrent runs — campaign-level and intra-run
+// parallelism share one CPU budget instead of oversubscribing.
 func runMany(ctx context.Context, cfgs []Config) ([]Result, []error) {
 	results := make([]Result, len(cfgs))
 	errs := make([]error, len(cfgs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	if UseEngine == EngineIslands {
+		if workers /= effectiveIslands(); workers < 1 {
+			workers = 1
+		}
+	}
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i := range cfgs {
 		wg.Add(1)
