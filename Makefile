@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-fault test-checkpoint test-equiv test-dse test-daemon test-coordinator bench-json bench-dse-json bench-compiled vet lint check figures
+.PHONY: build test test-fault test-checkpoint test-equiv test-dse test-daemon test-coordinator test-workload bench-json bench-dse-json bench-compiled bench-islands bench-workload vet lint check figures
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,18 @@ test-coordinator:
 	$(GO) test -race -timeout 20m ./internal/service/coord
 	$(GO) test -race -timeout 20m -run 'Coordinator|SigtermRequeues' ./cmd/chipletd
 
+# test-workload runs the trace/replay/QoS matrix under the race detector:
+# the trace format round-trip and typed-error table, the external-trace
+# importer, the live-run recorder, the causal replayer and AI-scale-out
+# generator (snapshot round-trips included), the per-class QoS statistics
+# and tiny-sample percentile tables, and the root-level acceptance gates —
+# a recorded hypercube trace replaying bit-identically under all three
+# cycle engines and across mid-replay cross-engine checkpoint/resume.
+# Finishes by replaying the trace-round-trip fuzz seed corpus.
+test-workload:
+	$(GO) test -race -run 'Trace|Import|Record|Replay|AIScaleOut|Percentile|ClassS|Workload|ParseFlag|SpecHash|Split' ./internal/workload ./internal/traffic ./internal/stats .
+	$(GO) test -race -run FuzzTraceRoundTrip ./internal/traffic
+
 # bench-dse-json regenerates the committed design-space-exploration
 # benchmark baseline (BENCH_dse.json): cache-cold exploration, cache-warm
 # exploration (zero simulations), and the cache-hit micro path.
@@ -111,17 +123,26 @@ bench-compiled:
 bench-islands:
 	$(GO) run ./cmd/chipletbench -suite islands -count 2 -out BENCH_islands.json
 
+# bench-workload regenerates the committed trace-replay benchmark
+# baseline (BENCH_workload.json): a synthetic hypercube run vs a causal
+# replay of its own recorded trace (the 0.84 relative floor bounds
+# replay overhead at ~1.2x), plus the AI-scale-out generator as an
+# allocation canary.
+bench-workload:
+	$(GO) run ./cmd/chipletbench -suite workload -count 2 -out BENCH_workload.json
+
 # check is the pre-PR gate: go vet, build, the full test suite under the
 # race detector (including the -race equivalence matrices of test-equiv),
 # the determinism linter over ./..., and the benchmark gates (the
 # active-set engine must hold its speedup over the reference stepper, and
 # both suites their allocs/op against the committed baselines).
-check: vet build test-fault test-checkpoint test-equiv test-dse test-daemon test-coordinator
+check: vet build test-fault test-checkpoint test-equiv test-dse test-daemon test-coordinator test-workload
 	$(GO) test -race -timeout 20m ./...
 	$(GO) run ./cmd/chipletlint ./...
 	$(GO) run ./cmd/chipletbench -check BENCH_hotpath.json
 	$(GO) run ./cmd/chipletbench -suite compiled -check BENCH_compiled.json
 	$(GO) run ./cmd/chipletbench -suite islands -count 2 -check BENCH_islands.json
+	$(GO) run ./cmd/chipletbench -suite workload -count 2 -check BENCH_workload.json
 
 figures:
 	$(GO) run ./cmd/chipletfig -scale quick -out results all

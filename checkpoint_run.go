@@ -13,6 +13,7 @@ import (
 	"chipletnet/internal/router"
 	"chipletnet/internal/stats"
 	"chipletnet/internal/traffic"
+	"chipletnet/internal/workload"
 )
 
 // Control-flow sentinels for externally ended runs; test with errors.Is.
@@ -53,24 +54,63 @@ type RunControl struct {
 	// (Result.DeadlockReport) of where traffic was stuck. Typically wired
 	// to a wall-clock timer by the caller.
 	Deadline <-chan struct{}
+	// TracePath, when non-empty, records the run as a workload trace
+	// (internal/workload format) and writes it there when the run
+	// completes cleanly. Recording attaches a tracer, so packet pooling is
+	// disabled for the run; results stay bit-identical. Not available on
+	// ResumeRun (the recorder would miss every pre-checkpoint packet) or
+	// together with another tracer.
+	TracePath string
+}
+
+// buildSource constructs the injection source the configuration asks
+// for: the synthetic Bernoulli generator (empty Workload), the causal
+// trace replayer, or the AI-scale-out generator.
+func (s *System) buildSource() (traffic.Source, error) {
+	cfg := s.Cfg
+	gran, err := interleave.ParseGranularity(cfg.Interleave)
+	if err != nil {
+		return nil, err
+	}
+	pol := interleave.Policy{G: gran}
+	kind, arg, err := workload.Split(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "":
+		pat, err := traffic.NewPattern(cfg.Pattern, len(s.Topo.Cores), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewGenerator(
+			s.Topo.Cores, pat, cfg.InjectionRate,
+			cfg.PacketFlits, cfg.MsgPackets, pol, cfg.Seed)
+	case workload.KindReplay:
+		tr, err := workload.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewReplayer(tr, s.Topo.Cores, pol)
+	case workload.KindAIScaleOut:
+		spec, err := workload.ParseAIScaleOut(arg)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := collectiveAlgorithm(spec.Collective, spec.DataFlits)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewAIScaleOut(alg, spec, s.Topo.Cores, cfg.PacketFlits, pol, cfg.Seed)
+	}
+	return nil, fmt.Errorf("chipletnet: unknown workload kind %q", kind)
 }
 
 // SimulateControlled is Simulate with external run control. A System must
 // not be simulated twice; rebuild for fresh runs.
 func (s *System) SimulateControlled(ctrl RunControl) (Result, error) {
 	cfg := s.Cfg
-	pat, err := traffic.NewPattern(cfg.Pattern, len(s.Topo.Cores), cfg.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	gran, err := interleave.ParseGranularity(cfg.Interleave)
-	if err != nil {
-		return Result{}, err
-	}
-	gen, err := traffic.NewGenerator(
-		s.Topo.Cores, pat, cfg.InjectionRate,
-		cfg.PacketFlits, cfg.MsgPackets,
-		interleave.Policy{G: gran}, cfg.Seed)
+	src, err := s.buildSource()
 	if err != nil {
 		return Result{}, err
 	}
@@ -80,6 +120,18 @@ func (s *System) SimulateControlled(ctrl RunControl) (Result, error) {
 	f.Sink = col.OnDeliver
 	f.CreditAudit = cfg.CheckCredits
 
+	var rec *workload.Recorder
+	if ctrl.TracePath != "" {
+		if f.Tracer != nil {
+			return Result{}, fmt.Errorf("chipletnet: cannot record a workload trace: another tracer is attached")
+		}
+		rec, err = workload.NewRecorder(s.Topo.Cores)
+		if err != nil {
+			return Result{}, err
+		}
+		f.Tracer = rec
+	}
+
 	var eng *fault.Engine
 	if cfg.Fault.Enabled() {
 		eng, err = fault.New(s.Topo, cfg.Fault.engineConfig(cfg.Seed))
@@ -88,7 +140,17 @@ func (s *System) SimulateControlled(ctrl RunControl) (Result, error) {
 		}
 		eng.Attach(f)
 	}
-	return s.run(gen, col, eng, ctrl, 0)
+	res, err := s.run(src, col, eng, ctrl, 0)
+	if rec != nil && err == nil {
+		tr, terr := rec.Trace()
+		if terr == nil {
+			terr = workload.WriteFile(ctrl.TracePath, tr)
+		}
+		if terr != nil {
+			return res, fmt.Errorf("chipletnet: recording workload trace: %w", terr)
+		}
+	}
+	return res, err
 }
 
 // ResumeRun loads a checkpoint, rebuilds the system from the embedded
@@ -96,6 +158,9 @@ func (s *System) SimulateControlled(ctrl RunControl) (Result, error) {
 // run to completion (under the given control). The finished Result is
 // bit-identical to the uninterrupted run's.
 func ResumeRun(path string, ctrl RunControl) (Result, error) {
+	if ctrl.TracePath != "" {
+		return Result{}, fmt.Errorf("chipletnet: cannot record a workload trace on resume: the recorder would miss every pre-checkpoint packet")
+	}
 	st, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return Result{}, err
@@ -109,18 +174,7 @@ func ResumeRun(path string, ctrl RunControl) (Result, error) {
 		return Result{}, fmt.Errorf("%w: rebuilding from embedded configuration: %v", checkpoint.ErrMismatch, err)
 	}
 
-	pat, err := traffic.NewPattern(cfg.Pattern, len(sys.Topo.Cores), cfg.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	gran, err := interleave.ParseGranularity(cfg.Interleave)
-	if err != nil {
-		return Result{}, err
-	}
-	gen, err := traffic.NewGenerator(
-		sys.Topo.Cores, pat, cfg.InjectionRate,
-		cfg.PacketFlits, cfg.MsgPackets,
-		interleave.Policy{G: gran}, cfg.Seed)
+	src, err := sys.buildSource()
 	if err != nil {
 		return Result{}, err
 	}
@@ -153,7 +207,7 @@ func ResumeRun(path string, ctrl RunControl) (Result, error) {
 	if err := f.Restore(&st.Fabric, pkts); err != nil {
 		return Result{}, err
 	}
-	if err := gen.Restore(&st.Gen); err != nil {
+	if err := src.Restore(&st.Gen); err != nil {
 		return Result{}, err
 	}
 	col.Restore(&st.Stats)
@@ -162,16 +216,28 @@ func ResumeRun(path string, ctrl RunControl) (Result, error) {
 			return Result{}, err
 		}
 	}
-	return sys.run(gen, col, eng, ctrl, st.Cycle)
+	return sys.run(src, col, eng, ctrl, st.Cycle)
 }
 
 // run advances the simulation from the cycle after start to completion,
 // observing external control at cycle boundaries, then assembles the
 // Result. start is 0 for a fresh run, the checkpoint cycle on resume.
-func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.Engine, ctrl RunControl, start int64) (Result, error) {
+func (s *System) run(src traffic.Source, col *stats.Collector, eng *fault.Engine, ctrl RunControl, start int64) (Result, error) {
 	cfg := s.Cfg
 	f := s.Topo.Fabric
 	total := cfg.WarmupCycles + cfg.MeasureCycles
+
+	// Chain the source into the sink so dependency-driven sources observe
+	// every delivery in the engines' deterministic sink order (a delivery
+	// at cycle T can gate injections from T+1 on). The Bernoulli
+	// generator's OnDeliver is a no-op.
+	{
+		inner := f.Sink
+		f.Sink = func(p *packet.Packet, now int64) {
+			inner(p, now)
+			src.OnDeliver(p, now)
+		}
+	}
 
 	// Recycle delivered packets so the steady-state loop allocates none.
 	// At delivery a packet has left every buffer and wire (virtual
@@ -180,10 +246,11 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 	// those are functionally inert. Recycling is gated off when something
 	// could observe a packet after delivery: a Tracer retaining pointers,
 	// or scheduled interface kills, whose stranded-packet post-mortem
-	// reads replay-buffer packet fields.
+	// reads replay-buffer packet fields. The source's OnDeliver runs
+	// before the recycle, so it may read but never retain the packet.
 	if f.Tracer == nil && len(cfg.Fault.Kill) == 0 {
 		pool := &packet.Pool{}
-		gen.SetPool(pool)
+		src.SetPool(pool)
 		inner := f.Sink
 		f.Sink = func(p *packet.Packet, now int64) {
 			inner(p, now)
@@ -217,7 +284,7 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 			}
 		}
 		if interrupted {
-			if err := s.writeCheckpoint(ctrl.CheckpointPath, gen, col, eng, cy); err != nil {
+			if err := s.writeCheckpoint(ctrl.CheckpointPath, src, col, eng, cy); err != nil {
 				simErr = err
 			} else {
 				simErr = ErrInterrupted
@@ -225,7 +292,7 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 			return true
 		}
 		if ctrl.CheckpointPath != "" && ctrl.CheckpointEvery > 0 && cy%ctrl.CheckpointEvery == 0 {
-			if err := s.writeCheckpoint(ctrl.CheckpointPath, gen, col, eng, cy); err != nil {
+			if err := s.writeCheckpoint(ctrl.CheckpointPath, src, col, eng, cy); err != nil {
 				simErr = err
 				return true
 			}
@@ -234,8 +301,8 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 	}
 
 	for cy := start + 1; cy <= total; cy++ {
-		gen.SetMeasured(cy > cfg.WarmupCycles)
-		gen.Tick(f, cy)
+		src.SetMeasured(cy > cfg.WarmupCycles)
+		src.Tick(f, cy)
 		if eng != nil {
 			if simErr = eng.Step(cy); simErr != nil {
 				break
@@ -275,11 +342,17 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 		drained = simErr == nil && !f.Deadlocked && f.InFlight() == 0
 	}
 
+	offeredRate := cfg.InjectionRate
+	if cfg.Workload != "" {
+		// Non-synthetic sources have no configured offered load;
+		// Saturated() then reports deadlock only.
+		offeredRate = 0
+	}
 	res := Result{
 		Cfg:            cfg,
 		Summary:        col.Summarize(cfg.MeasureCycles, len(s.Topo.Cores)),
-		OfferedPackets: gen.OfferedPackets,
-		OfferedRate:    cfg.InjectionRate,
+		OfferedPackets: src.Offered(),
+		OfferedRate:    offeredRate,
 		Deadlocked:     f.Deadlocked,
 		DeadlockReport: f.Deadlock,
 		Endpoints:      len(s.Topo.Cores),
@@ -292,7 +365,7 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 	}
 	res.EnergyPJPerBit = energy.Default().PerBit(res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
 	if eng != nil {
-		eng.Finish(gen.TotalPackets(), f.InFlight())
+		eng.Finish(src.TotalPackets(), f.InFlight())
 		res.FaultEvents = eng.Log
 		st := eng.Stats
 		res.FaultStats = &st
@@ -328,11 +401,11 @@ func (s *System) run(gen *traffic.Generator, col *stats.Collector, eng *fault.En
 
 // writeCheckpoint captures the complete dynamic state after completed
 // cycle cy and writes it atomically to path.
-func (s *System) writeCheckpoint(path string, gen *traffic.Generator, col *stats.Collector, eng *fault.Engine, cy int64) error {
+func (s *System) writeCheckpoint(path string, src traffic.Source, col *stats.Collector, eng *fault.Engine, cy int64) error {
 	if path == "" {
 		return fmt.Errorf("chipletnet: checkpoint requested but RunControl.CheckpointPath is empty")
 	}
-	st, err := s.captureState(gen, col, eng, cy)
+	st, err := s.captureState(src, col, eng, cy)
 	if err != nil {
 		return err
 	}
@@ -341,7 +414,7 @@ func (s *System) writeCheckpoint(path string, gen *traffic.Generator, col *stats
 
 // captureState assembles the checkpoint State for the run at completed
 // cycle cy.
-func (s *System) captureState(gen *traffic.Generator, col *stats.Collector, eng *fault.Engine, cy int64) (*checkpoint.State, error) {
+func (s *System) captureState(src traffic.Source, col *stats.Collector, eng *fault.Engine, cy int64) (*checkpoint.State, error) {
 	cfgJSON, err := json.Marshal(s.Cfg)
 	if err != nil {
 		return nil, fmt.Errorf("chipletnet: serializing configuration: %w", err)
@@ -351,7 +424,7 @@ func (s *System) captureState(gen *traffic.Generator, col *stats.Collector, eng 
 		Config: cfgJSON,
 		Cycle:  cy,
 		Fabric: s.Topo.Fabric.Snapshot(tbl),
-		Gen:    gen.Snapshot(),
+		Gen:    src.Snapshot(),
 		Stats:  col.Snapshot(),
 		Topo:   s.Topo.Snapshot(),
 	}

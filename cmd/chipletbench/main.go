@@ -7,23 +7,28 @@
 //	chipletbench [-suite S] [-count N] [-tol 0.10] [-out FILE]  # measure, write JSON
 //	chipletbench [-suite S] [-count N] [-tol 0.10] -check FILE  # measure, gate, exit 1 on regression
 //
-// Four suites exist: "hotpath" (the default) exercises the cycle engine
+// Five suites exist: "hotpath" (the default) exercises the cycle engine
 // itself, "dse" exercises the design-space-exploration pipeline —
 // a cache-cold exploration that simulates every candidate, a cache-warm
 // exploration that must touch the simulator zero times, and the
 // per-candidate content-hash + cache-lookup micro path — "compiled"
 // exercises the certified flat-array routing tables: the same mid-load
 // run under compiled and interpreted routing (side by side in the JSON),
-// plus the Build-time certification + table-compilation cost — and
+// plus the Build-time certification + table-compilation cost —
 // "islands" exercises the parallel-islands engine on the 256-chiplet
 // steady-state workload, against the serial active-set engine as its
-// baseline (the first three suites baseline against the reference
-// stepper instead).
+// baseline (the other suites baseline against the reference stepper) —
+// and "workload" exercises trace-driven replay: the identical run as a
+// synthetic Bernoulli process (baseline) and as a causal replay of a
+// trace recorded from that very run (optimized side), gating the replay
+// overhead at no worse than ~1.2x, plus the AI-scale-out generator's
+// cost reported side by side.
 //
 // The JSON file (BENCH_hotpath.json / BENCH_dse.json /
-// BENCH_compiled.json / BENCH_islands.json at the repository root)
-// records ns/op, bytes/op and allocs/op per workload per engine — the
-// committed before/after evidence for the hot-path overhaul.
+// BENCH_compiled.json / BENCH_islands.json / BENCH_workload.json at the
+// repository root) records ns/op, bytes/op and allocs/op per workload
+// per engine — the committed before/after evidence for the hot-path
+// overhaul.
 //
 // Gating is deliberately split by what is portable across machines:
 //
@@ -388,6 +393,97 @@ func islandsWorkloads() []workload {
 	}
 }
 
+// workloadBenchCfg is the workload-suite shape: mid-load on a 16-chiplet
+// hypercube, long enough that steady-state injection dominates the
+// per-run setup (Build, trace load).
+func workloadBenchCfg() chipletnet.Config {
+	cfg := chipletnet.DefaultConfig()
+	cfg.Topology = chipletnet.HypercubeTopology(4)
+	cfg.InjectionRate = 0.2
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 400
+	return cfg
+}
+
+// workloadReplayMode selects the workload suite's measured side: false
+// runs the synthetic Bernoulli process, true replays the trace recorded
+// from that exact run. Toggled by the suite's enginePair.
+var workloadReplayMode bool
+
+// workloadTracePath is the trace the replay side loads, recorded once at
+// suite setup from the baseline configuration.
+var workloadTracePath string
+
+// syntheticVsReplay is the workload suite's pair: the synthetic process
+// as baseline, causal trace replay as the measured side. The cycle
+// engine itself stays the active-set engine on both sides; what the
+// relative gate bounds is the replay machinery — trace load, cursor
+// bookkeeping, the per-delivery dependency check.
+func syntheticVsReplay() enginePair {
+	return enginePair{
+		baseKey: "synthetic", optKey: "replay",
+		setBase: func() { workloadReplayMode = false },
+		setOpt:  func() { workloadReplayMode = true },
+	}
+}
+
+// workloadWorkloads benchmarks trace replay against the synthetic run it
+// was recorded from. The 0.84 floor on synthetic-ns / replay-ns is the
+// replay-overhead gate: replay may cost at most ~1.2x the equivalent
+// synthetic run. The aiscaleout workload runs identically on both sides
+// (the mode toggle does not affect it), so its gate is parity-with-itself
+// — its ns/op and allocs/op in the JSON are what the -check gate tracks.
+func workloadWorkloads() []workload {
+	return []workload{
+		{
+			name: "replay-mid-hc4", minSpeedup: 0.84,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := workloadBenchCfg()
+				if workloadReplayMode {
+					cfg.Workload = "replay:" + workloadTracePath
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "aiscaleout-hc4", minSpeedup: 0.9,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := workloadBenchCfg()
+				cfg.Workload = "aiscaleout:allreduce-ring,data=128,compute=100,memrate=0.05,reqrate=0.02"
+				for i := 0; i < b.N; i++ {
+					if _, err := chipletnet.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}
+
+// recordWorkloadTrace cuts the workload suite's replay input: the
+// baseline configuration run once with the recorder attached.
+func recordWorkloadTrace() (string, error) {
+	dir, err := os.MkdirTemp("", "chipletbench-workload")
+	if err != nil {
+		return "", err
+	}
+	path := dir + "/bench.trace"
+	sys, err := chipletnet.Build(workloadBenchCfg())
+	if err != nil {
+		return "", err
+	}
+	if _, err := sys.SimulateControlled(chipletnet.RunControl{TracePath: path}); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // suiteWorkloads returns the selected suite's workloads and engine pair.
 func suiteWorkloads(suite string) ([]workload, enginePair, error) {
 	switch suite {
@@ -399,8 +495,15 @@ func suiteWorkloads(suite string) ([]workload, enginePair, error) {
 		return compiledWorkloads(), refVsActive(), nil
 	case "islands":
 		return islandsWorkloads(), activeVsIslands(), nil
+	case "workload":
+		path, err := recordWorkloadTrace()
+		if err != nil {
+			return nil, enginePair{}, fmt.Errorf("recording the workload-suite trace: %w", err)
+		}
+		workloadTracePath = path
+		return workloadWorkloads(), syntheticVsReplay(), nil
 	}
-	return nil, enginePair{}, fmt.Errorf("unknown suite %q: want hotpath, dse, compiled or islands", suite)
+	return nil, enginePair{}, fmt.Errorf("unknown suite %q: want hotpath, dse, compiled, islands or workload", suite)
 }
 
 // measure runs every workload count times under the selected engine and
@@ -452,7 +555,7 @@ func main() {
 	check := flag.String("check", "", "gate against this committed baseline JSON; exit 1 on regression")
 	count := flag.Int("count", 1, "runs per workload per engine; the fastest is kept")
 	tol := flag.Float64("tol", 0.10, "relative tolerance for the gates")
-	suite := flag.String("suite", "hotpath", "workload suite: hotpath | dse | compiled | islands")
+	suite := flag.String("suite", "hotpath", "workload suite: hotpath | dse | compiled | islands | workload")
 	flag.Parse()
 
 	ws, eng, err := suiteWorkloads(*suite)
@@ -522,7 +625,12 @@ func main() {
 				"the 1.5x steady-256-k4 speedup gate applies on machines with >= 4 CPUs "+
 				"and degrades to the 0.9x parity floor below that (the relative gate is "+
 				"always re-measured in-process, never read from this file); regenerate "+
-				"with `make bench-islands`", runtime.NumCPU())
+				"with `make bench-workload`", runtime.NumCPU())
+		case "workload":
+			note = "trace-replay benchmark baseline: the synthetic run vs a causal replay " +
+				"of its own recorded trace; the 0.84 relative floor bounds replay overhead " +
+				"at ~1.2x and is re-measured in-process on every run; regenerate with " +
+				"`make bench-workload`"
 		}
 		f := benchFile{
 			Note:    note,

@@ -55,6 +55,7 @@ func main() {
 	pinBudget := flag.Int("pin-budget", 0, "per-chiplet off-chip pin budget in bits/cycle per direction (0 = unconstrained)")
 	minGroupWidth := flag.Int("min-group-width", 0, "minimum interface nodes per group (link redundancy; 0 = unconstrained)")
 	pattern := flag.String("pattern", "uniform", "traffic pattern candidates are evaluated under")
+	workloads := flag.String("workloads", "", "workload axis: specs separated by ';' (replay:<path> | aiscaleout:<spec>; empty entry = synthetic traffic; default synthetic only)")
 	rates := flag.String("rates", "", "injection-rate ladder, comma separated (default 0.05,0.15,0.3,0.5,0.8)")
 	zeroLoad := flag.Float64("zero-load-rate", 0, "light-load probe rate for latency/energy (default 0.02)")
 	warmup := flag.Int64("warmup", 0, "warm-up cycles per run (default 300)")
@@ -85,6 +86,11 @@ func main() {
 		PinBudgetBits: *pinBudget,
 		MinGroupWidth: *minGroupWidth,
 		Pattern:       *pattern,
+	}
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ";") {
+			space.Workloads = append(space.Workloads, strings.TrimSpace(w))
+		}
 	}
 	var err error
 	if space.NoCs, err = parseNoCs(*nocs); err != nil {

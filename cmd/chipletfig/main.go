@@ -91,12 +91,12 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("no experiments given; want table1|fig11|fig12|fig13|fig14|fig15|fig16|ablation|all")
+		fatalf("no experiments given; want table1|fig11|fig12|fig13|fig14|fig15|fig16|ablation|faults|collective|workload|all")
 	}
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
-			for _, e := range []string{"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "faults", "collective"} {
+			for _, e := range []string{"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "faults", "collective", "workload"} {
 				want[e] = true
 			}
 			continue
@@ -198,6 +198,7 @@ func main() {
 	run("ablation", func() ([]experiments.Point, error) { return experiments.AblationRouting(scale) })
 	run("faults", func() ([]experiments.Point, error) { return experiments.FaultTolerance(scale) })
 	run("collective", func() ([]experiments.Point, error) { return experiments.CollectiveStudy(scale) })
+	run("workload", func() ([]experiments.Point, error) { return experiments.WorkloadStudy(scale) })
 
 	for leftover := range want {
 		fatalf("unknown experiment %q", leftover)
@@ -222,7 +223,7 @@ func campaignMain(scale experiments.Scale, want map[string]bool, outDir, journal
 	}
 
 	var names []string
-	for _, name := range []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "faults", "collective"} {
+	for _, name := range []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablation", "faults", "collective", "workload"} {
 		if want[name] {
 			delete(want, name)
 			names = append(names, name)

@@ -28,6 +28,7 @@ import (
 
 	"chipletnet"
 	"chipletnet/internal/checkpoint"
+	"chipletnet/internal/workload"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	pattern := flag.String("pattern", cfg.Pattern, "uniform | hotspot | bit-complement | bit-reverse | bit-shuffle | bit-transpose")
 	rate := flag.Float64("rate", cfg.InjectionRate, "injection rate in flits/node/cycle")
 	interleave := flag.String("interleave", cfg.Interleave, "none | message | packet")
+	workloadFlag := flag.String("workload", "", "non-synthetic workload: replay:<path> | aiscaleout:<spec> | record:<path> | <workload>;record:<path> (empty = synthetic -pattern/-rate traffic)")
 	routing := flag.String("routing", string(cfg.Routing), "duato | safe-unsafe | compiled (duato on certified tables)")
 	offBW := flag.Int("offchip-bw", cfg.OffChipBW, "chiplet-to-chiplet bandwidth in flits/cycle")
 	offLat := flag.Int("offchip-latency", cfg.OffChipLatency, "chiplet-to-chiplet link latency in cycles")
@@ -111,6 +113,15 @@ func main() {
 	}
 	if use("interleave") {
 		cfg.Interleave = *interleave
+	}
+	recordPath := ""
+	if use("workload") && *workloadFlag != "" {
+		spec, rec, err := workload.ParseFlag(*workloadFlag)
+		if err != nil {
+			fatalf("bad -workload: %v", err)
+		}
+		cfg.Workload = spec
+		recordPath = rec
 	}
 	if use("routing") {
 		if *routing == "compiled" {
@@ -191,6 +202,7 @@ func main() {
 	ctrl := chipletnet.RunControl{
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		TracePath:       recordPath,
 	}
 	if *ckptPath != "" {
 		// A first SIGINT/SIGTERM checkpoints and stops cleanly; a second
@@ -259,6 +271,11 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if recordPath != "" {
+		fmt.Fprintf(os.Stderr, "chipletsim: workload trace written to %s (replay with -workload replay:%s)\n",
+			recordPath, recordPath)
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -273,8 +290,13 @@ func main() {
 
 	fmt.Printf("system:        %v of %dx%d chiplets (%d endpoints)\n",
 		cfg.Topology, cfg.ChipletW, cfg.ChipletH, res.Endpoints)
-	fmt.Printf("workload:      %s @ %.3f flits/node/cycle, interleave=%s, routing=%s\n",
-		cfg.Pattern, cfg.InjectionRate, cfg.Interleave, cfg.Routing)
+	if res.Cfg.Workload != "" {
+		fmt.Printf("workload:      %s, interleave=%s, routing=%s\n",
+			res.Cfg.Workload, res.Cfg.Interleave, res.Cfg.Routing)
+	} else {
+		fmt.Printf("workload:      %s @ %.3f flits/node/cycle, interleave=%s, routing=%s\n",
+			res.Cfg.Pattern, res.Cfg.InjectionRate, res.Cfg.Interleave, res.Cfg.Routing)
+	}
 	if res.Deadlocked {
 		fmt.Println("RESULT:        DEADLOCK detected by the progress watchdog")
 		if res.DeadlockReport != nil {
@@ -282,10 +304,15 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	fmt.Printf("latency:       avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %d cycles\n",
-		res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.MaxLatency)
+	fmt.Printf("latency:       avg %.1f  p50 %.0f  p95 %.0f  p99 %.0f  p999 %.0f  max %d cycles\n",
+		res.AvgLatency, res.P50Latency, res.P95Latency, res.P99Latency, res.P999Latency, res.MaxLatency)
 	fmt.Printf("throughput:    %.4f flits/node/cycle accepted (offered %.4f)%s\n",
 		res.AcceptedFlitsPerNodeCycle, res.OfferedRate, satMark(res))
+	for _, cs := range res.Classes {
+		fmt.Printf("class:         %-12s %6d pkts  avg %.1f  p99 %.0f  p999 %.0f  max %d  %.4f flits/node/cycle\n",
+			cs.Class, cs.MeasuredPackets, cs.AvgLatency, cs.P99Latency, cs.P999Latency,
+			cs.MaxLatency, cs.AcceptedFlitsPerNodeCycle)
+	}
 	fmt.Printf("hops:          %.2f routers, %.2f on-chip links, %.2f off-chip links\n",
 		res.AvgRouters, res.AvgOnChipHops, res.AvgOffChipHops)
 	fmt.Printf("energy:        %.2f pJ/bit transport estimate\n", res.EnergyPJPerBit)

@@ -36,18 +36,9 @@ type CollectiveResult struct {
 // (Pattern, InjectionRate, cycles) are ignored; packets use cfg.PacketFlits
 // and cfg.Interleave.
 func RunCollective(cfg Config, coll Collective) (CollectiveResult, error) {
-	var alg collective.Algorithm
-	switch coll.Kind {
-	case "allreduce-ring":
-		alg = collective.RingAllReduce{VectorFlits: coll.DataFlits}
-	case "allreduce-recursive-doubling":
-		alg = collective.RecursiveDoublingAllReduce{VectorFlits: coll.DataFlits}
-	case "allgather-ring":
-		alg = collective.AllGatherRing{BlockFlits: coll.DataFlits}
-	case "alltoall":
-		alg = collective.AllToAll{BlockFlits: coll.DataFlits}
-	default:
-		return CollectiveResult{}, fmt.Errorf("chipletnet: unknown collective %q", coll.Kind)
+	alg, err := collectiveAlgorithm(coll.Kind, coll.DataFlits)
+	if err != nil {
+		return CollectiveResult{}, err
 	}
 	sys, err := Build(cfg)
 	if err != nil {
@@ -68,6 +59,23 @@ func RunCollective(cfg Config, coll Collective) (CollectiveResult, error) {
 		TotalFlits:       res.TotalFlits,
 		BusBandwidth:     res.BusBandwidth,
 	}, nil
+}
+
+// collectiveAlgorithm maps a collective kind name to its schedule
+// implementation — the one registry, shared by RunCollective and the
+// AI-scale-out workload.
+func collectiveAlgorithm(kind string, dataFlits int) (collective.Algorithm, error) {
+	switch kind {
+	case "allreduce-ring":
+		return collective.RingAllReduce{VectorFlits: dataFlits}, nil
+	case "allreduce-recursive-doubling":
+		return collective.RecursiveDoublingAllReduce{VectorFlits: dataFlits}, nil
+	case "allgather-ring":
+		return collective.AllGatherRing{BlockFlits: dataFlits}, nil
+	case "alltoall":
+		return collective.AllToAll{BlockFlits: dataFlits}, nil
+	}
+	return nil, fmt.Errorf("chipletnet: unknown collective %q", kind)
 }
 
 // CollectiveKinds lists the supported collective operations.

@@ -22,6 +22,7 @@ import (
 	"chipletnet/internal/fault"
 	"chipletnet/internal/interleave"
 	"chipletnet/internal/routing"
+	"chipletnet/internal/workload"
 )
 
 // Topology selects the chiplet-level interconnection.
@@ -244,6 +245,14 @@ type Config struct {
 	// Interleave is "none", "message" (coarse) or "packet" (fine).
 	Interleave string
 
+	// Workload, when non-empty, replaces the synthetic Bernoulli process
+	// with a non-synthetic injection source: "replay:<path>" replays a
+	// recorded trace with causality (see internal/workload), and
+	// "aiscaleout:<spec>" runs the AI-scale-out generator (collective
+	// phases over classed background traffic). Pattern and InjectionRate
+	// are then ignored. Empty runs the synthetic process, as before.
+	Workload string `json:",omitempty"`
+
 	// WarmupCycles / MeasureCycles split the run (Table II: 6000 cycles
 	// with 1000 warm-up).
 	WarmupCycles  int64
@@ -401,6 +410,24 @@ func (c Config) Validate() error {
 	}
 	if _, err := interleave.ParseGranularity(c.Interleave); err != nil {
 		return err
+	}
+	if c.Workload != "" {
+		kind, arg, err := workload.Split(c.Workload)
+		if err != nil {
+			return err
+		}
+		if kind == workload.KindAIScaleOut {
+			spec, err := workload.ParseAIScaleOut(arg)
+			if err != nil {
+				return err
+			}
+			if _, err := collectiveAlgorithm(spec.Collective, spec.DataFlits); err != nil {
+				return err
+			}
+			if spec.ReqFlits > c.InternalBufFlits || spec.ReqFlits > c.InterfaceBufFlits {
+				return fmt.Errorf("chipletnet: virtual cut-through needs buffers >= one request packet (%d flits)", spec.ReqFlits)
+			}
+		}
 	}
 	return nil
 }

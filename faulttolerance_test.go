@@ -2,6 +2,7 @@ package chipletnet
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"chipletnet/internal/fault"
@@ -185,7 +186,7 @@ func TestFaultsDisabledDeterminism(t *testing.T) {
 	if a.FaultStats != nil || len(a.FaultEvents) != 0 {
 		t.Error("fault state in a fault-free Result")
 	}
-	if a.Summary != b.Summary {
+	if !reflect.DeepEqual(a.Summary, b.Summary) {
 		t.Errorf("fault-free runs diverged:\n%+v\n%+v", a.Summary, b.Summary)
 	}
 	// And the same seed with the audit enabled must not change results
@@ -195,7 +196,7 @@ func TestFaultsDisabledDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Summary != c.Summary {
+	if !reflect.DeepEqual(a.Summary, c.Summary) {
 		t.Errorf("credit audit changed results:\n%+v\n%+v", a.Summary, c.Summary)
 	}
 }

@@ -43,6 +43,9 @@ type PacketState struct {
 	InjectedAt  int64
 	DeliveredAt int64
 
+	Class uint8
+	Dep   int64
+
 	Measured bool
 	Rerouted bool
 
@@ -168,7 +171,10 @@ type ReplayEntryState struct {
 	SentAt int64
 }
 
-// GeneratorState is the traffic generator's cursor state.
+// GeneratorState is the traffic source's cursor state. The Bernoulli
+// generator uses the flat fields; the trace replayer and the AI-scale-out
+// generator layer their cursor state in the optional sections (nil for
+// the other kinds, so pre-existing snapshots decode unchanged).
 type GeneratorState struct {
 	// Rands holds the per-endpoint injection stream states in endpoint
 	// order.
@@ -176,6 +182,95 @@ type GeneratorState struct {
 	NextID         uint64
 	NextMsg        uint64
 	OfferedPackets int
+
+	// Replay is the trace replayer's cursor state; nil for other sources.
+	Replay *ReplayCursorState
+	// AIScaleOut is the AI-scale-out generator's phase state; nil for
+	// other sources.
+	AIScaleOut *AIScaleOutState
+}
+
+// ReplayCursorState is the causal trace replayer's cursor: which entries
+// have been activated, which are released-but-not-yet-injected, which are
+// blocked on an undelivered dependency, and which injected packets map to
+// which entries. All slices are in deterministic (sorted) order so the
+// snapshot bytes are schedule-independent.
+type ReplayCursorState struct {
+	// Cursor indexes the first trace entry not yet activated.
+	Cursor int
+	// Delivered is a bitmap over trace entries (bit set = delivered).
+	Delivered []uint64
+	// Pending lists released entries awaiting their injection cycle,
+	// sorted by (At, Entry).
+	Pending []ReplayPendingState
+	// Waiting lists activated entries blocked on an undelivered
+	// dependency, sorted by entry index.
+	Waiting []int
+	// InFlight maps injected packet ids to entry indices, sorted by Pkt.
+	InFlight []ReplayFlightState
+}
+
+// ReplayPendingState is one released trace entry awaiting injection.
+type ReplayPendingState struct {
+	Entry int
+	At    int64
+}
+
+// ReplayFlightState is one injected, undelivered replayed packet.
+type ReplayFlightState struct {
+	Pkt   uint64
+	Entry int
+}
+
+// AIScaleOutState is the AI-scale-out generator's phase-machine state:
+// the position in the collective phase sequence plus the request/response
+// bookkeeping of the latency class. Map-backed fields are flattened in
+// sorted order.
+type AIScaleOutState struct {
+	// Phase counts collective phases started so far.
+	Phase int
+	// PhaseActive reports a collective phase currently in flight.
+	PhaseActive bool
+	// ComputeUntil is the cycle the post-phase compute gap ends.
+	ComputeUntil int64
+	// PendingDeps / Remaining / LastPkt are per-send phase state
+	// (unmet dependency count, undelivered packet count, id of the
+	// send's last injected packet or -1).
+	PendingDeps []int
+	Remaining   []int
+	LastPkt     []int64
+	// ReadySends lists sends released but not yet launched, in order.
+	ReadySends []int
+	// DeliveredSends counts fully delivered sends of the current phase.
+	DeliveredSends int
+	// PktSend maps collective packet ids to send ids, sorted by Pkt.
+	PktSend []AIPktSendState
+	// Responses lists scheduled request responses, sorted by (At, Dep).
+	Responses []AIResponseState
+	// Requests maps in-flight request packet ids to their endpoints,
+	// sorted by Pkt.
+	Requests []AIRequestState
+}
+
+// AIPktSendState maps one in-flight collective packet to its send.
+type AIPktSendState struct {
+	Pkt  uint64
+	Send int
+}
+
+// AIResponseState is one response scheduled for injection.
+type AIResponseState struct {
+	At       int64
+	Src, Dst int // endpoint indices (responder first)
+	Flits    int
+	Dep      int64 // id of the request packet
+}
+
+// AIRequestState is one in-flight request packet.
+type AIRequestState struct {
+	Pkt      uint64
+	Src, Dst int // endpoint indices of the original request
+	Flits    int
 }
 
 // CollectorState is the statistics collector's accumulator state.
@@ -190,6 +285,14 @@ type CollectorState struct {
 	SumRouters        float64
 	SumOnChip         float64
 	SumOffChip        float64
+
+	// Per-class accumulators, indexed by traffic class. Snapshots written
+	// before per-class accounting existed decode with these nil; Restore
+	// treats absent sections as all-zero.
+	ClassLatencies [][]float64
+	ClassMax       []int64
+	ClassDelivered []int
+	ClassFlits     []int64
 }
 
 // TopoState is the fault-mutable part of the topology: interface-group
@@ -290,6 +393,8 @@ func (t *PacketTable) Ref(p *packet.Packet) int {
 		CreatedAt:   p.CreatedAt,
 		InjectedAt:  p.InjectedAt,
 		DeliveredAt: p.DeliveredAt,
+		Class:       p.Class,
+		Dep:         p.Dep,
 		Measured:    p.Measured,
 		Rerouted:    p.Rerouted,
 		RouterHops:  p.RouterHops,
@@ -319,6 +424,8 @@ func Materialize(states []PacketState) []*packet.Packet {
 			CreatedAt:   s.CreatedAt,
 			InjectedAt:  s.InjectedAt,
 			DeliveredAt: s.DeliveredAt,
+			Class:       s.Class,
+			Dep:         s.Dep,
 			Measured:    s.Measured,
 			Rerouted:    s.Rerouted,
 			RouterHops:  s.RouterHops,

@@ -13,6 +13,7 @@ import (
 
 	"chipletnet"
 	"chipletnet/internal/jsonl"
+	"chipletnet/internal/workload"
 )
 
 // keyPayload is the canonical content of one candidate evaluation: the
@@ -24,6 +25,14 @@ type keyPayload struct {
 	Cfg          chipletnet.Config
 	Rates        []float64
 	ZeroLoadRate float64
+	// WorkloadHash is the content address of the candidate's workload
+	// spec (workload.SpecHash): replay traces resolve to the SHA-256 of
+	// the trace file's bytes, so editing a trace invalidates every cached
+	// evaluation that used it; Cfg.Workload itself is blanked in the
+	// payload so the same trace cached under two paths shares one key.
+	// Empty (and omitted) for synthetic candidates — pre-QoS keys stay
+	// valid.
+	WorkloadHash string `json:",omitempty"`
 }
 
 // Key returns the content address of evaluating cfg under p: the hex
@@ -38,10 +47,19 @@ type keyPayload struct {
 // processes and machines.
 func Key(cfg chipletnet.Config, p Params) string {
 	p = p.normalize()
+	wh, err := workload.SpecHash(cfg.Workload)
+	if err != nil {
+		// An unreadable trace cannot be content-addressed; key it by the
+		// spec string so planning proceeds and the evaluation itself
+		// reports the real error.
+		wh = "unreadable:" + cfg.Workload
+	}
+	cfg.Workload = ""
 	payload, err := json.Marshal(keyPayload{
 		Cfg:          cfg,
 		Rates:        p.Rates,
 		ZeroLoadRate: p.ZeroLoadRate,
+		WorkloadHash: wh,
 	})
 	if err != nil {
 		// Config and Params are plain data; json cannot fail on them.

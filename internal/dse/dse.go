@@ -42,6 +42,7 @@ import (
 
 	"chipletnet"
 	"chipletnet/internal/chiplet"
+	"chipletnet/internal/workload"
 )
 
 // Routing mode names of the search axis. They map onto the simulator's
@@ -126,6 +127,14 @@ type Space struct {
 	// Pattern is the traffic pattern candidates are evaluated under.
 	// Default "uniform".
 	Pattern string
+
+	// Workloads are the workload specs candidates are evaluated under
+	// (Config.Workload values; "" is the synthetic Bernoulli process).
+	// Non-synthetic workloads skip the rate ladder — the source sets its
+	// own load — and are measured with a single run. Replay traces are
+	// content-addressed into the cache key, so editing a trace file
+	// invalidates its cached evaluations. Default {""}.
+	Workloads []string
 }
 
 // Normalize fills defaulted axes and validates the space.
@@ -185,7 +194,21 @@ func (s Space) Normalize() (Space, error) {
 	if s.Pattern == "" {
 		s.Pattern = "uniform"
 	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{""}
+	}
+	for _, w := range s.Workloads {
+		if _, _, err := workload.Split(w); err != nil {
+			return s, err
+		}
+	}
 	return s, nil
+}
+
+// workloadAxisName renders a workload spec as a candidate-name segment
+// (path separators and the kind colon flattened).
+func workloadAxisName(spec string) string {
+	return strings.NewReplacer(":", "-", "/", "_").Replace(spec)
 }
 
 // Candidate is one fully-resolved design point: a runnable Config plus
@@ -427,36 +450,43 @@ func (s Space) Enumerate(p Params) (feasible []Candidate, pruned []Pruned, err e
 							continue
 						}
 						for _, il := range s.Interleavings {
-							cand := Candidate{
-								Name:       fmt.Sprintf("%s/noc%dx%d/%s/%s/bw%d", sh.name, noc[0], noc[1], routing, il, bw),
-								Routing:    routing,
-								Groups:     sh.groups,
-								GroupWidth: width,
-								Ports:      ring,
-								PinBits:    pinBits,
+							for _, wl := range s.Workloads {
+								name := fmt.Sprintf("%s/noc%dx%d/%s/%s/bw%d", sh.name, noc[0], noc[1], routing, il, bw)
+								if wl != "" {
+									name += "/" + workloadAxisName(wl)
+								}
+								cand := Candidate{
+									Name:       name,
+									Routing:    routing,
+									Groups:     sh.groups,
+									GroupWidth: width,
+									Ports:      ring,
+									PinBits:    pinBits,
+								}
+								cfg := p.Base
+								cfg.ChipletW, cfg.ChipletH = noc[0], noc[1]
+								cfg.Topology = sh.topo
+								cfg.OffChipBW = bw
+								cfg.Interleave = il
+								cfg.Pattern = s.Pattern
+								cfg.Workload = wl
+								cfg.WarmupCycles = p.WarmupCycles
+								cfg.MeasureCycles = p.MeasureCycles
+								cfg.Seed = p.Seed
+								cfg.InjectionRate = 0
+								switch routing {
+								case RoutingMFR:
+									cfg.Routing = chipletnet.RoutingSafeUnsafe
+								case RoutingAdaptive:
+									cfg.Routing = chipletnet.RoutingDuato
+								case RoutingEqualChannel:
+									cfg.Routing = chipletnet.RoutingDuato
+									cfg.DisableNDMeshVCSeparation = true
+									cfg.AllowUnsafeRouting = true
+								}
+								cand.Cfg = cfg
+								feasible = append(feasible, cand)
 							}
-							cfg := p.Base
-							cfg.ChipletW, cfg.ChipletH = noc[0], noc[1]
-							cfg.Topology = sh.topo
-							cfg.OffChipBW = bw
-							cfg.Interleave = il
-							cfg.Pattern = s.Pattern
-							cfg.WarmupCycles = p.WarmupCycles
-							cfg.MeasureCycles = p.MeasureCycles
-							cfg.Seed = p.Seed
-							cfg.InjectionRate = 0
-							switch routing {
-							case RoutingMFR:
-								cfg.Routing = chipletnet.RoutingSafeUnsafe
-							case RoutingAdaptive:
-								cfg.Routing = chipletnet.RoutingDuato
-							case RoutingEqualChannel:
-								cfg.Routing = chipletnet.RoutingDuato
-								cfg.DisableNDMeshVCSeparation = true
-								cfg.AllowUnsafeRouting = true
-							}
-							cand.Cfg = cfg
-							feasible = append(feasible, cand)
 						}
 					}
 				}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"chipletnet"
+	"chipletnet/internal/stats"
 	"chipletnet/internal/verify"
 )
 
@@ -114,8 +115,15 @@ type Record struct {
 	// ZeroLoadOffChipHops is the mean off-chip hops at light load (the
 	// pin-crossing count behind the energy figure).
 	ZeroLoadOffChipHops float64
-	// Ladder holds the per-rate measurements.
+	// Ladder holds the per-rate measurements. For a non-synthetic
+	// workload candidate (Cfg.Workload non-empty) the ladder is a single
+	// point at rate 0: the source sets its own load.
 	Ladder []LadderPoint
+	// P99Latency is the probe run's 99th-percentile latency and Classes
+	// its per-class QoS summaries (nil for synthetic candidates with no
+	// classed traffic).
+	P99Latency float64              `json:",omitempty"`
+	Classes    []stats.ClassSummary `json:",omitempty"`
 
 	// Deadlocked reports that the runtime watchdog fired on a candidate
 	// the static pre-flight had certified — a cross-validation failure
@@ -166,11 +174,21 @@ func (e Eval) Run() (Record, error) {
 // mid-batch. A completed RunCtx record is identical to Run's.
 func (e Eval) RunCtx(ctx context.Context) (Record, error) {
 	p := e.Params
-	cfgs := make([]chipletnet.Config, 0, 1+len(p.Rates))
+	// A non-synthetic workload source sets its own load, so the rate
+	// ladder collapses to the single run (SatRate stays 0; such
+	// candidates compare on latency, QoS and energy).
+	ladderRates := p.Rates
+	if e.Candidate.Cfg.Workload != "" {
+		ladderRates = nil
+	}
+	cfgs := make([]chipletnet.Config, 0, 1+len(ladderRates))
 	zero := e.Candidate.Cfg
 	zero.InjectionRate = p.ZeroLoadRate
+	if zero.Workload != "" {
+		zero.InjectionRate = 0
+	}
 	cfgs = append(cfgs, zero)
-	for _, r := range p.Rates {
+	for _, r := range ladderRates {
 		c := e.Candidate.Cfg
 		c.InjectionRate = r
 		cfgs = append(cfgs, c)
@@ -203,9 +221,13 @@ func (e Eval) RunCtx(ctx context.Context) (Record, error) {
 		ZeroLoadLatency:     probe.AvgLatency,
 		EnergyPJPerBit:      probe.EnergyPJPerBit,
 		ZeroLoadOffChipHops: probe.AvgOffChipHops,
+		Classes:             probe.Classes,
 		Cert:                e.Cert,
 	}
-	for i, r := range p.Rates {
+	if !math.IsNaN(probe.P99Latency) {
+		rec.P99Latency = probe.P99Latency
+	}
+	for i, r := range ladderRates {
 		res := results[1+i]
 		lat := res.AvgLatency
 		if math.IsNaN(lat) {

@@ -57,6 +57,8 @@ func CampaignTasks(s Scale, names []string) ([]Task, error) {
 			add("faults", name, func() ([]Point, error) { return FaultTolerance(s) })
 		case "collective":
 			add("collective", name, func() ([]Point, error) { return CollectiveStudy(s) })
+		case "workload":
+			add("workload", name, func() ([]Point, error) { return WorkloadStudy(s) })
 		default:
 			return nil, fmt.Errorf("experiments: unknown experiment %q", name)
 		}

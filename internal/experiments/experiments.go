@@ -57,14 +57,15 @@ type Point struct {
 	X          float64 // the swept quantity
 	XName      string  // what X is ("injection rate", "chiplets", ...)
 
-	AvgLatency float64
-	P99Latency float64
-	Accepted   float64 // flits/node/cycle
-	EnergyPJ   float64 // pJ/bit
-	OffChip    float64 // mean off-chip hops
-	Routers    float64 // mean routers traversed
-	Saturated  bool
-	Deadlock   bool
+	AvgLatency  float64
+	P99Latency  float64
+	P999Latency float64
+	Accepted    float64 // flits/node/cycle
+	EnergyPJ    float64 // pJ/bit
+	OffChip     float64 // mean off-chip hops
+	Routers     float64 // mean routers traversed
+	Saturated   bool
+	Deadlock    bool
 }
 
 // baseConfig returns the Table II configuration at the given scale.
@@ -146,14 +147,15 @@ func runJobs(jobs []job) ([]Point, error) {
 func pointFrom(res chipletnet.Result, j job) Point {
 	return Point{
 		Experiment: j.exp, Series: j.series, X: j.x, XName: j.xname,
-		AvgLatency: res.AvgLatency,
-		P99Latency: res.P99Latency,
-		Accepted:   res.AcceptedFlitsPerNodeCycle,
-		EnergyPJ:   res.EnergyPJPerBit,
-		OffChip:    res.AvgOffChipHops,
-		Routers:    res.AvgRouters,
-		Saturated:  res.Saturated(),
-		Deadlock:   res.Deadlocked,
+		AvgLatency:  res.AvgLatency,
+		P99Latency:  res.P99Latency,
+		P999Latency: res.P999Latency,
+		Accepted:    res.AcceptedFlitsPerNodeCycle,
+		EnergyPJ:    res.EnergyPJPerBit,
+		OffChip:     res.AvgOffChipHops,
+		Routers:     res.AvgRouters,
+		Saturated:   res.Saturated(),
+		Deadlock:    res.Deadlocked,
 	}
 }
 
@@ -455,6 +457,59 @@ func CollectiveStudy(s Scale) ([]Point, error) {
 					Accepted:   res.BusBandwidth,
 				})
 			}
+		}
+	}
+	return pts, nil
+}
+
+// WorkloadStudy measures QoS interference under the AI-scale-out
+// workload: collective phases (latency-critical gradient exchange) over
+// rising bulk memory-traffic backgrounds, on 16-chiplet systems
+// (extension experiment; the figure family behind the trace/QoS
+// subsystem of internal/workload). One point per (topology, class,
+// background rate): latency fields carry the class's own percentiles
+// and Accepted its per-class throughput, so the figure shows how the
+// bulk background erodes collective and request tail latency.
+func WorkloadStudy(s Scale) ([]Point, error) {
+	memRates := []float64{0.01, 0.05, 0.1}
+	topos := []chipletnet.Topology{
+		chipletnet.MeshTopology(4, 4),
+		chipletnet.HypercubeTopology(4),
+	}
+	var cfgs []chipletnet.Config
+	var labels []string
+	for _, topo := range topos {
+		for _, mr := range memRates {
+			cfg := baseConfig(s)
+			cfg.Topology = topo
+			cfg.Workload = fmt.Sprintf(
+				"aiscaleout:allreduce-ring,data=256,compute=200,memrate=%g,reqrate=0.01", mr)
+			if err := preflight(cfg); err != nil {
+				return nil, fmt.Errorf("ext-workload-qos/%s at mem-rate=%g: %w", seriesName(topo), mr, err)
+			}
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, seriesName(topo))
+		}
+	}
+	results, errs := chipletnet.RunEach(cfgs)
+	var pts []Point
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("ext-workload-qos/%s: %w", labels[i], errs[i])
+		}
+		mr := memRates[i%len(memRates)]
+		for _, cs := range res.Classes {
+			pts = append(pts, Point{
+				Experiment:  "ext-workload-qos",
+				Series:      labels[i] + "/" + cs.Class,
+				X:           mr,
+				XName:       "mem-rate",
+				AvgLatency:  cs.AvgLatency,
+				P99Latency:  cs.P99Latency,
+				P999Latency: cs.P999Latency,
+				Accepted:    cs.AcceptedFlitsPerNodeCycle,
+				Deadlock:    res.Deadlocked,
+			})
 		}
 	}
 	return pts, nil

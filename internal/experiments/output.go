@@ -17,7 +17,7 @@ func WriteCSV(w io.Writer, pts []Point) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"experiment", "series", "x", "xname",
-		"avg_latency", "p99_latency", "accepted", "energy_pj_per_bit",
+		"avg_latency", "p99_latency", "p999_latency", "accepted", "energy_pj_per_bit",
 		"offchip_hops", "routers", "saturated", "deadlock",
 	}); err != nil {
 		return err
@@ -28,6 +28,7 @@ func WriteCSV(w io.Writer, pts []Point) error {
 			strconv.FormatFloat(p.X, 'g', -1, 64), p.XName,
 			fmt.Sprintf("%.2f", p.AvgLatency),
 			fmt.Sprintf("%.2f", p.P99Latency),
+			fmt.Sprintf("%.2f", p.P999Latency),
 			fmt.Sprintf("%.4f", p.Accepted),
 			fmt.Sprintf("%.2f", p.EnergyPJ),
 			fmt.Sprintf("%.2f", p.OffChip),
@@ -115,6 +116,9 @@ func ReadCSV(r io.Reader) ([]Point, error) {
 		}
 		if p.AvgLatency, err = strconv.ParseFloat(rec[col["avg_latency"]], 64); err != nil {
 			return nil, fmt.Errorf("experiments: bad latency: %w", err)
+		}
+		if i, ok := col["p999_latency"]; ok {
+			p.P999Latency, _ = strconv.ParseFloat(rec[i], 64)
 		}
 		if i, ok := col["accepted"]; ok {
 			p.Accepted, _ = strconv.ParseFloat(rec[i], 64)

@@ -9,6 +9,55 @@
 // hop counters.
 package packet
 
+// QoS traffic classes. Every packet belongs to exactly one class, set at
+// injection by the traffic source; internal/stats keeps per-class latency
+// and throughput figures so tail-latency objectives can be evaluated per
+// class rather than over the aggregate.
+const (
+	// ClassBestEffort is the default class of the synthetic Bernoulli
+	// patterns: no ordering or deadline expectations.
+	ClassBestEffort uint8 = iota
+	// ClassBulk is background bandwidth traffic (memory/DMA streams):
+	// throughput matters, tail latency does not.
+	ClassBulk
+	// ClassLatency is latency-sensitive request/response traffic:
+	// small packets whose p99/p999 is the figure of merit.
+	ClassLatency
+	// ClassCollective is collective-communication traffic (all-reduce,
+	// all-gather, ...): completion time of the whole phase matters.
+	ClassCollective
+	// NumClasses bounds the class space; class values must be < NumClasses.
+	NumClasses
+)
+
+// ClassName returns the canonical name of a traffic class.
+func ClassName(c uint8) string {
+	switch c {
+	case ClassBestEffort:
+		return "best-effort"
+	case ClassBulk:
+		return "bulk"
+	case ClassLatency:
+		return "latency"
+	case ClassCollective:
+		return "collective"
+	}
+	return "?"
+}
+
+// ClassByName returns the class value for a canonical class name.
+func ClassByName(name string) (uint8, bool) {
+	for c := uint8(0); c < NumClasses; c++ {
+		if ClassName(c) == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// NoDep marks a packet (or trace entry) with no dependency.
+const NoDep int64 = -1
+
 // Packet is one network packet (a train of Len flits).
 //
 // A Packet is created by a traffic source, carried through the network by
@@ -46,6 +95,16 @@ type Packet struct {
 	InjectedAt int64
 	// DeliveredAt is the cycle the tail flit was consumed at Dst.
 	DeliveredAt int64
+
+	// Class is the QoS traffic class (< NumClasses), set at injection by
+	// the traffic source. Routers ignore it; internal/stats aggregates
+	// per-class figures and workload traces record it.
+	Class uint8
+	// Dep is the causal-dependency annotation for workload traces: the ID
+	// of the packet whose delivery this packet's injection waited on, or
+	// NoDep (-1). Carried through recording and replay (internal/workload);
+	// routers ignore it.
+	Dep int64
 
 	// Measured marks packets created during the measurement window
 	// (after warm-up); only these contribute to latency statistics.

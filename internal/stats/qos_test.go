@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"chipletnet/internal/packet"
+)
+
+// TestPercentileTinySamples pins the nearest-rank edge behavior: empty
+// input is NaN, and for samples smaller than 1/(1-q) the high quantiles
+// clamp to the sample maximum — never an out-of-range read.
+func TestPercentileTinySamples(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"single-p50", []float64{7}, 0.5, 7},
+		{"single-p999", []float64{7}, 0.999, 7},
+		{"single-p0", []float64{7}, 0, 7},
+		{"two-p50", []float64{3, 9}, 0.5, 3},
+		{"two-p999", []float64{3, 9}, 0.999, 9},
+		{"ten-p999-is-max", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.999, 10},
+		{"hundred-p999-is-max", seq(100), 0.999, 100},
+		{"thousand-p999", seq(1000), 0.999, 999},
+		{"q-zero-clamps-low", []float64{4, 5, 6}, 0, 4},
+		{"q-one-clamps-high", []float64{4, 5, 6}, 1, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentile(tc.sorted, tc.q); got != tc.want {
+				t.Errorf("percentile(%d samples, %g) = %g, want %g", len(tc.sorted), tc.q, got, tc.want)
+			}
+		})
+	}
+	if !math.IsNaN(percentile(nil, 0.999)) {
+		t.Error("empty sample should be NaN")
+	}
+	if !math.IsNaN(percentile([]float64{}, 0.5)) {
+		t.Error("zero-length sample should be NaN")
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func classDeliver(c *Collector, class uint8, created, delivered int64, flits int) {
+	c.OnDeliver(&packet.Packet{
+		Len: flits, CreatedAt: created, DeliveredAt: delivered,
+		Measured: true, Class: class,
+	}, delivered)
+}
+
+// A run whose measured traffic is entirely best-effort keeps Classes nil,
+// so pre-QoS consumers (and the determinism goldens) see no change.
+func TestClassSummariesNilForBestEffortOnly(t *testing.T) {
+	c := &Collector{MeasureFrom: 0}
+	for i := int64(0); i < 5; i++ {
+		classDeliver(c, packet.ClassBestEffort, 10, 20+i, 4)
+	}
+	s := c.Summarize(100, 4)
+	if s.Classes != nil {
+		t.Errorf("best-effort-only run produced class summaries: %+v", s.Classes)
+	}
+}
+
+func TestClassSummariesPerClass(t *testing.T) {
+	c := &Collector{MeasureFrom: 0}
+	// Latency class: 3 packets at 10/20/30 cycles.
+	classDeliver(c, packet.ClassLatency, 100, 110, 2)
+	classDeliver(c, packet.ClassLatency, 100, 120, 2)
+	classDeliver(c, packet.ClassLatency, 100, 130, 2)
+	// Bulk: one packet at 200 cycles.
+	classDeliver(c, packet.ClassBulk, 100, 300, 16)
+	s := c.Summarize(100, 1)
+	if len(s.Classes) != 2 {
+		t.Fatalf("%d class summaries, want 2: %+v", len(s.Classes), s.Classes)
+	}
+	lat, bulk := s.Classes[0], s.Classes[1]
+	if lat.Class != packet.ClassName(packet.ClassLatency) || bulk.Class != packet.ClassName(packet.ClassBulk) {
+		// Classes appear in class order; bulk is a higher class index.
+		lat, bulk = bulk, lat
+	}
+	if lat.Class != "latency" || lat.MeasuredPackets != 3 || lat.AvgLatency != 20 || lat.MaxLatency != 30 {
+		t.Errorf("latency summary %+v", lat)
+	}
+	// Tiny sample: p99 and p999 clamp to the class maximum.
+	if lat.P99Latency != 30 || lat.P999Latency != 30 {
+		t.Errorf("latency tail p99=%g p999=%g, want the 30-cycle max", lat.P99Latency, lat.P999Latency)
+	}
+	if bulk.MeasuredPackets != 1 || bulk.AvgLatency != 200 || bulk.P999Latency != 200 {
+		t.Errorf("bulk summary %+v", bulk)
+	}
+	// Per-class throughput shares: 6 and 16 flits over 100 node-cycles.
+	if math.Abs(lat.AcceptedFlitsPerNodeCycle-0.06) > 1e-12 || math.Abs(bulk.AcceptedFlitsPerNodeCycle-0.16) > 1e-12 {
+		t.Errorf("class throughput %g / %g", lat.AcceptedFlitsPerNodeCycle, bulk.AcceptedFlitsPerNodeCycle)
+	}
+	// The aggregate view still covers everything.
+	if s.MeasuredPackets != 4 || s.P999Latency != 200 {
+		t.Errorf("aggregate measured=%d p999=%g", s.MeasuredPackets, s.P999Latency)
+	}
+}
+
+// Class sections must round-trip through the collector snapshot so
+// checkpointed QoS runs resume bit-identically.
+func TestClassSnapshotRoundTrip(t *testing.T) {
+	build := func() *Collector {
+		c := &Collector{MeasureFrom: 0}
+		classDeliver(c, packet.ClassLatency, 10, 25, 2)
+		classDeliver(c, packet.ClassCollective, 10, 60, 8)
+		classDeliver(c, packet.ClassBestEffort, 10, 15, 4)
+		return c
+	}
+	c := build()
+	st := c.Snapshot()
+	c2 := &Collector{MeasureFrom: 0}
+	c2.Restore(&st)
+	classDeliver(c, packet.ClassLatency, 70, 90, 2)
+	classDeliver(c2, packet.ClassLatency, 70, 90, 2)
+	a, b := c.Summarize(100, 2), c2.Summarize(100, 2)
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatalf("class counts differ: %d vs %d", len(a.Classes), len(b.Classes))
+	}
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			t.Errorf("class %d differs after snapshot round trip:\n%+v\n%+v", i, a.Classes[i], b.Classes[i])
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package stats
 
-import "chipletnet/internal/checkpoint"
+import (
+	"chipletnet/internal/checkpoint"
+	"chipletnet/internal/packet"
+)
 
 // Snapshot captures the collector's accumulator state.
 func (c *Collector) Snapshot() checkpoint.CollectorState {
-	return checkpoint.CollectorState{
+	st := checkpoint.CollectorState{
 		Latencies:         append([]float64(nil), c.latencies...),
 		SumLat:            c.sumLat,
 		SumNet:            c.sumNet,
@@ -15,10 +18,26 @@ func (c *Collector) Snapshot() checkpoint.CollectorState {
 		SumRouters:        c.sumRouters,
 		SumOnChip:         c.sumOnChip,
 		SumOffChip:        c.sumOffChip,
+		ClassLatencies:    make([][]float64, packet.NumClasses),
+		ClassMax:          make([]int64, packet.NumClasses),
+		ClassDelivered:    make([]int, packet.NumClasses),
+		ClassFlits:        make([]int64, packet.NumClasses),
 	}
+	for cl := 0; cl < int(packet.NumClasses); cl++ {
+		st.ClassLatencies[cl] = append([]float64(nil), c.classLat[cl]...)
+		st.ClassMax[cl] = c.classMax[cl]
+		st.ClassDelivered[cl] = c.classDelivered[cl]
+		st.ClassFlits[cl] = c.classFlits[cl]
+	}
+	// The per-class latency sums are recomputed on restore from the
+	// retained samples, so they are not serialized.
+	return st
 }
 
-// Restore lays snapshot state back onto the collector.
+// Restore lays snapshot state back onto the collector. Snapshots written
+// before per-class accounting existed carry no class sections; they
+// restore with all-zero class accumulators (their traffic predates
+// classes, so the aggregate view is the complete one).
 func (c *Collector) Restore(st *checkpoint.CollectorState) {
 	c.latencies = append([]float64(nil), st.Latencies...)
 	c.sumLat = st.SumLat
@@ -30,4 +49,26 @@ func (c *Collector) Restore(st *checkpoint.CollectorState) {
 	c.sumRouters = st.SumRouters
 	c.sumOnChip = st.SumOnChip
 	c.sumOffChip = st.SumOffChip
+	for cl := 0; cl < int(packet.NumClasses); cl++ {
+		c.classLat[cl] = nil
+		c.classSum[cl] = 0
+		c.classMax[cl] = 0
+		c.classDelivered[cl] = 0
+		c.classFlits[cl] = 0
+		if cl < len(st.ClassLatencies) {
+			c.classLat[cl] = append([]float64(nil), st.ClassLatencies[cl]...)
+			for _, l := range st.ClassLatencies[cl] {
+				c.classSum[cl] += l
+			}
+		}
+		if cl < len(st.ClassMax) {
+			c.classMax[cl] = st.ClassMax[cl]
+		}
+		if cl < len(st.ClassDelivered) {
+			c.classDelivered[cl] = st.ClassDelivered[cl]
+		}
+		if cl < len(st.ClassFlits) {
+			c.classFlits[cl] = st.ClassFlits[cl]
+		}
+	}
 }

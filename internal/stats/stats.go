@@ -1,6 +1,6 @@
 // Package stats collects per-run network statistics: packet latency,
 // accepted throughput, hop-count breakdowns (for the energy model), and
-// latency percentiles.
+// latency percentiles — in aggregate and per QoS traffic class.
 package stats
 
 import (
@@ -28,13 +28,25 @@ type Collector struct {
 	acceptedFlits     int64
 
 	sumRouters, sumOnChip, sumOffChip float64
+
+	// Per-class accumulators, indexed by traffic class.
+	classLat       [packet.NumClasses][]float64
+	classSum       [packet.NumClasses]float64
+	classMax       [packet.NumClasses]int64
+	classDelivered [packet.NumClasses]int
+	classFlits     [packet.NumClasses]int64
 }
 
 // OnDeliver records a delivered packet.
 func (c *Collector) OnDeliver(p *packet.Packet, now int64) {
 	c.deliveredAll++
+	cl := p.Class
+	if cl >= packet.NumClasses {
+		cl = packet.ClassBestEffort
+	}
 	if now >= c.MeasureFrom {
 		c.acceptedFlits += int64(p.Len)
+		c.classFlits[cl] += int64(p.Len)
 	}
 	if !p.Measured {
 		return
@@ -50,6 +62,31 @@ func (c *Collector) OnDeliver(p *packet.Packet, now int64) {
 	c.sumRouters += float64(p.Routers())
 	c.sumOnChip += float64(p.OnChipHops)
 	c.sumOffChip += float64(p.OffChipHops)
+
+	c.classDelivered[cl]++
+	c.classLat[cl] = append(c.classLat[cl], float64(l))
+	c.classSum[cl] += float64(l)
+	if l > c.classMax[cl] {
+		c.classMax[cl] = l
+	}
+}
+
+// ClassSummary is the per-traffic-class digest of one run: the QoS view.
+type ClassSummary struct {
+	// Class is the canonical class name (packet.ClassName).
+	Class string
+	// MeasuredPackets is the number of measured packets of this class.
+	MeasuredPackets int
+	// AvgLatency and the percentiles are over measured packets of this
+	// class only (nearest-rank; for tiny samples the high quantiles
+	// degenerate to the sample maximum).
+	AvgLatency                                      float64
+	P50Latency, P95Latency, P99Latency, P999Latency float64
+	// MaxLatency is the worst measured latency of this class.
+	MaxLatency int64
+	// AcceptedFlitsPerNodeCycle is this class's share of the
+	// measured-window throughput.
+	AcceptedFlitsPerNodeCycle float64
 }
 
 // Summary is the digest of one simulation run.
@@ -61,8 +98,10 @@ type Summary struct {
 	// tail delivery); AvgLatency - AvgNetworkLatency is the mean source
 	// queueing time.
 	AvgNetworkLatency float64
-	// P50Latency / P95Latency / P99Latency are latency percentiles.
-	P50Latency, P95Latency, P99Latency float64
+	// P50Latency / P95Latency / P99Latency / P999Latency are latency
+	// percentiles (nearest-rank over measured packets; with fewer than
+	// 1/(1-q) samples the high quantiles return the sample maximum).
+	P50Latency, P95Latency, P99Latency, P999Latency float64
 	// MaxLatency is the worst measured latency.
 	MaxLatency int64
 	// MeasuredPackets is the number of measured packets delivered.
@@ -75,6 +114,11 @@ type Summary struct {
 	// counts (routers traversed including the source router; on-chip and
 	// off-chip links traversed) — inputs to the energy model.
 	AvgRouters, AvgOnChipHops, AvgOffChipHops float64
+	// Classes holds the per-traffic-class QoS digests, in class order,
+	// for every class that delivered measured traffic. Omitted entirely
+	// for runs whose traffic is all best-effort (the synthetic patterns),
+	// so aggregate-only consumers see no change.
+	Classes []ClassSummary `json:",omitempty"`
 }
 
 // Summarize computes the summary for a measurement window of the given
@@ -85,9 +129,12 @@ func (c *Collector) Summarize(measureCycles int64, endpoints int) Summary {
 		DeliveredPackets: c.deliveredAll,
 		MaxLatency:       c.maxLat,
 	}
+	nodeCycles := float64(0)
 	if measureCycles > 0 && endpoints > 0 {
-		s.AcceptedFlitsPerNodeCycle = float64(c.acceptedFlits) / float64(measureCycles) / float64(endpoints)
+		nodeCycles = float64(measureCycles) * float64(endpoints)
+		s.AcceptedFlitsPerNodeCycle = float64(c.acceptedFlits) / nodeCycles
 	}
+	s.Classes = c.classSummaries(nodeCycles)
 	n := len(c.latencies)
 	if n == 0 {
 		s.AvgLatency = math.NaN()
@@ -100,13 +147,61 @@ func (c *Collector) Summarize(measureCycles int64, endpoints int) Summary {
 	s.P50Latency = percentile(sorted, 0.50)
 	s.P95Latency = percentile(sorted, 0.95)
 	s.P99Latency = percentile(sorted, 0.99)
+	s.P999Latency = percentile(sorted, 0.999)
 	s.AvgRouters = c.sumRouters / float64(n)
 	s.AvgOnChipHops = c.sumOnChip / float64(n)
 	s.AvgOffChipHops = c.sumOffChip / float64(n)
 	return s
 }
 
-// percentile returns the q-quantile of sorted data (nearest-rank).
+// classSummaries builds the per-class digests. A run whose measured
+// traffic is entirely best-effort (the synthetic patterns) yields nil:
+// its class breakdown would duplicate the aggregate figures.
+func (c *Collector) classSummaries(nodeCycles float64) []ClassSummary {
+	interesting := false
+	for cl := uint8(1); cl < packet.NumClasses; cl++ {
+		if c.classDelivered[cl] > 0 || c.classFlits[cl] > 0 {
+			interesting = true
+			break
+		}
+	}
+	if !interesting {
+		return nil
+	}
+	var out []ClassSummary
+	for cl := uint8(0); cl < packet.NumClasses; cl++ {
+		n := c.classDelivered[cl]
+		if n == 0 && c.classFlits[cl] == 0 {
+			continue
+		}
+		cs := ClassSummary{
+			Class:           packet.ClassName(cl),
+			MeasuredPackets: n,
+			MaxLatency:      c.classMax[cl],
+		}
+		if nodeCycles > 0 {
+			cs.AcceptedFlitsPerNodeCycle = float64(c.classFlits[cl]) / nodeCycles
+		}
+		if n > 0 {
+			cs.AvgLatency = c.classSum[cl] / float64(n)
+			sorted := append([]float64(nil), c.classLat[cl]...)
+			sort.Float64s(sorted)
+			cs.P50Latency = percentile(sorted, 0.50)
+			cs.P95Latency = percentile(sorted, 0.95)
+			cs.P99Latency = percentile(sorted, 0.99)
+			cs.P999Latency = percentile(sorted, 0.999)
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// percentile returns the q-quantile of sorted data by the nearest-rank
+// method: the smallest element with at least a q-fraction of the sample
+// at or below it, index ceil(q*n)-1. Both ends are clamped, so tiny
+// samples are safe: with fewer than 1/(1-q) observations (e.g. p999 of
+// under 1000 samples) the rank lands on the last element and the result
+// is the sample maximum, never an out-of-range read. Empty input is NaN.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return math.NaN()

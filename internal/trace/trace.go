@@ -40,6 +40,18 @@ type Event struct {
 	Cycle    int64
 	From, To int // node ids; To < 0 means local ejection
 	VC       int
+	// The remaining fields are set on inject and deliver events (zero on
+	// hop events) so a complete workload trace can be cut from any
+	// recording (internal/workload.FromEvents): the packet's destination
+	// node, length, message identity, QoS traffic class, and causal
+	// dependency (the packet id whose delivery gated this packet's
+	// injection, packet.NoDep for none).
+	Dst   int
+	Flits int
+	Msg   uint64
+	Seq   int
+	Class uint8
+	Dep   int64
 }
 
 // Recorder implements router.Tracer, keeping head-flit movements (the
@@ -74,7 +86,10 @@ func (r *Recorder) PacketInjected(p *packet.Packet, node int, now int64) {
 	if !r.keep(p) {
 		return
 	}
-	r.add(Event{Kind: Injected, PacketID: p.ID, Cycle: now, From: node, To: node})
+	r.add(Event{
+		Kind: Injected, PacketID: p.ID, Cycle: now, From: node, To: node,
+		Dst: p.Dst, Flits: p.Len, Msg: p.MsgID, Seq: p.SeqInMsg, Class: p.Class, Dep: p.Dep,
+	})
 }
 
 // FlitsMoved implements router.Tracer; only head-flit movements are kept
@@ -91,7 +106,10 @@ func (r *Recorder) PacketDelivered(p *packet.Packet, now int64) {
 	if !r.keep(p) {
 		return
 	}
-	r.add(Event{Kind: Delivered, PacketID: p.ID, Cycle: now, From: p.Dst, To: -1})
+	r.add(Event{
+		Kind: Delivered, PacketID: p.ID, Cycle: now, From: p.Dst, To: -1,
+		Dst: p.Dst, Flits: p.Len, Msg: p.MsgID, Seq: p.SeqInMsg, Class: p.Class, Dep: p.Dep,
+	})
 }
 
 // Events returns all recorded events in order.

@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"chipletnet/internal/interleave"
+	"chipletnet/internal/packet"
+	"chipletnet/internal/workload"
+)
+
+// recordedSeed cuts a real trace for the fuzz corpus: a recorder attached
+// to a generator run on the local-delivery fabric, serialized to bytes —
+// the full record -> serialize half of the round trip.
+func recordedSeed(f *testing.F) []byte {
+	f.Helper()
+	nodes := 8
+	fab := sinkFabric(nodes)
+	rec, err := workload.NewRecorder(denseEndpointsF(nodes))
+	if err != nil {
+		f.Fatal(err)
+	}
+	fab.Tracer = rec
+	pat, err := NewPattern("uniform", nodes, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g, err := NewGenerator(denseEndpointsF(nodes), pat, 0.3, 4, 2, interleave.Policy{G: interleave.Message}, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g.SetMeasured(true)
+	for cy := int64(1); cy <= 60; cy++ {
+		g.Tick(fab, cy)
+		fab.Step()
+	}
+	for cy := int64(61); fab.InFlight() > 0; cy++ {
+		fab.Step()
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func denseEndpointsF(n int) []int {
+	eps := make([]int, n)
+	for i := range eps {
+		eps[i] = i
+	}
+	return eps
+}
+
+// replayDeliveries replays tr to completion on a local-delivery fabric
+// and returns the (packet id, cycle) delivery sequence. Returns false if
+// the replay did not finish within the cycle bound.
+func replayDeliveries(t *testing.T, tr *workload.Trace, maxCycles int64) ([]delivery, bool) {
+	t.Helper()
+	r, err := NewReplayer(tr, denseEndpointsF(tr.Endpoints), interleave.Policy{})
+	if err != nil {
+		t.Fatalf("validated trace rejected by the replayer: %v", err)
+	}
+	fab := sinkFabric(tr.Endpoints)
+	var seq []delivery
+	fab.Sink = func(p *packet.Packet, now int64) {
+		seq = append(seq, delivery{p.ID, now})
+		r.OnDeliver(p, now)
+	}
+	for cy := int64(1); cy <= maxCycles; cy++ {
+		r.Tick(fab, cy)
+		fab.Step()
+		if r.Remaining() == 0 && fab.InFlight() == 0 && len(seq) == len(tr.Entries) {
+			return seq, true
+		}
+	}
+	return seq, false
+}
+
+// FuzzTraceRoundTrip closes the workload loop over arbitrary file bytes:
+// anything that parses as a trace must re-encode to an equivalent trace
+// and replay to the same delivery cycles twice in a row; anything that
+// does not parse must fail with one of the typed trace errors — never a
+// panic. The seed corpus covers the genuine path (a trace recorded from
+// a live generator run), the truncation signature (a torn final line),
+// and plain garbage.
+func FuzzTraceRoundTrip(f *testing.F) {
+	seed := recordedSeed(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-7]) // truncated tail: torn final entry line
+	f.Add([]byte("not a trace at all\n"))
+	f.Add([]byte(`{"format":"chipletnet-trace","version":99,"endpoints":2,"entries":0}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := workload.Decode(bytes.NewReader(data))
+		if err != nil {
+			for _, typed := range []error{workload.ErrNotTrace, workload.ErrVersion, workload.ErrTruncated, workload.ErrCorrupt} {
+				if errors.Is(err, typed) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// Parse succeeded: the serialize -> parse leg must be lossless.
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("re-encoding a decoded trace: %v", err)
+		}
+		tr2, err := workload.Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding an encoded trace: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatal("encode/decode round trip changed the trace")
+		}
+		// Replay leg: bound the work so adversarial inputs (huge cycle
+		// numbers, thousands of entries) stay cheap, then require the
+		// delivery cycles to be identical across two independent replays.
+		if len(tr.Entries) == 0 || len(tr.Entries) > 512 || tr.Endpoints > 64 {
+			return
+		}
+		last := tr.Entries[len(tr.Entries)-1].Cycle
+		if last > 4096 {
+			return
+		}
+		bound := last + int64(len(tr.Entries))*8 + 256
+		a, okA := replayDeliveries(t, tr, bound)
+		b, okB := replayDeliveries(t, tr, bound)
+		if okA != okB || !reflect.DeepEqual(a, b) {
+			t.Fatalf("replays diverged: %d deliveries (done=%v) vs %d (done=%v)", len(a), okA, len(b), okB)
+		}
+	})
+}
+
+// TestTraceRoundTripSeedCorpus runs the fuzz body over the seed corpus in
+// a plain `go test` (the corpus also replays without -fuzz, but this
+// keeps the property visible as a named test in `make test-workload`).
+func TestTraceRoundTripSeedCorpus(t *testing.T) {
+	// Record, serialize, parse, replay: the full loop, asserting the
+	// replayed delivery-cycle ground truth is reproduced identically.
+	var seedBytes []byte
+	{
+		nodes := 8
+		fab := sinkFabric(nodes)
+		rec, err := workload.NewRecorder(denseEndpointsF(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab.Tracer = rec
+		pat, _ := NewPattern("bit-reverse", nodes, 5)
+		g, err := NewGenerator(denseEndpointsF(nodes), pat, 0.25, 4, 2, interleave.Policy{}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetMeasured(true)
+		for cy := int64(1); cy <= 80; cy++ {
+			g.Tick(fab, cy)
+			fab.Step()
+		}
+		for fab.InFlight() > 0 {
+			fab.Step()
+		}
+		tr, err := rec.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		seedBytes = buf.Bytes()
+	}
+	tr, err := workload.Decode(bytes.NewReader(seedBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := replayDeliveries(t, tr, 100000)
+	if !ok {
+		t.Fatal("replay of a recorded trace did not finish")
+	}
+	b, _ := replayDeliveries(t, tr, 100000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("replay delivery cycles not reproducible")
+	}
+	// The truncation signature decodes to a typed error, not a panic.
+	if _, err := workload.Decode(bytes.NewReader(seedBytes[:len(seedBytes)-7])); !errors.Is(err, workload.ErrTruncated) {
+		t.Fatalf("torn tail: got %v, want ErrTruncated", err)
+	}
+}

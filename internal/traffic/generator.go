@@ -105,6 +105,8 @@ func (g *Generator) Tick(f *router.Fabric, now int64) {
 				Tag:       g.policy.Tag(msg, seq),
 				Len:       g.packetLen,
 				CreatedAt: now,
+				Class:     packet.ClassBestEffort,
+				Dep:       packet.NoDep,
 				Measured:  g.measured,
 			}
 			g.nextID++

@@ -26,6 +26,10 @@ func (g *Generator) Snapshot() checkpoint.GeneratorState {
 // Restore lays snapshot state back onto a generator freshly constructed
 // from the same configuration.
 func (g *Generator) Restore(st *checkpoint.GeneratorState) error {
+	if st.Replay != nil || st.AIScaleOut != nil {
+		return fmt.Errorf("%w: snapshot was taken from a different traffic source kind",
+			checkpoint.ErrMismatch)
+	}
 	if len(st.Rands) != len(g.rands) {
 		return fmt.Errorf("%w: snapshot has %d injection streams, generator has %d",
 			checkpoint.ErrMismatch, len(st.Rands), len(g.rands))

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Workload spec kinds (the prefix of a Config.Workload value).
+const (
+	// KindReplay replays a native trace file: "replay:<path>".
+	KindReplay = "replay"
+	// KindAIScaleOut runs the AI-scale-out generator: "aiscaleout:<spec>".
+	KindAIScaleOut = "aiscaleout"
+	// KindRecord is a flag-only directive ("record:<path>"): it selects
+	// no injection process, it asks the run to be recorded. Never stored
+	// in Config.Workload.
+	KindRecord = "record"
+)
+
+// Split splits a Config.Workload value into kind and argument. The empty
+// spec (the synthetic Bernoulli process) splits to ("", "").
+func Split(spec string) (kind, arg string, err error) {
+	if spec == "" {
+		return "", "", nil
+	}
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("workload: bad spec %q: want replay:<path> or aiscaleout:<spec>", spec)
+	}
+	kind, arg = spec[:i], spec[i+1:]
+	switch kind {
+	case KindReplay:
+		if arg == "" {
+			return "", "", fmt.Errorf("workload: replay spec needs a trace path")
+		}
+	case KindAIScaleOut:
+		if _, err := ParseAIScaleOut(arg); err != nil {
+			return "", "", err
+		}
+	case KindRecord:
+		return "", "", fmt.Errorf("workload: record:<path> is a flag directive, not a workload (combine as \"<workload>;record:<path>\")")
+	default:
+		return "", "", fmt.Errorf("workload: unknown workload kind %q (want replay or aiscaleout)", kind)
+	}
+	return kind, arg, nil
+}
+
+// ParseFlag parses a -workload flag value into the Config.Workload spec
+// and an optional trace-record path. Accepted forms:
+//
+//	record:<path>                     record the configured synthetic run
+//	replay:<path>                     replay a native trace
+//	aiscaleout:<spec>                 run the AI-scale-out generator
+//	<workload>;record:<path>          run a workload and record it
+func ParseFlag(s string) (spec, recordPath string, err error) {
+	if s == "" {
+		return "", "", nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if p, ok := strings.CutPrefix(part, KindRecord+":"); ok {
+			if p == "" {
+				return "", "", fmt.Errorf("workload: record directive needs a path")
+			}
+			if recordPath != "" {
+				return "", "", fmt.Errorf("workload: multiple record directives in %q", s)
+			}
+			recordPath = p
+			continue
+		}
+		if spec != "" {
+			return "", "", fmt.Errorf("workload: multiple workloads in %q", s)
+		}
+		if _, _, err := Split(part); err != nil {
+			return "", "", err
+		}
+		spec = part
+	}
+	return spec, recordPath, nil
+}
+
+// AIScaleOutSpec parameterizes the AI-scale-out generator: repeated
+// collective phases separated by compute gaps, over a background of
+// bulk memory traffic and latency-class request/response pairs, each
+// class under its own injection budget.
+type AIScaleOutSpec struct {
+	// Collective is the phase's collective kind (a CollectiveKinds name).
+	Collective string
+	// DataFlits is the collective's per-node payload.
+	DataFlits int
+	// ComputeCycles is the gap between a phase's completion and the next
+	// phase's start (the compute the collective synchronized).
+	ComputeCycles int64
+	// Phases bounds the number of collective phases (0 = repeat for the
+	// whole run).
+	Phases int
+	// MemRate is the bulk-class background budget in flits/node/cycle.
+	MemRate float64
+	// ReqRate is the latency-class request budget in flits/node/cycle;
+	// every delivered request triggers a dependent response.
+	ReqRate float64
+	// ReqFlits is the request/response packet length.
+	ReqFlits int
+}
+
+// ParseAIScaleOut parses an aiscaleout spec argument:
+//
+//	<collective>[,data=N][,compute=N][,phases=N][,memrate=F][,reqrate=F][,reqflits=N]
+//
+// e.g. "allreduce-ring,data=512,compute=300,memrate=0.05,reqrate=0.02".
+// The collective kind is validated by the caller (the kind registry
+// lives in the root package).
+func ParseAIScaleOut(arg string) (AIScaleOutSpec, error) {
+	spec := AIScaleOutSpec{
+		DataFlits:     256,
+		ComputeCycles: 200,
+		MemRate:       0.05,
+		ReqFlits:      4,
+	}
+	parts := strings.Split(arg, ",")
+	if parts[0] == "" || strings.Contains(parts[0], "=") {
+		return spec, fmt.Errorf("workload: aiscaleout spec %q must start with a collective kind", arg)
+	}
+	spec.Collective = parts[0]
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("workload: bad aiscaleout option %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "data":
+			spec.DataFlits, err = parsePosInt(v)
+		case "compute":
+			var n int
+			if n, err = parseNonNegInt(v); err == nil {
+				spec.ComputeCycles = int64(n)
+			}
+		case "phases":
+			spec.Phases, err = parseNonNegInt(v)
+		case "memrate":
+			spec.MemRate, err = parseRate(v)
+		case "reqrate":
+			spec.ReqRate, err = parseRate(v)
+		case "reqflits":
+			spec.ReqFlits, err = parsePosInt(v)
+		default:
+			return spec, fmt.Errorf("workload: unknown aiscaleout option %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("workload: aiscaleout option %s: %w", k, err)
+		}
+	}
+	return spec, nil
+}
+
+func parsePosInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("want a positive integer, got %q", s)
+	}
+	return n, nil
+}
+
+func parseNonNegInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a non-negative integer, got %q", s)
+	}
+	return n, nil
+}
+
+func parseRate(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("want a non-negative rate, got %q", s)
+	}
+	return f, nil
+}
+
+// hashMemo caches trace-file content hashes keyed by (path, size, mtime)
+// so a DSE enumeration hashing the same trace for hundreds of cache keys
+// reads the file once.
+var hashMemo sync.Map // string(path) -> hashMemoEntry
+
+type hashMemoEntry struct {
+	size  int64
+	mtime int64
+	hash  string
+}
+
+// SpecHash returns the content address of a workload spec, the component
+// DSE cache keys incorporate. The empty spec (synthetic traffic) hashes
+// to "" so pre-QoS cache keys stay valid; a self-contained spec
+// (aiscaleout) is its own address; a replay spec resolves to the SHA-256
+// of the trace file's bytes, so editing a trace invalidates every cached
+// evaluation that used it.
+func SpecHash(spec string) (string, error) {
+	kind, arg, err := Split(spec)
+	if err != nil {
+		return "", err
+	}
+	if kind != KindReplay {
+		return spec, nil
+	}
+	info, err := os.Stat(arg)
+	if err != nil {
+		return "", fmt.Errorf("workload: hashing replay trace: %w", err)
+	}
+	if e, ok := hashMemo.Load(arg); ok {
+		if m := e.(hashMemoEntry); m.size == info.Size() && m.mtime == info.ModTime().UnixNano() {
+			return m.hash, nil
+		}
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return "", fmt.Errorf("workload: hashing replay trace: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("workload: hashing replay trace: %w", err)
+	}
+	hash := fmt.Sprintf("replay:sha256:%x", h.Sum(nil))
+	hashMemo.Store(arg, hashMemoEntry{size: info.Size(), mtime: info.ModTime().UnixNano(), hash: hash})
+	return hash, nil
+}

@@ -1,0 +1,109 @@
+// Package workload defines the trace-driven workload layer: a versioned,
+// deterministic packet-trace format, a recorder that cuts a trace from any
+// live run, and an importer for external dependency-annotated traces. The
+// traces drive internal/traffic's causal replayer, so design candidates
+// can be ranked under the traffic they will actually carry instead of
+// synthetic Bernoulli patterns.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"chipletnet/internal/packet"
+)
+
+// FormatVersion is the native trace format version. Bump it when Entry
+// gains fields whose absence changes replay semantics; ReadTrace rejects
+// other versions with ErrVersion.
+const FormatVersion = 1
+
+// Typed trace-format errors; test with errors.Is.
+var (
+	// ErrNotTrace: the file does not start with a chipletnet trace header.
+	ErrNotTrace = errors.New("workload: not a chipletnet trace")
+	// ErrVersion: the trace was written by an incompatible format version.
+	ErrVersion = errors.New("workload: unsupported trace format version")
+	// ErrTruncated: the file ends before the entry count its header
+	// declares (crash or partial copy cut off the tail).
+	ErrTruncated = errors.New("workload: truncated trace")
+	// ErrCorrupt: an interior line is unparseable or an entry violates a
+	// format invariant.
+	ErrCorrupt = errors.New("workload: corrupt trace")
+)
+
+// Entry is one packet of a trace: where and when it was created, its
+// size, its interleave identity, its QoS class, and the packet it
+// causally depended on. Entry IDs are dense injection order, so the
+// entry index, the entry ID and the replayed packet ID all coincide.
+type Entry struct {
+	// ID is the dense entry id (== index == replayed packet id).
+	ID int64 `json:"i"`
+	// Cycle is the creation cycle. Replay injects at
+	// max(Cycle, dependency delivery + 1).
+	Cycle int64 `json:"c"`
+	// Src and Dst are dense endpoint indices (not global node ids), so a
+	// trace recorded on one candidate replays on any candidate with the
+	// same endpoint count.
+	Src int `json:"s"`
+	Dst int `json:"d"`
+	// Flits is the packet length.
+	Flits int `json:"f"`
+	// Msg and Seq are the packet's message identity (the interleave
+	// unit); the replayer re-derives the interleave tag from them under
+	// the target configuration's policy.
+	Msg uint64 `json:"m"`
+	Seq int    `json:"q"`
+	// Class is the QoS traffic class (packet.Class*).
+	Class uint8 `json:"k"`
+	// Dep is the ID of the entry whose delivery this packet's injection
+	// waited on, or packet.NoDep. The causality rule: a packet with a
+	// dependency is injected no earlier than the cycle after its
+	// dependency is delivered.
+	Dep int64 `json:"p"`
+}
+
+// Trace is a complete recorded or imported workload.
+type Trace struct {
+	// Version is the format version the trace was read as.
+	Version int
+	// Endpoints is the endpoint count the dense Src/Dst indices address.
+	Endpoints int
+	// Entries is the packet list in injection order.
+	Entries []Entry
+}
+
+// Validate checks the trace invariants the replayer relies on: dense IDs,
+// non-decreasing creation cycles, in-range endpoints and classes, and
+// dependencies that point strictly backwards.
+func (t *Trace) Validate() error {
+	if t.Endpoints < 2 {
+		return fmt.Errorf("%w: %d endpoints (need at least 2)", ErrCorrupt, t.Endpoints)
+	}
+	prev := int64(0)
+	for i, e := range t.Entries {
+		if e.ID != int64(i) {
+			return fmt.Errorf("%w: entry %d has id %d (ids must be dense)", ErrCorrupt, i, e.ID)
+		}
+		if e.Cycle < prev {
+			return fmt.Errorf("%w: entry %d created at cycle %d after cycle %d (cycles must be non-decreasing)", ErrCorrupt, i, e.Cycle, prev)
+		}
+		prev = e.Cycle
+		if e.Src < 0 || e.Src >= t.Endpoints || e.Dst < 0 || e.Dst >= t.Endpoints || e.Src == e.Dst {
+			return fmt.Errorf("%w: entry %d has bad endpoints %d->%d (of %d)", ErrCorrupt, i, e.Src, e.Dst, t.Endpoints)
+		}
+		if e.Flits < 1 {
+			return fmt.Errorf("%w: entry %d has no payload", ErrCorrupt, i)
+		}
+		if e.Seq < 0 {
+			return fmt.Errorf("%w: entry %d has negative sequence %d", ErrCorrupt, i, e.Seq)
+		}
+		if e.Class >= packet.NumClasses {
+			return fmt.Errorf("%w: entry %d has unknown class %d", ErrCorrupt, i, e.Class)
+		}
+		if e.Dep != packet.NoDep && (e.Dep < 0 || e.Dep >= e.ID) {
+			return fmt.Errorf("%w: entry %d depends on entry %d (dependencies must point strictly backwards)", ErrCorrupt, i, e.Dep)
+		}
+	}
+	return nil
+}
